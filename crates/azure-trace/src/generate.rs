@@ -1,0 +1,221 @@
+//! Trace synthesis: per-function arrival processes with Azure-like
+//! marginals.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use simos::{SimDuration, SimTime};
+use workloads::FunctionSpec;
+
+/// The arrival process of one trace function.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum ArrivalPattern {
+    /// Timer-driven: fixed period with small jitter (≈45 % of Azure
+    /// functions are timer-triggered).
+    Periodic {
+        /// Relative jitter on each gap (e.g. 0.1 = ±10 %).
+        jitter: f64,
+    },
+    /// Memoryless HTTP-style arrivals.
+    Poisson,
+    /// Bursts of back-to-back invocations separated by long gaps
+    /// (queue-drain behaviour).
+    Bursty {
+        /// Mean invocations per burst.
+        burst_mean: f64,
+    },
+}
+
+/// One synthesized trace function, bound to a catalog workload.
+#[derive(Debug, Clone, Copy)]
+pub struct TraceFunction {
+    /// Index into the catalog this trace function invokes.
+    pub fn_idx: usize,
+    /// Arrival process.
+    pub pattern: ArrivalPattern,
+    /// Mean inter-arrival time at scale factor 1.
+    pub base_interarrival: SimDuration,
+}
+
+/// Mean inter-arrival of the *hottest* function at scale factor 1.
+/// Calibrated so the §5.3 scale-factor sweep (5–30) spans from light
+/// load to CPU/memory saturation on the default platform.
+const HOT_INTERARRIVAL: SimDuration = SimDuration::from_secs(8);
+
+/// Builds one trace function per catalog entry.
+///
+/// Rates are heavy-tailed and anti-correlated with execution time:
+/// functions are ranked by nominal duration, and the `k`-th shortest
+/// function gets a mean inter-arrival of `HOT_INTERARRIVAL · 1.2^k`,
+/// a Zipf-like popularity decay. Patterns are drawn 45 % periodic,
+/// 35 % Poisson, 20 % bursty, matching the dataset's trigger mix.
+pub fn build_trace(catalog: &[FunctionSpec], seed: u64) -> Vec<TraceFunction> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    // Rank by duration: shortest first.
+    let mut order: Vec<usize> = (0..catalog.len()).collect();
+    order.sort_by_key(|i| catalog[*i].nominal_duration(0.14));
+    let mut out = vec![None; catalog.len()];
+    for (rank, &fn_idx) in order.iter().enumerate() {
+        let base = HOT_INTERARRIVAL.mul_f64(1.2f64.powi(rank as i32));
+        let roll: f64 = rng.gen();
+        let pattern = if roll < 0.45 {
+            ArrivalPattern::Periodic {
+                jitter: rng.gen_range(0.02..0.15),
+            }
+        } else if roll < 0.80 {
+            ArrivalPattern::Poisson
+        } else {
+            ArrivalPattern::Bursty {
+                burst_mean: rng.gen_range(2.0..6.0),
+            }
+        };
+        out[fn_idx] = Some(TraceFunction {
+            fn_idx,
+            pattern,
+            base_interarrival: base,
+        });
+    }
+    out.into_iter().map(|t| t.expect("every slot filled")).collect()
+}
+
+/// Generates the time-sorted arrival list for `[start, end)` at the
+/// given scale factor (inter-arrival times divided by `scale`, §5.3).
+///
+/// # Panics
+///
+/// Panics if `scale` is not positive or the window is empty.
+pub fn generate_arrivals(
+    trace: &[TraceFunction],
+    scale: f64,
+    start: SimTime,
+    end: SimTime,
+    seed: u64,
+) -> Vec<(SimTime, usize)> {
+    assert!(scale > 0.0, "scale factor must be positive");
+    assert!(end > start, "empty replay window");
+    let mut out = Vec::new();
+    for (i, f) in trace.iter().enumerate() {
+        let mut rng = StdRng::seed_from_u64(seed ^ ((i as u64 + 1) << 40));
+        let mean = f.base_interarrival.mul_f64(1.0 / scale);
+        if mean == SimDuration::ZERO {
+            continue;
+        }
+        let mut t = start;
+        // Random initial phase so periodic functions do not align.
+        t += mean.mul_f64(rng.gen::<f64>());
+        while t < end {
+            match f.pattern {
+                ArrivalPattern::Periodic { jitter } => {
+                    out.push((t, f.fn_idx));
+                    let gap = mean.mul_f64(1.0 + rng.gen_range(-jitter..jitter));
+                    t += gap.max(SimDuration::from_millis(1));
+                }
+                ArrivalPattern::Poisson => {
+                    out.push((t, f.fn_idx));
+                    let u: f64 = rng.gen_range(1e-9..1.0);
+                    t += mean.mul_f64(-u.ln()).max(SimDuration::from_millis(1));
+                }
+                ArrivalPattern::Bursty { burst_mean } => {
+                    // A burst of geometric size, back to back.
+                    let size = 1 + (rng.gen::<f64>() * 2.0 * burst_mean) as u32;
+                    for k in 0..size {
+                        let at = t + SimDuration::from_millis(20) * k as u64;
+                        if at < end {
+                            out.push((at, f.fn_idx));
+                        }
+                    }
+                    // Gap sized to preserve the mean rate.
+                    let u: f64 = rng.gen_range(1e-9..1.0);
+                    t += mean.mul_f64(size as f64 * -u.ln()).max(SimDuration::from_millis(1));
+                }
+            }
+        }
+    }
+    out.sort_by_key(|(t, idx)| (*t, *idx));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn window(secs: u64) -> (SimTime, SimTime) {
+        (SimTime::ZERO, SimTime::ZERO + SimDuration::from_secs(secs))
+    }
+
+    #[test]
+    fn trace_covers_every_function_once() {
+        let catalog = workloads::catalog();
+        let trace = build_trace(&catalog, 1);
+        assert_eq!(trace.len(), catalog.len());
+        let mut seen: Vec<_> = trace.iter().map(|t| t.fn_idx).collect();
+        seen.sort_unstable();
+        seen.dedup();
+        assert_eq!(seen.len(), catalog.len());
+    }
+
+    #[test]
+    fn shorter_functions_are_hotter() {
+        let catalog = workloads::catalog();
+        let trace = build_trace(&catalog, 1);
+        let clock = catalog.iter().position(|f| f.name == "clock").unwrap();
+        let alexa = catalog.iter().position(|f| f.name == "alexa").unwrap();
+        assert!(
+            trace[clock].base_interarrival < trace[alexa].base_interarrival,
+            "clock (1 ms) must be invoked more often than alexa (8-stage chain)"
+        );
+    }
+
+    #[test]
+    fn scale_factor_scales_volume_linearly_ish() {
+        let catalog = workloads::catalog();
+        let trace = build_trace(&catalog, 1);
+        let (s, e) = window(300);
+        let lo = generate_arrivals(&trace, 5.0, s, e, 9).len();
+        let hi = generate_arrivals(&trace, 25.0, s, e, 9).len();
+        let ratio = hi as f64 / lo as f64;
+        assert!(
+            (3.0..8.0).contains(&ratio),
+            "5× the scale should give roughly 5× the arrivals, got {ratio}"
+        );
+    }
+
+    #[test]
+    fn arrivals_are_sorted_and_in_window() {
+        let catalog = workloads::catalog();
+        let trace = build_trace(&catalog, 2);
+        let start = SimTime(5_000_000_000);
+        let end = SimTime(65_000_000_000);
+        let arr = generate_arrivals(&trace, 15.0, start, end, 3);
+        assert!(arr.windows(2).all(|w| w[0].0 <= w[1].0));
+        assert!(arr.iter().all(|(t, _)| *t >= start && *t < end));
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let catalog = workloads::catalog();
+        let trace = build_trace(&catalog, 2);
+        let (s, e) = window(100);
+        let a = generate_arrivals(&trace, 15.0, s, e, 3);
+        let b = generate_arrivals(&trace, 15.0, s, e, 3);
+        assert_eq!(a.len(), b.len());
+        assert!(a.iter().zip(&b).all(|(x, y)| x == y));
+    }
+
+    #[test]
+    fn periodic_functions_have_regular_gaps() {
+        let catalog = workloads::catalog();
+        let mut trace = build_trace(&catalog, 2);
+        // Force one function periodic and isolate it.
+        trace[0].pattern = ArrivalPattern::Periodic { jitter: 0.05 };
+        let solo = vec![trace[0]];
+        let (s, e) = window(600);
+        let arr = generate_arrivals(&solo, 10.0, s, e, 3);
+        assert!(arr.len() > 3);
+        let gaps: Vec<u64> = arr.windows(2).map(|w| w[1].0.since(w[0].0).as_nanos()).collect();
+        let mean = gaps.iter().sum::<u64>() / gaps.len() as u64;
+        for g in gaps {
+            let dev = (g as f64 - mean as f64).abs() / mean as f64;
+            assert!(dev < 0.2, "periodic gap deviates {dev}");
+        }
+    }
+}

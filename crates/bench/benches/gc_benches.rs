@@ -1,0 +1,129 @@
+//! Criterion micro-benchmarks for the collector models: cost scaling
+//! of young/full collections and of the Desiccant reclaim path.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use gc_core::object::ObjectKind;
+use hotspot::{HotSpotConfig, HotSpotHeap};
+use simos::System;
+use v8heap::{V8Config, V8Heap};
+
+/// Builds a HotSpot heap holding `live` retained objects of 32 KiB and
+/// an equal amount of garbage.
+fn hotspot_world(live: usize) -> (System, HotSpotHeap) {
+    let mut sys = System::new();
+    let pid = sys.spawn_process();
+    let mut heap = HotSpotHeap::new(&mut sys, pid, HotSpotConfig::for_budget(256 << 20)).unwrap();
+    for _ in 0..live {
+        let id = heap.alloc(&mut sys, 32 << 10, ObjectKind::Data).unwrap();
+        heap.graph_mut().add_global(id);
+    }
+    for _ in 0..live {
+        heap.alloc(&mut sys, 32 << 10, ObjectKind::Data).unwrap();
+    }
+    (sys, heap)
+}
+
+fn v8_world(live: usize) -> (System, V8Heap) {
+    let mut sys = System::new();
+    let pid = sys.spawn_process();
+    let mut heap = V8Heap::new(&mut sys, pid, V8Config::for_budget(256 << 20)).unwrap();
+    for _ in 0..live {
+        let id = heap.alloc(&mut sys, 32 << 10, ObjectKind::Data).unwrap();
+        heap.graph_mut().add_global(id);
+    }
+    for _ in 0..live {
+        heap.alloc(&mut sys, 32 << 10, ObjectKind::Data).unwrap();
+    }
+    (sys, heap)
+}
+
+fn bench_hotspot_full_gc(c: &mut Criterion) {
+    let mut group = c.benchmark_group("hotspot_full_gc");
+    for live in [100usize, 1000, 4000] {
+        group.bench_with_input(BenchmarkId::from_parameter(live), &live, |b, &live| {
+            b.iter_batched(
+                || hotspot_world(live),
+                |(mut sys, mut heap)| heap.full_gc(&mut sys, true).unwrap(),
+                criterion::BatchSize::SmallInput,
+            );
+        });
+    }
+    group.finish();
+}
+
+fn bench_hotspot_reclaim(c: &mut Criterion) {
+    let mut group = c.benchmark_group("hotspot_reclaim");
+    for live in [100usize, 1000, 4000] {
+        group.bench_with_input(BenchmarkId::from_parameter(live), &live, |b, &live| {
+            b.iter_batched(
+                || hotspot_world(live),
+                |(mut sys, mut heap)| heap.reclaim(&mut sys).unwrap(),
+                criterion::BatchSize::SmallInput,
+            );
+        });
+    }
+    group.finish();
+}
+
+fn bench_v8_major_gc(c: &mut Criterion) {
+    let mut group = c.benchmark_group("v8_major_gc");
+    for live in [100usize, 1000, 4000] {
+        group.bench_with_input(BenchmarkId::from_parameter(live), &live, |b, &live| {
+            b.iter_batched(
+                || v8_world(live),
+                |(mut sys, mut heap)| heap.major_gc(&mut sys, true).unwrap(),
+                criterion::BatchSize::SmallInput,
+            );
+        });
+    }
+    group.finish();
+}
+
+fn bench_v8_reclaim(c: &mut Criterion) {
+    let mut group = c.benchmark_group("v8_reclaim");
+    for live in [100usize, 1000, 4000] {
+        group.bench_with_input(BenchmarkId::from_parameter(live), &live, |b, &live| {
+            b.iter_batched(
+                || v8_world(live),
+                |(mut sys, mut heap)| heap.reclaim(&mut sys, true).unwrap(),
+                criterion::BatchSize::SmallInput,
+            );
+        });
+    }
+    group.finish();
+}
+
+fn bench_allocation(c: &mut Criterion) {
+    c.bench_function("hotspot_alloc_32k", |b| {
+        b.iter_batched(
+            || hotspot_world(0),
+            |(mut sys, mut heap)| {
+                for _ in 0..100 {
+                    heap.alloc(&mut sys, 32 << 10, ObjectKind::Data).unwrap();
+                }
+            },
+            criterion::BatchSize::SmallInput,
+        );
+    });
+    c.bench_function("v8_alloc_32k", |b| {
+        b.iter_batched(
+            || v8_world(0),
+            |(mut sys, mut heap)| {
+                for _ in 0..100 {
+                    heap.alloc(&mut sys, 32 << 10, ObjectKind::Data).unwrap();
+                }
+            },
+            criterion::BatchSize::SmallInput,
+        );
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_hotspot_full_gc,
+    bench_hotspot_reclaim,
+    bench_v8_major_gc,
+    bench_v8_reclaim,
+    bench_allocation
+);
+criterion_main!(benches);

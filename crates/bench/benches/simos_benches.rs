@@ -1,0 +1,87 @@
+//! Criterion micro-benchmarks for the simulated OS layer: page-state
+//! operations and the metric computations Desiccant's sweeps rely on.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use desiccant::ProfileStore;
+use faas::{InstanceId, ReclaimProfile};
+use simos::mem::{MappingKind, Prot, PAGE_SIZE};
+use simos::{SimDuration, System};
+
+fn world(npages: u64) -> (System, simos::Pid, simos::VirtAddr) {
+    let mut sys = System::new();
+    let pid = sys.spawn_process();
+    let a = sys
+        .mmap(pid, npages * PAGE_SIZE, MappingKind::Anonymous, Prot::ReadWrite)
+        .unwrap();
+    sys.touch(pid, a, npages * PAGE_SIZE, true).unwrap();
+    (sys, pid, a)
+}
+
+fn bench_touch_release(c: &mut Criterion) {
+    let mut group = c.benchmark_group("touch_release_cycle");
+    for npages in [256u64, 4096, 65536] {
+        group.bench_with_input(BenchmarkId::from_parameter(npages), &npages, |b, &n| {
+            let (mut sys, pid, a) = world(n);
+            b.iter(|| {
+                sys.release(pid, a, n * PAGE_SIZE).unwrap();
+                sys.touch(pid, a, n * PAGE_SIZE, true).unwrap()
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_uss(c: &mut Criterion) {
+    let mut group = c.benchmark_group("uss_computation");
+    for npages in [4096u64, 65536] {
+        group.bench_with_input(BenchmarkId::from_parameter(npages), &npages, |b, &n| {
+            let (sys, pid, _) = world(n);
+            b.iter(|| sys.uss(pid));
+        });
+    }
+    group.finish();
+}
+
+fn bench_pmap_whole_mapping(c: &mut Criterion) {
+    // The sweep-path probe: must be O(1) via the resident counter.
+    let (sys, pid, a) = world(65536);
+    c.bench_function("pmap_whole_mapping_256MiB", |b| {
+        b.iter(|| sys.pmap(pid, a, 65536 * PAGE_SIZE).unwrap());
+    });
+}
+
+fn bench_selection(c: &mut Criterion) {
+    // Desiccant's estimator over a populated store.
+    let mut store = ProfileStore::new();
+    for i in 0..200u64 {
+        store.record(
+            InstanceId(i),
+            &format!("fn-{}", i % 20),
+            &ReclaimProfile {
+                live_bytes: (i % 7) << 20,
+                released_bytes: 32 << 20,
+                cpu_time: SimDuration::from_millis(5 + i % 20),
+            },
+        );
+    }
+    c.bench_function("throughput_estimation_200_instances", |b| {
+        b.iter(|| {
+            let mut total = 0.0;
+            for i in 0..200u64 {
+                total += store
+                    .estimate(InstanceId(i), &format!("fn-{}", i % 20), 64 << 20)
+                    .throughput;
+            }
+            total
+        });
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_touch_release,
+    bench_uss,
+    bench_pmap_whole_mapping,
+    bench_selection
+);
+criterion_main!(benches);

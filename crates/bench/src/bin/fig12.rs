@@ -1,0 +1,129 @@
+//! Figure 12: memory consumption under different memory settings
+//! (256 MiB / 512 MiB / 1 GiB budgets).
+//!
+//! Four panels: (a) Java mean, (b) JavaScript mean, (c) `clock` — flat
+//! regardless of budget, (d) `fft` — vanilla/eager balloon with the
+//! budget (young cap scales) while Desiccant stays put, reaching the
+//! paper's headline 6.72× at 1 GiB.
+//!
+//! Flags: `--quick`, `--check`.
+
+use bench::cli::{check, Flags};
+use bench::report;
+use bench::{run_study, Mode, StudyConfig};
+use faas_runtime::Language;
+
+const BUDGETS: [(u64, &str); 3] = [(256 << 20, "256MiB"), (512 << 20, "512MiB"), (1 << 30, "1GiB")];
+
+fn main() {
+    let flags = Flags::parse();
+    let iterations = if flags.quick { 30 } else { 100 };
+    // Panels (a) and (b): per-language means.
+    report::caption(
+        "Figure 12a/b: mean memory per language (MiB)",
+        &["budget", "language", "vanilla", "eager", "desiccant", "vanilla/desiccant"],
+    );
+    let mut java_reduction = Vec::new();
+    let mut js_reduction = Vec::new();
+    for (budget, label) in BUDGETS {
+        let cfg = StudyConfig {
+            budget,
+            iterations,
+            ..StudyConfig::default()
+        };
+        for lang in [Language::Java, Language::JavaScript] {
+            let mut v = 0u64;
+            let mut e = 0u64;
+            let mut d = 0u64;
+            let mut n = 0u64;
+            for spec in workloads::catalog().into_iter().filter(|f| f.language == lang) {
+                v += run_study(&spec, Mode::Vanilla, &cfg).final_uss;
+                e += run_study(&spec, Mode::Eager, &cfg).final_uss;
+                d += run_study(&spec, Mode::Desiccant, &cfg).final_uss;
+                n += 1;
+            }
+            let reduction = v as f64 / d.max(1) as f64;
+            report::row(&[
+                label.into(),
+                lang.name().into(),
+                report::mib(v / n),
+                report::mib(e / n),
+                report::mib(d / n),
+                report::ratio(reduction),
+            ]);
+            if lang == Language::Java {
+                java_reduction.push(reduction);
+            } else {
+                js_reduction.push(reduction);
+            }
+        }
+    }
+    println!(
+        "# java reduction across budgets: {:?} (paper: 2.75x -> 2.94x, stable)",
+        java_reduction.iter().map(|r| format!("{r:.2}")).collect::<Vec<_>>()
+    );
+    println!(
+        "# js reduction across budgets: {:?} (paper: 1.69x -> 2.10x, growing)",
+        js_reduction.iter().map(|r| format!("{r:.2}")).collect::<Vec<_>>()
+    );
+    check(
+        &flags,
+        js_reduction.last().expect("rows") > js_reduction.first().expect("rows"),
+        "javascript reduction grows with the budget",
+    );
+    // Panels (c) and (d): clock and fft.
+    report::caption(
+        "Figure 12c/d: clock and fft across budgets (MiB)",
+        &["budget", "function", "vanilla", "eager", "desiccant", "vanilla/desiccant"],
+    );
+    let mut fft_reduction = Vec::new();
+    let mut clock_vanilla = Vec::new();
+    for (budget, label) in BUDGETS {
+        let cfg = StudyConfig {
+            budget,
+            iterations,
+            ..StudyConfig::default()
+        };
+        for name in ["clock", "fft"] {
+            let spec = workloads::by_name(name).expect("catalog function");
+            let v = run_study(&spec, Mode::Vanilla, &cfg).final_uss;
+            let e = run_study(&spec, Mode::Eager, &cfg).final_uss;
+            let d = run_study(&spec, Mode::Desiccant, &cfg).final_uss;
+            let reduction = v as f64 / d.max(1) as f64;
+            report::row(&[
+                label.into(),
+                name.into(),
+                report::mib(v),
+                report::mib(e),
+                report::mib(d),
+                report::ratio(reduction),
+            ]);
+            if name == "fft" {
+                fft_reduction.push(reduction);
+            } else {
+                clock_vanilla.push(v);
+            }
+        }
+    }
+    println!(
+        "# fft reduction at 1GiB: {:.2}x (paper headline: 6.72x)",
+        fft_reduction.last().expect("rows")
+    );
+    check(
+        &flags,
+        fft_reduction.last().expect("rows") > fft_reduction.first().expect("rows"),
+        "fft's reduction grows with the budget",
+    );
+    check(
+        &flags,
+        *fft_reduction.last().expect("rows") > 4.0,
+        "fft reaches a large reduction at 1GiB (paper 6.72x)",
+    );
+    let clock_growth = *clock_vanilla.last().expect("rows") as f64
+        / (*clock_vanilla.first().expect("rows")).max(1) as f64;
+    check(
+        &flags,
+        clock_growth < 1.3,
+        "clock's memory stays stable across budgets",
+    );
+}

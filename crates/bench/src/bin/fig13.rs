@@ -1,0 +1,93 @@
+//! Figure 13: the execution overhead after reclamation (§5.6).
+//!
+//! Protocol: 130 invocations, reclaim, 10 more; compare mean latency
+//! after vs. before. Paper magnitudes: ≈8.3 % mean overhead for
+//! Desiccant; swapping the same memory costs far more (2.37× for
+//! `sort`); and the §4.7 weak-preserving mode saves `data-analysis`
+//! (2.14×) and `unionfind` (1.74×) from deoptimization slowdowns.
+//!
+//! Flags: `--quick` (skips half the functions), `--check`,
+//! `--ablate-weak` (adds the keep-weak vs. aggressive comparison).
+
+use bench::cli::{check, Flags};
+use bench::report;
+use bench::{run_overhead_study, Mode, StudyConfig};
+
+fn main() {
+    let flags = Flags::parse();
+    let cfg = StudyConfig::default();
+    report::caption(
+        "Figure 13: execution overhead after reclamation",
+        &["language", "function", "overhead"],
+    );
+    let mut overheads = Vec::new();
+    for (i, spec) in workloads::catalog().into_iter().enumerate() {
+        if flags.quick && i % 2 == 1 {
+            continue;
+        }
+        let out = run_overhead_study(&spec, Mode::Desiccant, &cfg);
+        let overhead = out.overhead();
+        report::row(&[
+            spec.language.name().into(),
+            spec.name.into(),
+            format!("{:.3}", overhead),
+        ]);
+        overheads.push(overhead);
+        check(
+            &flags,
+            overhead < 1.6,
+            &format!("{}: post-reclaim overhead is modest", spec.name),
+        );
+    }
+    let mean = overheads.iter().sum::<f64>() / overheads.len() as f64;
+    println!(
+        "# mean overhead {:.1}% (paper 8.3%)",
+        (mean - 1.0) * 100.0
+    );
+    check(&flags, mean < 1.25, "mean overhead stays small (paper 8.3%)");
+
+    // Swap comparison on sort (§5.6: 2.37x slower re-execution).
+    let sort = workloads::by_name("sort").expect("catalog function");
+    let d = run_overhead_study(&sort, Mode::Desiccant, &cfg);
+    let s = run_overhead_study(&sort, Mode::Swap, &cfg);
+    println!(
+        "# sort: desiccant overhead {:.2}, swap overhead {:.2} (paper: swap 2.37x slower)",
+        d.overhead(),
+        s.overhead()
+    );
+    check(
+        &flags,
+        s.overhead() > d.overhead() * 1.3,
+        "swapping costs much more than reclamation on re-execution",
+    );
+
+    if flags.has("--ablate-weak") || !flags.quick {
+        report::caption(
+            "Figure 13 (weak-ref ablation): keep-weak vs aggressive reclaim",
+            &["function", "keep_weak_overhead", "aggressive_overhead"],
+        );
+        for name in ["data-analysis", "unionfind"] {
+            let spec = workloads::by_name(name).expect("catalog function");
+            let gentle = run_overhead_study(&spec, Mode::Desiccant, &cfg);
+            let aggressive = run_overhead_study(
+                &spec,
+                Mode::Desiccant,
+                &StudyConfig {
+                    keep_weak: false,
+                    ..cfg
+                },
+            );
+            report::row(&[
+                name.into(),
+                format!("{:.2}", gentle.overhead()),
+                format!("{:.2}", aggressive.overhead()),
+            ]);
+            check(
+                &flags,
+                aggressive.overhead() > gentle.overhead() * 1.25,
+                &format!("{name}: weak preservation avoids a deopt slowdown"),
+            );
+        }
+        println!("# paper: aggressive collection slows data-analysis 2.14x, unionfind 1.74x");
+    }
+}

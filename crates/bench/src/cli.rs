@@ -1,0 +1,72 @@
+//! Minimal flag parsing shared by the figure harnesses.
+//!
+//! Every harness accepts:
+//!
+//! * `--check` — assert the paper-shape invariants and exit non-zero on
+//!   violation (used by the integration tests);
+//! * `--quick` — smaller iteration counts / sweeps for fast runs;
+//! * harness-specific flags documented in each binary.
+
+/// Parsed common flags.
+#[derive(Debug, Clone, Default)]
+pub struct Flags {
+    /// Assert shape invariants.
+    pub check: bool,
+    /// Reduced workload for fast runs.
+    pub quick: bool,
+    /// Remaining positional / harness-specific arguments.
+    pub rest: Vec<String>,
+}
+
+impl Flags {
+    /// Parses `std::env::args` (skipping the binary name).
+    pub fn parse() -> Flags {
+        Self::from_args(std::env::args().skip(1))
+    }
+
+    /// Parses an explicit argument list.
+    pub fn from_args(args: impl Iterator<Item = String>) -> Flags {
+        let mut flags = Flags::default();
+        for a in args {
+            match a.as_str() {
+                "--check" => flags.check = true,
+                "--quick" => flags.quick = true,
+                _ => flags.rest.push(a),
+            }
+        }
+        flags
+    }
+
+    /// True if a harness-specific flag is present.
+    pub fn has(&self, flag: &str) -> bool {
+        self.rest.iter().any(|a| a == flag)
+    }
+}
+
+/// Asserts a shape invariant when `--check` is active; always logs it.
+pub fn check(flags: &Flags, ok: bool, what: &str) {
+    if ok {
+        eprintln!("check ok: {what}");
+    } else if flags.check {
+        eprintln!("CHECK FAILED: {what}");
+        std::process::exit(1);
+    } else {
+        eprintln!("check WARNING (not enforced without --check): {what}");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_known_and_unknown_flags() {
+        let f = Flags::from_args(
+            ["--check", "--list", "--quick"].iter().map(|s| s.to_string()),
+        );
+        assert!(f.check);
+        assert!(f.quick);
+        assert!(f.has("--list"));
+        assert!(!f.has("--nope"));
+    }
+}

@@ -1,0 +1,19 @@
+//! # bench — figure harnesses for the Desiccant reproduction
+//!
+//! One binary per paper figure (`fig1` … `fig13`, see `src/bin/`), plus
+//! Criterion micro-benchmarks (`benches/`). The shared machinery lives
+//! here:
+//!
+//! * [`singlefn`] — the §3.1/§5.2 single-function study: iterate a
+//!   Table-1 function 100 times in its own instance(s), measure USS at
+//!   every freeze point under a baseline
+//!   (vanilla / eager / Desiccant / swap), and compute the
+//!   frozen-garbage ratios against the ideal baseline;
+//! * [`report`] — CSV-style output helpers so every harness prints
+//!   rows shaped like the figure it reproduces.
+
+pub mod cli;
+pub mod report;
+pub mod singlefn;
+
+pub use singlefn::{run_overhead_study, run_study, Mode, OverheadOutcome, StudyConfig, StudyOutcome};

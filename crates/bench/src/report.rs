@@ -1,0 +1,35 @@
+//! CSV-style report output, in the spirit of the artifact's `parse.sh`
+//! scripts (caption row + data rows on stdout).
+
+/// Prints the caption row of a figure's CSV output.
+pub fn caption(figure: &str, columns: &[&str]) {
+    println!("# {figure}");
+    println!("{}", columns.join(","));
+}
+
+/// Formats a byte count as mebibytes with two decimals.
+pub fn mib(bytes: u64) -> String {
+    format!("{:.2}", bytes as f64 / (1 << 20) as f64)
+}
+
+/// Formats a ratio with two decimals.
+pub fn ratio(x: f64) -> String {
+    format!("{x:.2}")
+}
+
+/// Prints one CSV data row.
+pub fn row(fields: &[String]) {
+    println!("{}", fields.join(","));
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn formatting_is_stable() {
+        assert_eq!(mib(1 << 20), "1.00");
+        assert_eq!(mib(3 << 19), "1.50");
+        assert_eq!(ratio(2.718), "2.72");
+    }
+}

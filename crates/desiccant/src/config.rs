@@ -1,0 +1,101 @@
+//! Desiccant configuration.
+
+use simos::SimDuration;
+
+/// How candidate instances are ranked (ablations for §4.5.2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SelectionPolicy {
+    /// The paper's policy: highest estimated reclamation throughput
+    /// first.
+    Throughput,
+    /// Ablation: oldest-frozen first (a pure LRU sweep).
+    OldestFrozen,
+    /// Ablation: arbitrary order (whatever the platform reports).
+    Unordered,
+}
+
+/// Tunables of the [`crate::Desiccant`] manager.
+#[derive(Debug, Clone, Copy)]
+pub struct DesiccantConfig {
+    /// Instances must have been frozen at least this long to be
+    /// considered (§4.3's first principle).
+    pub freeze_timeout: SimDuration,
+    /// The threshold the manager snaps down to when the platform
+    /// evicts (60 % by default, §4.5.1).
+    pub low_threshold: f64,
+    /// The ceiling the threshold drifts back to during calm periods.
+    pub high_threshold: f64,
+    /// Per-sweep upward drift of the threshold.
+    pub threshold_step: f64,
+    /// Whether the threshold adapts at all (ablation switch); when
+    /// false it stays at `low_threshold`.
+    pub dynamic_threshold: bool,
+    /// Candidate ranking policy.
+    pub selection: SelectionPolicy,
+    /// §4.7: preserve weakly referenced objects during reclamation GCs
+    /// (avoids JIT deoptimization).
+    pub keep_weak: bool,
+    /// §4.6: unmap private, unmodified, file-backed mappings of
+    /// single-user frozen instances.
+    pub unmap_libs: bool,
+    /// Upper bound on reclamations started per sweep tick.
+    pub max_reclaims_per_sweep: usize,
+}
+
+impl Default for DesiccantConfig {
+    fn default() -> DesiccantConfig {
+        DesiccantConfig {
+            freeze_timeout: SimDuration::from_secs(1),
+            low_threshold: 0.60,
+            high_threshold: 0.90,
+            threshold_step: 0.001,
+            dynamic_threshold: true,
+            selection: SelectionPolicy::Throughput,
+            keep_weak: true,
+            unmap_libs: true,
+            max_reclaims_per_sweep: 4,
+        }
+    }
+}
+
+impl DesiccantConfig {
+    /// Sanity checks.
+    ///
+    /// # Panics
+    ///
+    /// Panics on nonsensical configurations.
+    pub fn validate(&self) {
+        assert!(
+            0.0 < self.low_threshold && self.low_threshold <= self.high_threshold,
+            "thresholds must satisfy 0 < low <= high"
+        );
+        assert!(self.high_threshold <= 1.0);
+        assert!(self.threshold_step >= 0.0);
+        assert!(self.max_reclaims_per_sweep >= 1);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_matches_paper() {
+        let c = DesiccantConfig::default();
+        c.validate();
+        assert!((c.low_threshold - 0.60).abs() < 1e-9);
+        assert!(c.keep_weak);
+        assert_eq!(c.selection, SelectionPolicy::Throughput);
+    }
+
+    #[test]
+    #[should_panic(expected = "thresholds")]
+    fn inverted_thresholds_rejected() {
+        DesiccantConfig {
+            low_threshold: 0.9,
+            high_threshold: 0.5,
+            ..DesiccantConfig::default()
+        }
+        .validate();
+    }
+}

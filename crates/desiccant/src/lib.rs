@@ -1,0 +1,63 @@
+//! # desiccant — a freeze-aware memory manager for managed FaaS workloads
+//!
+//! This is the paper's contribution: a memory manager that watches the
+//! FaaS platform's instance cache and, under memory pressure, reclaims
+//! the *frozen garbage* trapped in paused managed-runtime instances
+//! instead of letting the platform destroy whole instances.
+//!
+//! Desiccant has three parts (§4.1):
+//!
+//! 1. **Activation** (§4.2, §4.5.1) — it runs only when the memory used
+//!    by frozen instances exceeds a threshold that adapts to eviction
+//!    pressure: any platform eviction snaps the threshold down to 60 %,
+//!    and calm periods let it drift back up, trading CPU for headroom
+//!    only when headroom is actually scarce.
+//! 2. **Instance selection** (§4.3, §4.5.2) — among instances frozen
+//!    longer than a timeout, it picks those with the highest *estimated
+//!    reclamation throughput*
+//!    `(heap_resident − estimated_live_bytes) / estimated_cpu_time`,
+//!    using per-instance profiles collected from previous reclamations,
+//!    falling back to same-function profiles and then the global
+//!    average for instances never reclaimed before.
+//! 3. **Reclamation** (§4.4) — the platform invokes the runtime-side
+//!    `reclaim` API (GC + resize + release of all free pages), extends
+//!    the runtime's memory profile with the reclamation's accumulated
+//!    CPU time, and feeds it back into the profile store. Optional
+//!    extras: the §4.6 unmap of single-user library mappings and the
+//!    §4.7 weak-reference-preserving GC mode that avoids JIT
+//!    deoptimization.
+//!
+//! The crate implements [`faas::MemoryManager`], so it plugs into the
+//! platform exactly like the paper plugs into OpenWhisk — as a
+//! non-intrusive background sweeper. Ablation variants (static
+//! threshold, random/oldest-first selection) are provided for the
+//! design-choice benchmarks.
+//!
+//! # Examples
+//!
+//! ```
+//! use desiccant::{Desiccant, DesiccantConfig};
+//! use faas::platform::{GcMode, Platform};
+//! use faas::PlatformConfig;
+//! use simos::SimTime;
+//!
+//! let manager = Desiccant::new(DesiccantConfig::default());
+//! let mut p = Platform::new(
+//!     PlatformConfig::default(),
+//!     workloads::catalog(),
+//!     GcMode::Vanilla,
+//!     Some(Box::new(manager)),
+//! );
+//! let f = p.function_index("fft").unwrap();
+//! p.submit(SimTime::ZERO, f);
+//! p.run_until(SimTime(30_000_000_000));
+//! assert_eq!(p.stats().completed, 1);
+//! ```
+
+pub mod config;
+pub mod manager;
+pub mod profile;
+
+pub use config::{DesiccantConfig, SelectionPolicy};
+pub use manager::Desiccant;
+pub use profile::{ProfileStore, ThroughputEstimate};

@@ -1,0 +1,91 @@
+//! Platform configuration.
+
+use simos::SimDuration;
+
+/// Which commercial environment the platform imitates.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EnvFlavor {
+    /// OpenWhisk on one host: runtime libraries are shared between
+    /// same-language containers through the page cache.
+    OpenWhisk,
+    /// AWS Lambda (§5.4): every instance gets private copies of its
+    /// runtime libraries, and images are larger.
+    Lambda,
+}
+
+/// Platform-wide configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct PlatformConfig {
+    /// Memory available for caching instances (the paper's §5.3 uses
+    /// 2 GiB).
+    pub cache_budget: u64,
+    /// Memory budget per instance (256 MiB by default, the OpenWhisk
+    /// default the paper uses).
+    pub instance_budget: u64,
+    /// CPU share per instance (0.14, from commercial configurations).
+    pub cpu_share: f64,
+    /// Cores available to function execution.
+    pub cores: f64,
+    /// Container-creation overhead on a cold boot, beyond runtime
+    /// startup (image pull is assumed warm).
+    pub container_create: SimDuration,
+    /// Cost of thawing (unpausing) a frozen instance.
+    pub thaw: SimDuration,
+    /// Environment flavour.
+    pub env: EnvFlavor,
+    /// Interval between memory-manager sweep ticks.
+    pub sweep_interval: SimDuration,
+    /// RNG seed for instance state.
+    pub seed: u64,
+}
+
+impl Default for PlatformConfig {
+    fn default() -> PlatformConfig {
+        PlatformConfig {
+            cache_budget: 2 << 30,
+            instance_budget: 256 << 20,
+            cpu_share: 0.14,
+            cores: 3.0,
+            container_create: SimDuration::from_millis(300),
+            thaw: SimDuration::from_millis(2),
+            env: EnvFlavor::OpenWhisk,
+            sweep_interval: SimDuration::from_millis(200),
+            seed: 42,
+        }
+    }
+}
+
+impl PlatformConfig {
+    /// Sanity checks.
+    ///
+    /// # Panics
+    ///
+    /// Panics on nonsensical configurations.
+    pub fn validate(&self) {
+        assert!(self.cache_budget >= self.instance_budget);
+        assert!(self.cpu_share > 0.0 && self.cpu_share <= self.cores);
+        assert!(self.sweep_interval > SimDuration::ZERO);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_valid_and_paper_shaped() {
+        let c = PlatformConfig::default();
+        c.validate();
+        assert_eq!(c.cache_budget, 2 << 30);
+        assert_eq!(c.instance_budget, 256 << 20);
+        assert!((c.cpu_share - 0.14).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic]
+    fn cache_smaller_than_instance_rejected() {
+        let mut c = PlatformConfig::default();
+        c.cache_budget = c.instance_budget - 1;
+        c.validate();
+    }
+}

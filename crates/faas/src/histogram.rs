@@ -1,0 +1,120 @@
+//! Latency recording and percentile extraction.
+
+use simos::SimDuration;
+
+/// A latency histogram backed by raw samples (exact percentiles; the
+/// sample counts in this reproduction are small enough that sketching
+/// is unnecessary).
+#[derive(Debug, Clone, Default)]
+pub struct LatencyHistogram {
+    samples: Vec<u64>,
+    sorted: bool,
+}
+
+impl LatencyHistogram {
+    /// Creates an empty histogram.
+    pub fn new() -> LatencyHistogram {
+        LatencyHistogram::default()
+    }
+
+    /// Records one latency sample.
+    pub fn record(&mut self, d: SimDuration) {
+        self.samples.push(d.as_nanos());
+        self.sorted = false;
+    }
+
+    /// Number of samples.
+    pub fn len(&self) -> usize {
+        self.samples.len()
+    }
+
+    /// True if no samples were recorded.
+    pub fn is_empty(&self) -> bool {
+        self.samples.is_empty()
+    }
+
+    /// The `q`-quantile (`0.0 ..= 1.0`) by nearest-rank, or `None` when
+    /// empty.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `q` is outside `[0, 1]`.
+    pub fn percentile(&mut self, q: f64) -> Option<SimDuration> {
+        assert!((0.0..=1.0).contains(&q), "quantile out of range: {q}");
+        if self.samples.is_empty() {
+            return None;
+        }
+        if !self.sorted {
+            self.samples.sort_unstable();
+            self.sorted = true;
+        }
+        let rank = ((q * self.samples.len() as f64).ceil() as usize).clamp(1, self.samples.len());
+        Some(SimDuration::from_nanos(self.samples[rank - 1]))
+    }
+
+    /// Mean latency, or `None` when empty.
+    pub fn mean(&self) -> Option<SimDuration> {
+        if self.samples.is_empty() {
+            return None;
+        }
+        let sum: u128 = self.samples.iter().map(|s| *s as u128).sum();
+        Some(SimDuration::from_nanos(
+            (sum / self.samples.len() as u128) as u64,
+        ))
+    }
+
+    /// Clears all samples.
+    pub fn reset(&mut self) {
+        self.samples.clear();
+        self.sorted = true;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn filled(n: u64) -> LatencyHistogram {
+        let mut h = LatencyHistogram::new();
+        // Insert in reverse to exercise sorting.
+        for i in (1..=n).rev() {
+            h.record(SimDuration::from_millis(i));
+        }
+        h
+    }
+
+    #[test]
+    fn percentiles_by_nearest_rank() {
+        let mut h = filled(100);
+        assert_eq!(h.percentile(0.5).unwrap(), SimDuration::from_millis(50));
+        assert_eq!(h.percentile(0.99).unwrap(), SimDuration::from_millis(99));
+        assert_eq!(h.percentile(1.0).unwrap(), SimDuration::from_millis(100));
+        assert_eq!(h.percentile(0.0).unwrap(), SimDuration::from_millis(1));
+    }
+
+    #[test]
+    fn empty_histogram_returns_none() {
+        let mut h = LatencyHistogram::new();
+        assert!(h.percentile(0.5).is_none());
+        assert!(h.mean().is_none());
+    }
+
+    #[test]
+    fn mean_is_exact() {
+        let h = filled(10);
+        assert_eq!(h.mean().unwrap(), SimDuration::from_micros(5500));
+    }
+
+    #[test]
+    fn reset_clears() {
+        let mut h = filled(5);
+        h.reset();
+        assert!(h.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "quantile out of range")]
+    fn invalid_quantile_panics() {
+        filled(3).percentile(1.5);
+    }
+}

@@ -1,0 +1,85 @@
+//! The memory-manager hook Desiccant implements.
+//!
+//! The paper keeps Desiccant *non-intrusive*: it observes the
+//! platform's memory accounting, is told about evictions, receives
+//! per-reclamation profiles, and answers with which frozen instances to
+//! reclaim (§4.2–§4.5). This trait is exactly that interface — the
+//! platform neither knows nor cares how the selection works, and the
+//! baselines simply run with no manager installed.
+
+use simos::{SimDuration, SimTime};
+
+use crate::platform::InstanceId;
+
+/// What the platform exposes about one frozen instance.
+#[derive(Debug, Clone)]
+pub struct FrozenView {
+    /// Platform-level identifier.
+    pub id: InstanceId,
+    /// Function name (instances of the same function share memory
+    /// behaviour, §4.5.2).
+    pub function: String,
+    /// Chain stage this instance runs.
+    pub stage: u8,
+    /// When the instance was frozen.
+    pub frozen_since: SimTime,
+    /// Current in-heap memory consumption (the `pmap`-or-counters probe
+    /// of §4.5.2) in bytes.
+    pub heap_resident: u64,
+    /// Current USS charge against the cache.
+    pub charge: u64,
+    /// Whether the instance has been reclaimed since it last ran.
+    pub reclaimed: bool,
+}
+
+/// The §4.4 profile, extended by the platform with CPU time.
+#[derive(Debug, Clone, Copy)]
+pub struct ReclaimProfile {
+    /// In-heap live bytes the runtime reported.
+    pub live_bytes: u64,
+    /// Bytes released to the OS.
+    pub released_bytes: u64,
+    /// Accumulated CPU time of the reclamation (wall × CPUs, the §4.5.2
+    /// cgroup computation).
+    pub cpu_time: SimDuration,
+}
+
+/// A freeze-aware memory manager (Desiccant, or an ablation variant).
+pub trait MemoryManager {
+    /// Short name for reports.
+    fn name(&self) -> &'static str;
+
+    /// Called on every sweep tick and after cache-accounting changes.
+    /// Returns the frozen instances to reclaim now, best first. The
+    /// platform reclaims them with idle CPU.
+    fn select_reclaims(
+        &mut self,
+        now: SimTime,
+        cache_budget: u64,
+        cache_used: u64,
+        frozen: &[FrozenView],
+    ) -> Vec<InstanceId>;
+
+    /// Called when the platform evicts (destroys) an instance to make
+    /// space — the signal that lowers Desiccant's activation threshold
+    /// (§4.5.1).
+    fn note_eviction(&mut self, now: SimTime, function: &str);
+
+    /// Called when an instance is destroyed for any reason; profiles
+    /// for it should be dropped (§4.5.2).
+    fn note_destroyed(&mut self, id: InstanceId);
+
+    /// Called after a reclamation completes, with the combined profile.
+    fn note_reclaimed(&mut self, now: SimTime, id: InstanceId, function: &str, profile: ReclaimProfile);
+
+    /// Whether reclamation GCs should preserve weakly referenced
+    /// objects (§4.7). Desiccant: yes.
+    fn keep_weak(&self) -> bool {
+        true
+    }
+
+    /// Whether to apply the §4.6 private-library unmap optimization.
+    fn unmap_libs(&self) -> bool {
+        false
+    }
+}

@@ -1,0 +1,786 @@
+//! The platform controller: a deterministic discrete-event simulation
+//! of an OpenWhisk-style FaaS host.
+//!
+//! Life of a request: it arrives, waits (if needed) for memory and CPU,
+//! runs stage by stage through the function's chain — warm instances
+//! are thawed, missing ones cold-booted — and each instance is *frozen*
+//! again the moment its stage completes (plus an exit-time GC in the
+//! eager baseline). Frozen instances live in the instance cache charged
+//! at their measured USS; when a cold boot cannot fit, the platform
+//! evicts the least-recently-used frozen instances. A plugged-in
+//! [`MemoryManager`] (Desiccant) watches the cache and reclaims frozen
+//! garbage with idle CPU instead.
+
+use std::collections::{BTreeMap, BinaryHeap, HashMap, VecDeque};
+
+use faas_runtime::{Instance, Language, ReclaimReport, RuntimeImage, SharedLibs};
+use simos::{SimDuration, SimTime, System};
+use workloads::{FunctionSpec, FunctionState};
+
+use crate::config::{EnvFlavor, PlatformConfig};
+use crate::manager::{FrozenView, MemoryManager, ReclaimProfile};
+use crate::stats::{CoreTimeKind, PlatformStats};
+
+/// Identifies an instance across its whole life.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct InstanceId(pub u64);
+
+/// How the platform treats GC at function exit.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum GcMode {
+    /// Freeze immediately after the function exits (stock behaviour).
+    Vanilla,
+    /// Call the runtime's stock GC interface at every function exit
+    /// (the paper's *eager* baseline, §3.2).
+    Eager,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Status {
+    /// Cold boot in progress.
+    Starting,
+    /// Executing a stage.
+    Running,
+    /// Running the exit-time eager GC.
+    GcAfterExit,
+    /// Being reclaimed by the memory manager.
+    Reclaiming,
+    /// Frozen (paused), waiting in the cache.
+    Frozen,
+}
+
+struct Slot {
+    fn_idx: usize,
+    stage: u8,
+    inst: Instance,
+    state: FunctionState,
+    status: Status,
+    frozen_since: SimTime,
+    last_used: SimTime,
+    /// Bytes charged against the cache budget right now.
+    charge: u64,
+    reclaimed_since_use: bool,
+}
+
+#[derive(Debug)]
+struct Request {
+    fn_idx: usize,
+    arrival: SimTime,
+    done: bool,
+}
+
+#[derive(Debug, Clone, Copy)]
+enum Event {
+    Arrival { req: usize },
+    BootDone { id: InstanceId, req: usize },
+    StageDone { id: InstanceId, req: usize },
+    GcDone { id: InstanceId },
+    ReclaimDone { id: InstanceId, cpus: f64 },
+    Sweep,
+}
+
+struct Scheduled {
+    at: SimTime,
+    seq: u64,
+    ev: Event,
+}
+
+impl PartialEq for Scheduled {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+impl Eq for Scheduled {}
+impl PartialOrd for Scheduled {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for Scheduled {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        // Reverse ordering: the binary heap becomes a min-heap on
+        // (time, sequence).
+        (other.at, other.seq).cmp(&(self.at, self.seq))
+    }
+}
+
+/// Work waiting for resources.
+#[derive(Debug, Clone, Copy)]
+struct PendingStage {
+    req: usize,
+    stage: u8,
+}
+
+/// The FaaS platform.
+pub struct Platform {
+    config: PlatformConfig,
+    catalog: Vec<FunctionSpec>,
+    mode: GcMode,
+    manager: Option<Box<dyn MemoryManager>>,
+    sys: System,
+    slots: BTreeMap<InstanceId, Slot>,
+    /// Warm pools: most-recently-frozen last.
+    pools: HashMap<(usize, u8), Vec<InstanceId>>,
+    /// Shared library registrations per language (OpenWhisk only).
+    shared_libs: HashMap<Language, SharedLibs>,
+    requests: Vec<Request>,
+    events: BinaryHeap<Scheduled>,
+    pending: VecDeque<PendingStage>,
+    now: SimTime,
+    seq: u64,
+    next_instance: u64,
+    used_cores: f64,
+    cache_used: u64,
+    stats: PlatformStats,
+    sweep_scheduled: bool,
+    next_seed: u64,
+    /// Running estimate of a fresh instance's post-boot footprint,
+    /// used for admission before the boot happens.
+    boot_footprint: u64,
+}
+
+impl Platform {
+    /// Creates a platform over `catalog` with an optional memory
+    /// manager.
+    pub fn new(
+        config: PlatformConfig,
+        catalog: Vec<FunctionSpec>,
+        mode: GcMode,
+        manager: Option<Box<dyn MemoryManager>>,
+    ) -> Platform {
+        config.validate();
+        let mut sys = System::new();
+        let mut shared_libs = HashMap::new();
+        if config.env == EnvFlavor::OpenWhisk {
+            for lang in [Language::Java, Language::JavaScript] {
+                let image = RuntimeImage::openwhisk(lang);
+                shared_libs.insert(lang, image.register_files(&mut sys));
+            }
+        }
+        Platform {
+            config,
+            catalog,
+            mode,
+            manager,
+            sys,
+            slots: BTreeMap::new(),
+            pools: HashMap::new(),
+            shared_libs,
+            requests: Vec::new(),
+            events: BinaryHeap::new(),
+            pending: VecDeque::new(),
+            now: SimTime::ZERO,
+            seq: 0,
+            next_instance: 0,
+            used_cores: 0.0,
+            cache_used: 0,
+            stats: PlatformStats::default(),
+            sweep_scheduled: false,
+            next_seed: config.seed,
+            boot_footprint: 64 << 20,
+        }
+    }
+
+    /// The platform configuration.
+    pub fn config(&self) -> &PlatformConfig {
+        &self.config
+    }
+
+    /// Index of a catalog function by name.
+    pub fn function_index(&self, name: &str) -> Option<usize> {
+        self.catalog.iter().position(|f| f.name == name)
+    }
+
+    /// The function catalog.
+    pub fn catalog(&self) -> &[FunctionSpec] {
+        &self.catalog
+    }
+
+    /// Current simulated time.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Collected statistics.
+    pub fn stats(&self) -> &PlatformStats {
+        &self.stats
+    }
+
+    /// Resets the statistics window (after warm-up).
+    pub fn reset_stats(&mut self) {
+        self.stats.reset(self.now);
+    }
+
+    /// Bytes currently charged against the instance cache.
+    pub fn cache_used(&self) -> u64 {
+        self.cache_used
+    }
+
+    /// Number of live instances (any status).
+    pub fn instance_count(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Number of frozen instances.
+    pub fn frozen_count(&self) -> usize {
+        self.slots
+            .values()
+            .filter(|s| s.status == Status::Frozen)
+            .count()
+    }
+
+    /// Direct access to the simulated OS (for measurements in tests
+    /// and harnesses).
+    pub fn system(&self) -> &System {
+        &self.sys
+    }
+
+    /// Submits a request for `fn_idx` at time `t` (must not be in the
+    /// past).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `fn_idx` is out of range or `t` is before `now`.
+    pub fn submit(&mut self, t: SimTime, fn_idx: usize) {
+        assert!(fn_idx < self.catalog.len(), "unknown function index");
+        assert!(t >= self.now, "cannot submit in the past");
+        let req = self.requests.len();
+        self.requests.push(Request {
+            fn_idx,
+            arrival: t,
+            done: false,
+        });
+        self.stats.submitted += 1;
+        self.schedule(t, Event::Arrival { req });
+    }
+
+    fn schedule(&mut self, at: SimTime, ev: Event) {
+        self.seq += 1;
+        self.events.push(Scheduled {
+            at,
+            seq: self.seq,
+            ev,
+        });
+    }
+
+    /// Runs the simulation until `t_end` (events after it stay queued).
+    pub fn run_until(&mut self, t_end: SimTime) {
+        if self.manager.is_some() && !self.sweep_scheduled {
+            self.sweep_scheduled = true;
+            let at = self.now + self.config.sweep_interval;
+            self.schedule(at, Event::Sweep);
+        }
+        while let Some(next) = self.events.peek() {
+            if next.at > t_end {
+                break;
+            }
+            let Scheduled { at, ev, .. } = self.events.pop().expect("peeked");
+            debug_assert!(at >= self.now, "event from the past");
+            self.now = at;
+            self.handle(ev);
+        }
+        self.now = self.now.max(t_end);
+    }
+
+    fn handle(&mut self, ev: Event) {
+        match ev {
+            Event::Arrival { req } => {
+                self.pending.push_back(PendingStage { req, stage: 0 });
+                self.drain_pending();
+            }
+            Event::BootDone { id, req } => self.on_boot_done(id, req),
+            Event::StageDone { id, req } => self.on_stage_done(id, req),
+            Event::GcDone { id } => {
+                self.release_cores(self.config.cpu_share);
+                self.finish_freeze(id);
+                self.drain_pending();
+            }
+            Event::ReclaimDone { id, cpus } => {
+                self.release_cores(cpus);
+                if let Some(slot) = self.slots.get_mut(&id) {
+                    if slot.status == Status::Reclaiming {
+                        slot.status = Status::Frozen;
+                        let new_charge = slot.inst.uss(&self.sys);
+                        self.update_charge(id, new_charge);
+                    }
+                }
+                self.drain_pending();
+            }
+            Event::Sweep => {
+                self.run_sweep();
+                let at = self.now + self.config.sweep_interval;
+                self.schedule(at, Event::Sweep);
+            }
+        }
+    }
+
+    fn release_cores(&mut self, cpus: f64) {
+        self.used_cores = (self.used_cores - cpus).max(0.0);
+    }
+
+    fn update_charge(&mut self, id: InstanceId, new_charge: u64) {
+        let slot = self.slots.get_mut(&id).expect("charge of dead instance");
+        self.cache_used = self.cache_used - slot.charge + new_charge;
+        slot.charge = new_charge;
+    }
+
+    /// Tries to start every queued stage; removes those that started.
+    fn drain_pending(&mut self) {
+        let mut remaining = VecDeque::new();
+        while let Some(work) = self.pending.pop_front() {
+            if !self.try_start_stage(work) {
+                remaining.push_back(work);
+            }
+        }
+        self.pending = remaining;
+    }
+
+    /// Attempts to start `work` now. Returns true if it is underway.
+    fn try_start_stage(&mut self, work: PendingStage) -> bool {
+        let fn_idx = self.requests[work.req].fn_idx;
+        let key = (fn_idx, work.stage);
+        // Warm path: most recently used frozen instance of this stage.
+        if let Some(pos) = self
+            .pools
+            .get(&key)
+            .and_then(|p| if p.is_empty() { None } else { Some(p.len() - 1) })
+        {
+            if self.used_cores + self.config.cpu_share > self.config.cores {
+                return false;
+            }
+            let id = self.pools.get_mut(&key).expect("pool exists").remove(pos);
+            // Instances are charged at measured USS; the thawed
+            // instance keeps its freeze-time charge and is re-measured
+            // when it freezes again.
+            self.used_cores += self.config.cpu_share;
+            self.stats.warm_starts += 1;
+            let slot = self.slots.get_mut(&id).expect("pooled instance exists");
+            slot.status = Status::Running;
+            slot.last_used = self.now;
+            self.start_execution(id, work.req, self.config.thaw);
+            return true;
+        }
+        // Cold path: boot a new instance (needs a full core plus room
+        // for the estimated post-boot footprint).
+        if self.used_cores + 1.0 > self.config.cores {
+            return false;
+        }
+        if !self.make_room(self.boot_footprint, None) {
+            return false;
+        }
+        let spec = self.catalog[fn_idx];
+        let image = match self.config.env {
+            EnvFlavor::OpenWhisk => RuntimeImage::openwhisk(spec.language),
+            EnvFlavor::Lambda => RuntimeImage::lambda(spec.language),
+        };
+        let libs = match self.config.env {
+            EnvFlavor::OpenWhisk => self.shared_libs[&spec.language].clone(),
+            EnvFlavor::Lambda => image.register_files(&mut self.sys),
+        };
+        let inst = Instance::launch(
+            &mut self.sys,
+            &image,
+            &libs,
+            self.config.instance_budget,
+            self.config.cpu_share,
+        )
+        .expect("instance budget accommodates the runtime image");
+        let boot_time = self.config.container_create + inst.startup_time();
+        self.next_seed = self.next_seed.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        let state = FunctionState::new(work.stage, self.next_seed);
+        let id = InstanceId(self.next_instance);
+        self.next_instance += 1;
+        // Charge the freshly measured footprint and fold it into the
+        // admission estimate (exponential moving average).
+        let footprint = inst.uss(&self.sys);
+        self.boot_footprint = (self.boot_footprint * 3 + footprint) / 4;
+        self.slots.insert(
+            id,
+            Slot {
+                fn_idx,
+                stage: work.stage,
+                inst,
+                state,
+                status: Status::Starting,
+                frozen_since: self.now,
+                last_used: self.now,
+                charge: 0,
+                reclaimed_since_use: false,
+            },
+        );
+        self.cache_used += footprint;
+        self.slots.get_mut(&id).expect("just inserted").charge = footprint;
+        self.used_cores += 1.0;
+        self.stats.cold_boots += 1;
+        self.stats
+            .record_core_time(CoreTimeKind::Boot, boot_time, 1.0);
+        self.schedule(self.now + boot_time, Event::BootDone { id, req: work.req });
+        true
+    }
+
+    /// Frees at least `needed` bytes of cache headroom by evicting LRU
+    /// frozen instances (skipping `exempt`). Returns false if not
+    /// enough can be freed.
+    fn make_room(&mut self, needed: u64, exempt: Option<InstanceId>) -> bool {
+        if needed == 0 {
+            return true;
+        }
+        let budget = self.config.cache_budget;
+        if self.cache_used + needed <= budget {
+            return true;
+        }
+        // Reclaimable headroom check first: can evicting every frozen
+        // instance make room at all?
+        loop {
+            if self.cache_used + needed <= budget {
+                return true;
+            }
+            let victim = self
+                .slots
+                .iter()
+                .filter(|(vid, s)| {
+                    (s.status == Status::Frozen || s.status == Status::Reclaiming)
+                        && Some(**vid) != exempt
+                })
+                .min_by_key(|(_, s)| s.last_used)
+                .map(|(vid, _)| *vid);
+            match victim {
+                Some(vid) => self.evict(vid),
+                None => return false,
+            }
+        }
+    }
+
+    fn evict(&mut self, id: InstanceId) {
+        let slot = self.slots.remove(&id).expect("evicting a dead instance");
+        self.cache_used -= slot.charge;
+        let key = (slot.fn_idx, slot.stage);
+        if let Some(pool) = self.pools.get_mut(&key) {
+            pool.retain(|p| *p != id);
+        }
+        self.stats.evictions += 1;
+        let name = self.catalog[slot.fn_idx].name;
+        if let Some(m) = self.manager.as_mut() {
+            m.note_eviction(self.now, name);
+            m.note_destroyed(id);
+        }
+        slot.inst.kill(&mut self.sys);
+        // Note: a pending ReclaimDone event for this id becomes stale;
+        // its core release still happens when it fires.
+    }
+
+    fn on_boot_done(&mut self, id: InstanceId, req: usize) {
+        // The boot held a full core; execution holds only the share.
+        self.release_cores(1.0);
+        if self.used_cores + self.config.cpu_share <= self.config.cores {
+            self.used_cores += self.config.cpu_share;
+            let slot = self.slots.get_mut(&id).expect("booting instance exists");
+            slot.status = Status::Running;
+            slot.last_used = self.now;
+            self.start_execution(id, req, SimDuration::ZERO);
+        } else {
+            // Extremely rare: the share does not fit right after the
+            // boot released a whole core. Retry via the queue by
+            // freezing the fresh instance unused.
+            self.finish_freeze(id);
+            let slot = self.slots.get(&id).expect("frozen instance exists");
+            let stage = slot.stage;
+            self.pending.push_front(PendingStage { req, stage });
+        }
+        self.drain_pending();
+    }
+
+    /// Invokes the stage kernel on `id` and schedules its completion.
+    fn start_execution(&mut self, id: InstanceId, req: usize, extra: SimDuration) {
+        let slot = self.slots.get_mut(&id).expect("running instance exists");
+        let spec = self.catalog[slot.fn_idx];
+        // Intermediates from the previous request were transferred.
+        slot.state.complete_transfer(slot.inst.heap_mut().graph_mut());
+        let state = &mut slot.state;
+        let report = slot
+            .inst
+            .invoke(&mut self.sys, self.now, &spec.exec, |ctx| {
+                state.invoke(&spec, ctx);
+            })
+            .expect("calibrated workload fits its instance");
+        let wall = report.wall_time + extra + state.io_wait(&spec);
+        self.stats
+            .record_core_time(CoreTimeKind::Exec, wall, self.config.cpu_share);
+        self.schedule(self.now + wall, Event::StageDone { id, req });
+    }
+
+    fn on_stage_done(&mut self, id: InstanceId, req: usize) {
+        let (fn_idx, stage) = {
+            let slot = self.slots.get(&id).expect("running instance exists");
+            (slot.fn_idx, slot.stage)
+        };
+        let chain_len = self.catalog[fn_idx].chain_len;
+        // Advance the request.
+        if stage + 1 < chain_len {
+            self.pending.push_back(PendingStage {
+                req,
+                stage: stage + 1,
+            });
+        } else {
+            let r = &mut self.requests[req];
+            debug_assert!(!r.done);
+            r.done = true;
+            let latency = self.now.since(r.arrival);
+            self.stats.latency.record(latency);
+            self.stats.completed += 1;
+        }
+        // Exit-time behaviour.
+        match self.mode {
+            GcMode::Vanilla => {
+                self.release_cores(self.config.cpu_share);
+                self.finish_freeze(id);
+            }
+            GcMode::Eager => {
+                let slot = self.slots.get_mut(&id).expect("running instance exists");
+                slot.status = Status::GcAfterExit;
+                let g = slot
+                    .inst
+                    .eager_gc(&mut self.sys)
+                    .expect("eager GC cannot fail on a healthy heap");
+                self.stats
+                    .record_core_time(CoreTimeKind::Gc, g, self.config.cpu_share);
+                self.schedule(self.now + g, Event::GcDone { id });
+            }
+        }
+        self.drain_pending();
+    }
+
+    /// Freezes `id`: completes intermediate transfer semantics, returns
+    /// it to its warm pool, and re-charges it at measured USS.
+    fn finish_freeze(&mut self, id: InstanceId) {
+        let slot = self.slots.get_mut(&id).expect("freezing a dead instance");
+        slot.status = Status::Frozen;
+        slot.frozen_since = self.now;
+        slot.reclaimed_since_use = false;
+        let key = (slot.fn_idx, slot.stage);
+        let uss = slot.inst.uss(&self.sys);
+        self.update_charge(id, uss);
+        self.pools.entry(key).or_default().push(id);
+    }
+
+    /// One memory-manager sweep: collect frozen views, ask the manager,
+    /// start reclamations on idle CPU.
+    fn run_sweep(&mut self) {
+        let Some(manager) = self.manager.as_mut() else {
+            return;
+        };
+        let views: Vec<FrozenView> = self
+            .slots
+            .iter()
+            .filter(|(_, s)| s.status == Status::Frozen)
+            .map(|(id, s)| FrozenView {
+                id: *id,
+                function: self.catalog[s.fn_idx].name.to_string(),
+                stage: s.stage,
+                frozen_since: s.frozen_since,
+                heap_resident: s.inst.heap().resident_heap_bytes(&self.sys),
+                charge: s.charge,
+                reclaimed: s.reclaimed_since_use,
+            })
+            .collect();
+        let picks = manager.select_reclaims(
+            self.now,
+            self.config.cache_budget,
+            self.cache_used,
+            &views,
+        );
+        let keep_weak = manager.keep_weak();
+        let unmap = manager.unmap_libs();
+        for id in picks {
+            let idle = self.config.cores - self.used_cores;
+            // Reclamation only uses idle CPU (§4.5.2).
+            if idle < 0.25 {
+                break;
+            }
+            let cpus = idle.min(1.0);
+            let Some(slot) = self.slots.get_mut(&id) else {
+                continue;
+            };
+            if slot.status != Status::Frozen {
+                continue;
+            }
+            slot.status = Status::Reclaiming;
+            slot.reclaimed_since_use = true;
+            let report: ReclaimReport = slot
+                .inst
+                .reclaim(&mut self.sys, self.now, keep_weak)
+                .expect("reclaim cannot fail on a healthy heap");
+            let mut released = report.released_bytes;
+            if unmap {
+                released += slot
+                    .inst
+                    .unmap_private_libs(&mut self.sys)
+                    .expect("unmap cannot fail on a live process");
+            }
+            let wall = report.wall_time.mul_f64(1.0 / cpus);
+            self.used_cores += cpus;
+            self.stats.reclamations += 1;
+            self.stats.reclaimed_bytes += released;
+            self.stats
+                .record_core_time(CoreTimeKind::Reclaim, wall, cpus);
+            let name = self.catalog[slot.fn_idx].name;
+            let profile = ReclaimProfile {
+                live_bytes: report.live_bytes,
+                released_bytes: released,
+                // Accumulated CPU time = wall × cpus = the full-CPU
+                // work of the reclamation.
+                cpu_time: report.wall_time,
+            };
+            self.manager
+                .as_mut()
+                .expect("manager checked above")
+                .note_reclaimed(self.now, id, name, profile);
+            self.schedule(self.now + wall, Event::ReclaimDone { id, cpus });
+        }
+    }
+
+    /// USS of every live instance, for harness measurements.
+    pub fn instance_uss(&self) -> Vec<(InstanceId, u64)> {
+        self.slots
+            .iter()
+            .map(|(id, s)| (*id, s.inst.uss(&self.sys)))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_config() -> PlatformConfig {
+        PlatformConfig {
+            cache_budget: 1 << 30,
+            cores: 4.0,
+            ..PlatformConfig::default()
+        }
+    }
+
+    fn submit_n(p: &mut Platform, name: &str, n: u64, gap_ms: u64) {
+        let idx = p.function_index(name).unwrap();
+        for i in 0..n {
+            p.submit(SimTime(i * gap_ms * 1_000_000), idx);
+        }
+    }
+
+    #[test]
+    fn single_request_cold_boots_and_completes() {
+        let mut p = Platform::new(small_config(), workloads::catalog(), GcMode::Vanilla, None);
+        submit_n(&mut p, "file-hash", 1, 1);
+        p.run_until(SimTime(10_000_000_000));
+        assert_eq!(p.stats().completed, 1);
+        assert_eq!(p.stats().cold_boots, 1);
+        assert_eq!(p.stats().warm_starts, 0);
+        assert_eq!(p.frozen_count(), 1);
+        // Latency includes the cold boot.
+        let mut stats = p.stats.clone();
+        assert!(stats.latency.percentile(1.0).unwrap() > SimDuration::from_millis(500));
+    }
+
+    #[test]
+    fn second_request_warm_starts_and_is_faster() {
+        let mut p = Platform::new(small_config(), workloads::catalog(), GcMode::Vanilla, None);
+        submit_n(&mut p, "file-hash", 2, 5000);
+        p.run_until(SimTime(60_000_000_000));
+        assert_eq!(p.stats().completed, 2);
+        assert_eq!(p.stats().cold_boots, 1);
+        assert_eq!(p.stats().warm_starts, 1);
+        let mut stats = p.stats.clone();
+        let p0 = stats.latency.percentile(0.0).unwrap();
+        let p100 = stats.latency.percentile(1.0).unwrap();
+        assert!(p0 < p100, "warm start not faster: {p0} vs {p100}");
+    }
+
+    #[test]
+    fn chains_run_all_stages() {
+        let mut p = Platform::new(small_config(), workloads::catalog(), GcMode::Vanilla, None);
+        submit_n(&mut p, "mapreduce", 1, 1);
+        p.run_until(SimTime(30_000_000_000));
+        assert_eq!(p.stats().completed, 1);
+        // One instance per stage.
+        assert_eq!(p.stats().cold_boots, 2);
+        assert_eq!(p.frozen_count(), 2);
+    }
+
+    #[test]
+    fn memory_pressure_causes_evictions() {
+        let mut config = small_config();
+        // Tight cache: frozen footprints accumulate past it quickly.
+        config.cache_budget = 256 << 20;
+        let mut p = Platform::new(config, workloads::catalog(), GcMode::Vanilla, None);
+        // Sequentially touch many distinct functions so frozen
+        // instances pile up.
+        let names = [
+            "file-hash", "sort", "fft", "matrix", "image-resize", "factor", "pi", "unionfind",
+            "dynamic-html", "fibonacci", "web-server", "filesystem",
+        ];
+        for (i, name) in names.iter().enumerate() {
+            let idx = p.function_index(name).unwrap();
+            p.submit(SimTime(i as u64 * 20_000_000_000), idx);
+        }
+        p.run_until(SimTime(names.len() as u64 * 20_000_000_000 + 20_000_000_000));
+        assert_eq!(p.stats().completed, names.len() as u64);
+        assert!(p.stats().evictions >= 1, "no eviction under pressure");
+    }
+
+    #[test]
+    fn cpu_exhaustion_queues_requests() {
+        let mut config = small_config();
+        config.cores = 1.0;
+        let mut p = Platform::new(config, workloads::catalog(), GcMode::Vanilla, None);
+        // A burst of simultaneous requests: cold boots take a full
+        // core each, so they serialize.
+        submit_n(&mut p, "pi", 6, 0);
+        p.run_until(SimTime(120_000_000_000));
+        assert_eq!(p.stats().completed, 6);
+        let mut stats = p.stats.clone();
+        let spread = stats.latency.percentile(1.0).unwrap().as_secs_f64()
+            / stats.latency.percentile(0.0).unwrap().as_secs_f64();
+        assert!(spread > 1.5, "no queueing spread: {spread}");
+    }
+
+    #[test]
+    fn eager_mode_runs_gc_every_exit() {
+        let mut p = Platform::new(small_config(), workloads::catalog(), GcMode::Eager, None);
+        submit_n(&mut p, "sort", 3, 3000);
+        p.run_until(SimTime(60_000_000_000));
+        assert_eq!(p.stats().completed, 3);
+        assert!(p.stats().gc_core_ns > 0.0, "eager GC did not run");
+        // All instances frozen again afterwards.
+        assert_eq!(p.frozen_count(), 1);
+    }
+
+    #[test]
+    fn vanilla_mode_never_runs_exit_gc() {
+        let mut p = Platform::new(small_config(), workloads::catalog(), GcMode::Vanilla, None);
+        submit_n(&mut p, "sort", 3, 3000);
+        p.run_until(SimTime(60_000_000_000));
+        assert_eq!(p.stats().gc_core_ns, 0.0);
+    }
+
+    #[test]
+    fn frozen_charge_is_measured_uss() {
+        let mut p = Platform::new(small_config(), workloads::catalog(), GcMode::Vanilla, None);
+        submit_n(&mut p, "file-hash", 1, 1);
+        p.run_until(SimTime(10_000_000_000));
+        let uss: u64 = p.instance_uss().iter().map(|(_, u)| *u).sum();
+        assert_eq!(p.cache_used(), uss);
+        assert!(uss < p.config.instance_budget);
+    }
+
+    #[test]
+    fn run_until_is_monotonic_and_resumable() {
+        let mut p = Platform::new(small_config(), workloads::catalog(), GcMode::Vanilla, None);
+        submit_n(&mut p, "clock", 5, 1000);
+        p.run_until(SimTime(2_000_000_000));
+        let done_early = p.stats().completed;
+        p.run_until(SimTime(30_000_000_000));
+        assert!(p.stats().completed >= done_early);
+        assert_eq!(p.stats().completed, 5);
+        assert_eq!(p.now(), SimTime(30_000_000_000));
+    }
+}

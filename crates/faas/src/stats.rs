@@ -1,0 +1,162 @@
+//! Platform statistics: the Figure 9/10 metrics.
+
+use simos::{SimDuration, SimTime};
+
+use crate::histogram::LatencyHistogram;
+
+/// Counters and distributions collected by the platform.
+#[derive(Debug, Clone, Default)]
+pub struct PlatformStats {
+    /// Requests submitted.
+    pub submitted: u64,
+    /// Requests fully completed (all chain stages).
+    pub completed: u64,
+    /// Instance acquisitions served by a frozen (warm) instance.
+    pub warm_starts: u64,
+    /// Instance acquisitions that required a cold boot.
+    pub cold_boots: u64,
+    /// Instances evicted (destroyed) under memory pressure.
+    pub evictions: u64,
+    /// Reclamations performed by the memory manager.
+    pub reclamations: u64,
+    /// Bytes released by reclamations.
+    pub reclaimed_bytes: u64,
+    /// End-to-end request latency.
+    pub latency: LatencyHistogram,
+    /// Busy core-nanoseconds spent executing functions.
+    pub exec_core_ns: f64,
+    /// Busy core-nanoseconds spent cold-booting.
+    pub boot_core_ns: f64,
+    /// Busy core-nanoseconds spent on exit-time eager GC.
+    pub gc_core_ns: f64,
+    /// Busy core-nanoseconds spent on reclamations.
+    pub reclaim_core_ns: f64,
+    /// When the statistics window started.
+    pub window_start: SimTime,
+}
+
+impl PlatformStats {
+    /// Cold-boot fraction of all instance acquisitions.
+    pub fn cold_boot_fraction(&self) -> f64 {
+        let total = self.cold_boots + self.warm_starts;
+        if total == 0 {
+            0.0
+        } else {
+            self.cold_boots as f64 / total as f64
+        }
+    }
+
+    /// Cold boots per second over the window ending at `now`.
+    pub fn cold_boot_rate(&self, now: SimTime) -> f64 {
+        let window = now.saturating_since(self.window_start).as_secs_f64();
+        if window <= 0.0 {
+            0.0
+        } else {
+            self.cold_boots as f64 / window
+        }
+    }
+
+    /// Completed requests per second over the window ending at `now`.
+    pub fn throughput(&self, now: SimTime) -> f64 {
+        let window = now.saturating_since(self.window_start).as_secs_f64();
+        if window <= 0.0 {
+            0.0
+        } else {
+            self.completed as f64 / window
+        }
+    }
+
+    /// Mean CPU utilization (0..=1) over the window ending at `now`,
+    /// for a machine with `cores` cores.
+    pub fn cpu_utilization(&self, now: SimTime, cores: f64) -> f64 {
+        let window = now.saturating_since(self.window_start).as_nanos() as f64;
+        if window <= 0.0 {
+            return 0.0;
+        }
+        let busy = self.exec_core_ns + self.boot_core_ns + self.gc_core_ns + self.reclaim_core_ns;
+        (busy / (cores * window)).min(1.0)
+    }
+
+    /// The reclamation share of CPU (the paper reports ≤ 6.2 %).
+    pub fn reclaim_cpu_fraction(&self, now: SimTime, cores: f64) -> f64 {
+        let window = now.saturating_since(self.window_start).as_nanos() as f64;
+        if window <= 0.0 {
+            return 0.0;
+        }
+        (self.reclaim_core_ns / (cores * window)).min(1.0)
+    }
+
+    /// Resets the window (used after warm-up, §5.3).
+    pub fn reset(&mut self, now: SimTime) {
+        *self = PlatformStats {
+            window_start: now,
+            ..PlatformStats::default()
+        };
+    }
+
+    /// Records busy core time for one activity.
+    pub(crate) fn record_core_time(&mut self, kind: CoreTimeKind, wall: SimDuration, cpus: f64) {
+        let ns = wall.as_nanos() as f64 * cpus;
+        match kind {
+            CoreTimeKind::Exec => self.exec_core_ns += ns,
+            CoreTimeKind::Boot => self.boot_core_ns += ns,
+            CoreTimeKind::Gc => self.gc_core_ns += ns,
+            CoreTimeKind::Reclaim => self.reclaim_core_ns += ns,
+        }
+    }
+}
+
+/// Kinds of busy core time.
+#[derive(Debug, Clone, Copy)]
+pub(crate) enum CoreTimeKind {
+    Exec,
+    Boot,
+    Gc,
+    Reclaim,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rates_divide_by_window() {
+        let mut s = PlatformStats::default();
+        s.cold_boots = 10;
+        s.warm_starts = 30;
+        s.completed = 40;
+        let now = SimTime(20_000_000_000);
+        assert!((s.cold_boot_rate(now) - 0.5).abs() < 1e-9);
+        assert!((s.throughput(now) - 2.0).abs() < 1e-9);
+        assert!((s.cold_boot_fraction() - 0.25).abs() < 1e-9);
+    }
+
+    #[test]
+    fn utilization_sums_components() {
+        let mut s = PlatformStats::default();
+        s.record_core_time(CoreTimeKind::Exec, SimDuration::from_secs(4), 1.0);
+        s.record_core_time(CoreTimeKind::Boot, SimDuration::from_secs(2), 1.0);
+        s.record_core_time(CoreTimeKind::Reclaim, SimDuration::from_secs(2), 0.5);
+        let now = SimTime(10_000_000_000);
+        // (4 + 2 + 1) busy core-seconds on 2 cores over 10 s = 0.35.
+        assert!((s.cpu_utilization(now, 2.0) - 0.35).abs() < 1e-9);
+        assert!((s.reclaim_cpu_fraction(now, 2.0) - 0.05).abs() < 1e-9);
+    }
+
+    #[test]
+    fn reset_moves_window() {
+        let mut s = PlatformStats::default();
+        s.completed = 100;
+        s.reset(SimTime(5_000_000_000));
+        assert_eq!(s.completed, 0);
+        assert_eq!(s.window_start, SimTime(5_000_000_000));
+        assert_eq!(s.throughput(SimTime(5_000_000_000)), 0.0);
+    }
+
+    #[test]
+    fn zero_window_is_safe() {
+        let s = PlatformStats::default();
+        assert_eq!(s.throughput(SimTime::ZERO), 0.0);
+        assert_eq!(s.cpu_utilization(SimTime::ZERO, 4.0), 0.0);
+    }
+}

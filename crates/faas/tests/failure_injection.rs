@@ -1,0 +1,179 @@
+//! Failure-injection tests for the platform: the awkward interleavings
+//! the paper's §4.2 design explicitly allows ("when OpenWhisk
+//! determines to evict an instance, it does not need to consider if the
+//! instance is under memory reclamation").
+
+use faas::config::PlatformConfig;
+use faas::manager::{FrozenView, MemoryManager, ReclaimProfile};
+use faas::platform::{GcMode, InstanceId, Platform};
+use simos::{SimDuration, SimTime};
+
+/// A manager that reclaims everything it sees, every sweep, remembering
+/// what happened to it.
+struct GreedyManager {
+    reclaimed: Vec<InstanceId>,
+    destroyed: Vec<InstanceId>,
+    evictions: u64,
+}
+
+impl GreedyManager {
+    fn new() -> GreedyManager {
+        GreedyManager {
+            reclaimed: Vec::new(),
+            destroyed: Vec::new(),
+            evictions: 0,
+        }
+    }
+}
+
+impl MemoryManager for GreedyManager {
+    fn name(&self) -> &'static str {
+        "greedy"
+    }
+
+    fn select_reclaims(
+        &mut self,
+        _now: SimTime,
+        _cache_budget: u64,
+        _cache_used: u64,
+        frozen: &[FrozenView],
+    ) -> Vec<InstanceId> {
+        frozen.iter().filter(|f| !f.reclaimed).map(|f| f.id).collect()
+    }
+
+    fn note_eviction(&mut self, _now: SimTime, _function: &str) {
+        self.evictions += 1;
+    }
+
+    fn note_destroyed(&mut self, id: InstanceId) {
+        self.destroyed.push(id);
+    }
+
+    fn note_reclaimed(
+        &mut self,
+        _now: SimTime,
+        id: InstanceId,
+        _function: &str,
+        _profile: ReclaimProfile,
+    ) {
+        self.reclaimed.push(id);
+    }
+}
+
+fn tight_config() -> PlatformConfig {
+    PlatformConfig {
+        // Barely enough for one boot plus a couple of frozen
+        // instances: evictions are constant, and they race the greedy
+        // manager's reclamations.
+        cache_budget: 256 << 20,
+        cores: 3.0,
+        // Sweep often so reclamations overlap instance churn.
+        sweep_interval: SimDuration::from_millis(50),
+        ..PlatformConfig::default()
+    }
+}
+
+/// Evictions during reclamation must not corrupt platform state: every
+/// request completes, accounting balances, and the simulation does not
+/// panic on stale reclaim-done events.
+#[test]
+fn eviction_during_reclamation_is_safe() {
+    let mut p = Platform::new(
+        tight_config(),
+        workloads::catalog(),
+        GcMode::Vanilla,
+        Some(Box::new(GreedyManager::new())),
+    );
+    // A rotating mix of functions so the cache constantly churns.
+    let names = ["file-hash", "sort", "fft", "matrix", "factor", "pi", "unionfind", "dynamic-html"];
+    let mut t = SimTime::ZERO;
+    let mut submitted = 0;
+    for round in 0..30u64 {
+        for (i, name) in names.iter().enumerate() {
+            let idx = p.function_index(name).expect("catalog");
+            p.submit(t + SimDuration::from_millis(i as u64 * 40), idx);
+            submitted += 1;
+        }
+        t += SimDuration::from_millis(400);
+        let _ = round;
+    }
+    p.run_until(t + SimDuration::from_secs(120));
+    assert_eq!(p.stats().completed, submitted, "requests lost under churn");
+    assert!(p.stats().evictions > 0, "no eviction pressure generated");
+    assert!(p.stats().reclamations > 0, "no reclamations raced them");
+    assert!(p.cache_used() <= 256 << 20, "cache accounting drifted");
+}
+
+/// A manager that asks to reclaim instances that no longer exist (or
+/// are running) must be tolerated: the platform skips them.
+struct LyingManager;
+
+impl MemoryManager for LyingManager {
+    fn name(&self) -> &'static str {
+        "liar"
+    }
+
+    fn select_reclaims(
+        &mut self,
+        _now: SimTime,
+        _cache_budget: u64,
+        _cache_used: u64,
+        frozen: &[FrozenView],
+    ) -> Vec<InstanceId> {
+        // Real candidates plus garbage ids.
+        let mut picks: Vec<InstanceId> = frozen.iter().map(|f| f.id).collect();
+        picks.push(InstanceId(u64::MAX));
+        picks.push(InstanceId(u64::MAX - 1));
+        picks
+    }
+
+    fn note_eviction(&mut self, _now: SimTime, _function: &str) {}
+    fn note_destroyed(&mut self, _id: InstanceId) {}
+    fn note_reclaimed(
+        &mut self,
+        _now: SimTime,
+        _id: InstanceId,
+        _function: &str,
+        _profile: ReclaimProfile,
+    ) {
+    }
+}
+
+#[test]
+fn bogus_reclaim_requests_are_ignored() {
+    let mut p = Platform::new(
+        tight_config(),
+        workloads::catalog(),
+        GcMode::Vanilla,
+        Some(Box::new(LyingManager)),
+    );
+    let idx = p.function_index("file-hash").expect("catalog");
+    for i in 0..10u64 {
+        p.submit(SimTime(i * 2_000_000_000), idx);
+    }
+    p.run_until(SimTime(60_000_000_000));
+    assert_eq!(p.stats().completed, 10);
+}
+
+/// Reclaimed instances must serve later requests correctly even when
+/// the reclamation raced a thaw attempt (the platform skips non-frozen
+/// instances at reclaim start).
+#[test]
+fn reclaimed_instances_keep_serving() {
+    let mut p = Platform::new(
+        tight_config(),
+        workloads::catalog(),
+        GcMode::Vanilla,
+        Some(Box::new(GreedyManager::new())),
+    );
+    let idx = p.function_index("unionfind").expect("catalog");
+    // Gaps long enough for a reclaim between every pair of requests.
+    for i in 0..20u64 {
+        p.submit(SimTime(i * 3_000_000_000), idx);
+    }
+    p.run_until(SimTime(120_000_000_000));
+    assert_eq!(p.stats().completed, 20);
+    assert!(p.stats().reclamations >= 5, "instances were reclaimed between uses");
+    // The warm instance survived throughout: exactly one cold boot.
+    assert_eq!(p.stats().cold_boots, 1, "reclamation must not force cold boots");
+}

@@ -1,0 +1,118 @@
+//! Property tests for the object graph and marker.
+//!
+//! Random object graphs with random roots are built, marked, and swept;
+//! the invariants below are exactly what the runtime collectors rely
+//! on.
+
+use gc_core::object::{HeapGraph, ObjectId, ObjectKind};
+use gc_core::trace::mark;
+use proptest::prelude::*;
+
+/// A compact graph description: `sizes[i]` is object `i`'s size;
+/// `edges` are `(from, to)` pairs; `roots` indexes into objects.
+#[derive(Debug, Clone)]
+struct GraphSpec {
+    sizes: Vec<u32>,
+    edges: Vec<(usize, usize)>,
+    weak_edges: Vec<(usize, usize)>,
+    global_roots: Vec<usize>,
+}
+
+fn graph_spec() -> impl Strategy<Value = GraphSpec> {
+    (2usize..40).prop_flat_map(|n| {
+        (
+            prop::collection::vec(1u32..10_000, n),
+            prop::collection::vec((0..n, 0..n), 0..n * 2),
+            prop::collection::vec((0..n, 0..n), 0..n),
+            prop::collection::vec(0..n, 0..n / 2 + 1),
+        )
+            .prop_map(|(sizes, edges, weak_edges, global_roots)| GraphSpec {
+                sizes,
+                edges,
+                weak_edges,
+                global_roots,
+            })
+    })
+}
+
+fn build(spec: &GraphSpec) -> (HeapGraph, Vec<ObjectId>) {
+    let mut g = HeapGraph::new();
+    let ids: Vec<_> = spec
+        .sizes
+        .iter()
+        .map(|s| g.alloc(*s, ObjectKind::Data))
+        .collect();
+    for &(a, b) in &spec.edges {
+        g.add_ref(ids[a], ids[b]);
+    }
+    for &(a, b) in &spec.weak_edges {
+        g.add_weak_ref(ids[a], ids[b]);
+    }
+    for &r in &spec.global_roots {
+        g.add_global(ids[r]);
+    }
+    (g, ids)
+}
+
+proptest! {
+    /// Marking is a fixed point: marking after sweep finds the same
+    /// live bytes, and sweep frees exactly allocated − live.
+    #[test]
+    fn mark_sweep_reaches_fixed_point(spec in graph_spec()) {
+        let (mut g, _ids) = build(&spec);
+        let total: u64 = spec.sizes.iter().map(|s| *s as u64).sum();
+        let live = mark(&g, true, true);
+        prop_assert!(live.live_bytes <= total);
+        let freed = g.sweep(&live.marks);
+        prop_assert_eq!(freed, total - live.live_bytes);
+        prop_assert_eq!(g.allocated_bytes(), live.live_bytes);
+        let live2 = mark(&g, true, true);
+        prop_assert_eq!(live2.live_bytes, live.live_bytes);
+        prop_assert_eq!(live2.live_objects, live.live_objects);
+    }
+
+    /// Keeping weak references can only grow the live set, and the
+    /// aggressive live set plus weak-retained bytes bounds the gentle
+    /// one.
+    #[test]
+    fn weak_retention_is_monotone(spec in graph_spec()) {
+        let (g, _ids) = build(&spec);
+        let aggressive = mark(&g, true, false);
+        let gentle = mark(&g, true, true);
+        prop_assert!(gentle.live_bytes >= aggressive.live_bytes);
+        prop_assert!(gentle.live_objects >= aggressive.live_objects);
+    }
+
+    /// Every strongly referenced target of a live object is live
+    /// (closure property), and no root is dead.
+    #[test]
+    fn live_set_is_closed(spec in graph_spec()) {
+        let (g, ids) = build(&spec);
+        let live = mark(&g, true, true);
+        for (id, obj) in g.iter() {
+            if live.is_live(id) {
+                for &r in &obj.refs {
+                    prop_assert!(live.is_live(r), "live object holds dead ref");
+                }
+            }
+        }
+        for &r in &spec.global_roots {
+            prop_assert!(live.is_live(ids[r]));
+        }
+    }
+
+    /// After popping all handle scopes, handle-rooted garbage is dead:
+    /// mark(include_handles) equals mark(globals only).
+    #[test]
+    fn popped_scopes_leave_no_roots(spec in graph_spec()) {
+        let (mut g, ids) = build(&spec);
+        let scope = g.push_handle_scope();
+        for id in &ids {
+            g.add_handle(*id);
+        }
+        g.pop_handle_scope(scope);
+        let with = mark(&g, true, true);
+        let without = mark(&g, false, true);
+        prop_assert_eq!(with.live_bytes, without.live_bytes);
+    }
+}

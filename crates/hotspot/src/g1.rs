@@ -1,0 +1,737 @@
+//! A G1-style regional collector.
+//!
+//! The paper's §7 names G1GC explicitly: *"despite having a different
+//! GC algorithm compared to the Serial GC, it is still based on the
+//! HotSpot JVM and fulfills the aforementioned requirements, making it
+//! compatible with Desiccant."* This module models the G1 of the JDK 8
+//! era the paper targets:
+//!
+//! * the heap is a grid of fixed-size **regions** (1 MiB here), each
+//!   free or serving as eden / survivor / old / humongous;
+//! * **young collections** evacuate live eden+survivor objects into
+//!   fresh survivor (or old, once tenured) regions and return the
+//!   emptied regions to the free list;
+//! * **mixed collections** run when old occupancy crosses the IHOP
+//!   threshold: after marking, the *garbage-first* heuristic evacuates
+//!   the old regions with the most reclaimable space;
+//! * crucially for the paper: **free regions stay committed and their
+//!   pages stay resident** — JDK 8's G1 returns memory to the OS only
+//!   on a full-GC resize, which FaaS workloads rarely trigger. A frozen
+//!   G1 instance therefore pins its high-water mark: frozen garbage at
+//!   region granularity;
+//! * [`G1Heap::reclaim`] is the Desiccant interface: a compacting full
+//!   collection, then every free region's pages are released.
+//!
+//! Like `cpython-heap` and `goruntime`, this is an extension beyond the
+//! paper's measured figures (Lambda pins the serial GC, §5.4), wired
+//! into `examples/other_runtimes.rs`.
+
+use gc_core::object::{HeapGraph, ObjectId, ObjectKind};
+use gc_core::stats::{GcCostModel, GcCounters, GcKind};
+use gc_core::trace::{mark, mark_with_extra_roots};
+use simos::cost::CostModel;
+use simos::mem::{page_align_up, MappingKind, Prot};
+use simos::{Pid, SimDuration, System, VirtAddr};
+
+use crate::heap::HeapError;
+
+/// Region size (G1 picks 1–32 MiB by heap size; 1 MiB fits the 256 MiB
+/// instances here).
+pub const REGION_SIZE: u64 = 1 << 20;
+
+/// What a region currently serves as.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RegionKind {
+    /// Unused (committed or not, per `committed` flag).
+    Free,
+    /// Young allocation region.
+    Eden,
+    /// Young survivor region.
+    Survivor,
+    /// Tenured region.
+    Old,
+    /// Part of a humongous allocation (one object spanning whole
+    /// regions).
+    Humongous,
+}
+
+/// Space tags stored in object headers.
+mod tag {
+    pub const YOUNG: u8 = 0;
+    pub const SURVIVOR: u8 = 1;
+    pub const OLD: u8 = 2;
+    pub const HUMONGOUS: u8 = 3;
+}
+
+#[derive(Debug, Clone)]
+struct Region {
+    kind: RegionKind,
+    /// Bump offset within the region.
+    top: u64,
+    /// Whether the region's range has ever been committed (touched).
+    committed: bool,
+}
+
+/// Configuration of a [`G1Heap`].
+#[derive(Debug, Clone, Copy)]
+pub struct G1Config {
+    /// Reserved heap size (a whole number of regions).
+    pub max_heap: u64,
+    /// Young generation target, as a fraction of all regions.
+    pub young_fraction: f64,
+    /// Initiating-heap-occupancy threshold for mixed collections
+    /// (G1's `InitiatingHeapOccupancyPercent`, default 45).
+    pub ihop: f64,
+    /// Minimum garbage fraction for an old region to be collected in a
+    /// mixed collection (the garbage-first cut-off).
+    pub min_garbage_fraction: f64,
+    /// Survivals before tenuring.
+    pub tenure_threshold: u8,
+}
+
+impl G1Config {
+    /// Lambda-like sizing for a `budget`-byte instance.
+    pub fn for_budget(budget: u64) -> G1Config {
+        let max_heap = (budget / 5 * 4) / REGION_SIZE * REGION_SIZE;
+        G1Config {
+            max_heap,
+            young_fraction: 0.25,
+            ihop: 0.45,
+            min_garbage_fraction: 0.50,
+            tenure_threshold: 4,
+        }
+    }
+
+    /// Sanity checks.
+    ///
+    /// # Panics
+    ///
+    /// Panics on nonsensical configurations.
+    pub fn validate(&self) {
+        assert!(self.max_heap >= 8 * REGION_SIZE, "heap below 8 regions");
+        assert_eq!(self.max_heap % REGION_SIZE, 0);
+        assert!(self.young_fraction > 0.0 && self.young_fraction < 1.0);
+        assert!(self.ihop > 0.0 && self.ihop < 1.0);
+        assert!((0.0..1.0).contains(&self.min_garbage_fraction));
+    }
+}
+
+/// Result of a [`G1Heap::reclaim`].
+#[derive(Debug, Clone, Copy)]
+pub struct G1ReclaimOutcome {
+    /// Bytes released back to the OS.
+    pub released_bytes: u64,
+    /// Live bytes after the collection.
+    pub live_bytes: u64,
+    /// Simulated wall time of the reclamation.
+    pub wall_time: SimDuration,
+}
+
+/// A G1-style heap bound to one simulated process.
+#[derive(Debug, Clone)]
+pub struct G1Heap {
+    pid: Pid,
+    config: G1Config,
+    base: VirtAddr,
+    regions: Vec<Region>,
+    graph: HeapGraph,
+    /// Region currently taking eden allocations.
+    eden_current: Option<usize>,
+    /// Region currently taking survivor copies (during GC).
+    counters: GcCounters,
+    gc_cost: GcCostModel,
+    os_cost: CostModel,
+    pending: SimDuration,
+    last_live_bytes: u64,
+}
+
+fn align_obj(n: u64) -> u64 {
+    n.div_ceil(8) * 8
+}
+
+impl G1Heap {
+    /// Reserves a heap in process `pid`.
+    pub fn new(sys: &mut System, pid: Pid, config: G1Config) -> Result<G1Heap, HeapError> {
+        config.validate();
+        let base = sys.mmap_named(
+            pid,
+            config.max_heap,
+            MappingKind::Anonymous,
+            Prot::None,
+            "[heap:g1]",
+        )?;
+        let nregions = (config.max_heap / REGION_SIZE) as usize;
+        Ok(G1Heap {
+            pid,
+            config,
+            base,
+            regions: vec![
+                Region {
+                    kind: RegionKind::Free,
+                    top: 0,
+                    committed: false,
+                };
+                nregions
+            ],
+            graph: HeapGraph::new(),
+            eden_current: None,
+            counters: GcCounters::default(),
+            gc_cost: GcCostModel::default(),
+            os_cost: CostModel::default(),
+            pending: SimDuration::ZERO,
+            last_live_bytes: 0,
+        })
+    }
+
+    /// The object graph.
+    pub fn graph(&self) -> &HeapGraph {
+        &self.graph
+    }
+
+    /// Mutable object graph.
+    pub fn graph_mut(&mut self) -> &mut HeapGraph {
+        &mut self.graph
+    }
+
+    /// Cumulative collector counters.
+    pub fn counters(&self) -> &GcCounters {
+        &self.counters
+    }
+
+    /// Live bytes found by the most recent collection.
+    pub fn last_live_bytes(&self) -> u64 {
+        self.last_live_bytes
+    }
+
+    /// Drains accrued latency.
+    pub fn take_elapsed(&mut self) -> SimDuration {
+        std::mem::take(&mut self.pending)
+    }
+
+    /// Regions by kind, for tests and reports.
+    pub fn region_count(&self, kind: RegionKind) -> usize {
+        self.regions.iter().filter(|r| r.kind == kind).count()
+    }
+
+    /// Committed bytes: every region that has ever been used (JDK 8 G1
+    /// does not uncommit outside full-GC resizes).
+    pub fn committed(&self) -> u64 {
+        self.regions.iter().filter(|r| r.committed).count() as u64 * REGION_SIZE
+    }
+
+    /// Resident heap bytes.
+    pub fn resident_heap_bytes(&self, sys: &System) -> u64 {
+        sys.pmap(self.pid, self.base, self.config.max_heap).unwrap_or(0)
+    }
+
+    fn region_addr(&self, idx: usize) -> VirtAddr {
+        self.base.offset(idx as u64 * REGION_SIZE)
+    }
+
+    fn region_of_addr(&self, addr: u64) -> usize {
+        ((addr - self.base.0) / REGION_SIZE) as usize
+    }
+
+    /// Takes a free region for `kind`, committing it if needed.
+    fn take_region(&mut self, sys: &mut System, kind: RegionKind) -> Result<usize, HeapError> {
+        let idx = self
+            .regions
+            .iter()
+            .position(|r| r.kind == RegionKind::Free)
+            .ok_or(HeapError::OutOfMemory {
+                requested: REGION_SIZE,
+            })?;
+        if !self.regions[idx].committed {
+            sys.mprotect(self.pid, self.region_addr(idx), REGION_SIZE, Prot::ReadWrite)?;
+            self.regions[idx].committed = true;
+        }
+        self.regions[idx].kind = kind;
+        self.regions[idx].top = 0;
+        Ok(idx)
+    }
+
+    /// Takes *contiguous* free regions for a humongous allocation of
+    /// `total_bytes`; the last region's `top` records the object's true
+    /// end so its free tail can be released.
+    fn take_contiguous(&mut self, sys: &mut System, total_bytes: u64) -> Result<usize, HeapError> {
+        let n = total_bytes.div_ceil(REGION_SIZE) as usize;
+        let mut run = 0;
+        let mut start = 0;
+        for (i, r) in self.regions.iter().enumerate() {
+            if r.kind == RegionKind::Free {
+                if run == 0 {
+                    start = i;
+                }
+                run += 1;
+                if run == n {
+                    for idx in start..start + n {
+                        if !self.regions[idx].committed {
+                            sys.mprotect(
+                                self.pid,
+                                self.region_addr(idx),
+                                REGION_SIZE,
+                                Prot::ReadWrite,
+                            )?;
+                            self.regions[idx].committed = true;
+                        }
+                        self.regions[idx].kind = RegionKind::Humongous;
+                        self.regions[idx].top = if idx == start + n - 1 {
+                            total_bytes - (n as u64 - 1) * REGION_SIZE
+                        } else {
+                            REGION_SIZE
+                        };
+                    }
+                    return Ok(start);
+                }
+            } else {
+                run = 0;
+            }
+        }
+        Err(HeapError::OutOfMemory {
+            requested: n as u64 * REGION_SIZE,
+        })
+    }
+
+    fn charge_touch(&mut self, sys: &mut System, addr: VirtAddr, len: u64) -> Result<(), HeapError> {
+        if len == 0 {
+            return Ok(());
+        }
+        let start = VirtAddr(addr.0 / simos::PAGE_SIZE * simos::PAGE_SIZE);
+        let end = page_align_up(addr.0 + len);
+        let out = sys.touch(self.pid, start, end - start.0, true)?;
+        self.pending += self.os_cost.touch_cost(out);
+        Ok(())
+    }
+
+    /// Number of eden regions the young target allows.
+    fn young_target(&self) -> usize {
+        ((self.regions.len() as f64 * self.config.young_fraction) as usize).max(1)
+    }
+
+    /// Allocates an object.
+    pub fn alloc(&mut self, sys: &mut System, size: u32, kind: ObjectKind) -> Result<ObjectId, HeapError> {
+        let asize = align_obj(size as u64);
+        if asize > REGION_SIZE / 2 {
+            // Humongous: whole contiguous regions.
+            let start = match self.take_contiguous(sys, asize) {
+                Ok(s) => s,
+                Err(_) => {
+                    self.full_gc(sys)?;
+                    self.take_contiguous(sys, asize)?
+                }
+            };
+            let addr = self.region_addr(start);
+            self.charge_touch(sys, addr, asize)?;
+            let id = self.graph.alloc(size, kind);
+            self.graph.set_addr(id, addr.0);
+            self.graph.get_mut(id).space_tag = tag::HUMONGOUS;
+            return Ok(id);
+        }
+        for attempt in 0..3 {
+            // Room in the current eden region?
+            if let Some(idx) = self.eden_current {
+                if self.regions[idx].top + asize <= REGION_SIZE {
+                    let addr = self.region_addr(idx).offset(self.regions[idx].top);
+                    self.regions[idx].top += asize;
+                    self.charge_touch(sys, addr, asize)?;
+                    let id = self.graph.alloc(size, kind);
+                    self.graph.set_addr(id, addr.0);
+                    self.graph.get_mut(id).space_tag = tag::YOUNG;
+                    return Ok(id);
+                }
+            }
+            // Open another eden region if the young target allows.
+            let eden_now = self.region_count(RegionKind::Eden);
+            if eden_now < self.young_target() {
+                if let Ok(idx) = self.take_region(sys, RegionKind::Eden) {
+                    self.eden_current = Some(idx);
+                    continue;
+                }
+            }
+            // Young target reached (or no free region): collect.
+            if attempt == 0 {
+                self.young_gc(sys)?;
+            } else {
+                self.full_gc(sys)?;
+            }
+        }
+        Err(HeapError::OutOfMemory {
+            requested: asize,
+        })
+    }
+
+    /// Evacuates `survivors` into regions of `dest_kind`; returns bytes
+    /// copied.
+    fn evacuate(
+        &mut self,
+        sys: &mut System,
+        survivors: &[(ObjectId, u32)],
+        dest_kind: RegionKind,
+        dest_tag: u8,
+    ) -> Result<u64, HeapError> {
+        let mut current: Option<usize> = None;
+        let mut copied = 0;
+        for &(id, size) in survivors {
+            let asize = align_obj(size as u64);
+            let idx = match current {
+                Some(i) if self.regions[i].top + asize <= REGION_SIZE => i,
+                _ => {
+                    let i = self.take_region(sys, dest_kind)?;
+                    current = Some(i);
+                    i
+                }
+            };
+            let addr = self.region_addr(idx).offset(self.regions[idx].top);
+            self.regions[idx].top += asize;
+            self.charge_touch(sys, addr, asize)?;
+            copied += asize;
+            let obj = self.graph.get_mut(id);
+            obj.addr = addr.0;
+            obj.space_tag = dest_tag;
+        }
+        Ok(copied)
+    }
+
+    /// A young collection: evacuate live eden+survivor objects, free
+    /// the emptied young regions, then run a mixed collection if old
+    /// occupancy crossed the IHOP threshold.
+    pub fn young_gc(&mut self, sys: &mut System) -> Result<(), HeapError> {
+        let old_roots: Vec<ObjectId> = self
+            .graph
+            .iter()
+            .filter(|(_, o)| o.space_tag == tag::OLD || o.space_tag == tag::HUMONGOUS)
+            .map(|(id, _)| id)
+            .collect();
+        let live = mark_with_extra_roots(&self.graph, true, true, old_roots.into_iter());
+        self.last_live_bytes = live.live_bytes;
+        let mut tenured = Vec::new();
+        let mut surviving = Vec::new();
+        for (id, o) in self.graph.iter() {
+            if (o.space_tag == tag::YOUNG || o.space_tag == tag::SURVIVOR) && live.is_live(id) {
+                if o.age + 1 >= self.config.tenure_threshold {
+                    tenured.push((id, o.size));
+                } else {
+                    surviving.push((id, o.size));
+                }
+            }
+        }
+        let young_live_objects = (tenured.len() + surviving.len()) as u64;
+        // Emptied young regions return to the free list *before*
+        // evacuation so their space is reusable as destination.
+        for r in &mut self.regions {
+            if matches!(r.kind, RegionKind::Eden | RegionKind::Survivor) {
+                r.kind = RegionKind::Free;
+                r.top = 0;
+            }
+        }
+        self.eden_current = None;
+        let copied = self.evacuate(sys, &surviving, RegionKind::Survivor, tag::SURVIVOR)?;
+        let promoted = self.evacuate(sys, &tenured, RegionKind::Old, tag::OLD)?;
+        for (id, _) in &surviving {
+            self.graph.get_mut(*id).age += 1;
+        }
+        let freed = self.graph.sweep(&live.marks);
+        let pause = self.gc_cost.pause(young_live_objects, copied + promoted);
+        self.pending += pause;
+        self.counters
+            .record(GcKind::Young, copied, promoted, freed, pause);
+
+        // IHOP check: old+humongous occupancy over the whole heap.
+        let old_bytes: u64 = self
+            .regions
+            .iter()
+            .filter(|r| matches!(r.kind, RegionKind::Old | RegionKind::Humongous))
+            .map(|r| r.top)
+            .sum();
+        if (old_bytes as f64) > self.config.ihop * self.config.max_heap as f64 {
+            self.mixed_gc(sys)?;
+        }
+        Ok(())
+    }
+
+    /// A mixed collection: mark, free dead humongous allocations, then
+    /// evacuate the old regions whose garbage fraction exceeds the
+    /// cut-off — most-garbage-first (the name of the game).
+    pub fn mixed_gc(&mut self, sys: &mut System) -> Result<(), HeapError> {
+        let live = mark(&self.graph, true, true);
+        self.last_live_bytes = live.live_bytes;
+        // Live bytes per old region.
+        let mut live_in_region = vec![0u64; self.regions.len()];
+        let mut region_objects: Vec<Vec<(ObjectId, u32)>> = vec![Vec::new(); self.regions.len()];
+        for (id, o) in self.graph.iter() {
+            if o.space_tag != tag::OLD {
+                continue;
+            }
+            let r = self.region_of_addr(o.addr);
+            if live.is_live(id) {
+                live_in_region[r] += align_obj(o.size as u64);
+                region_objects[r].push((id, o.size));
+            }
+        }
+        // Dead humongous allocations: whole regions come back.
+        let mut dead_humongous_regions = 0;
+        for (id, o) in self.graph.iter() {
+            if o.space_tag == tag::HUMONGOUS && !live.is_live(id) {
+                let start = self.region_of_addr(o.addr);
+                let n = align_obj(o.size as u64).div_ceil(REGION_SIZE) as usize;
+                for r in &mut self.regions[start..start + n] {
+                    r.kind = RegionKind::Free;
+                    r.top = 0;
+                    dead_humongous_regions += 1;
+                }
+            }
+        }
+        // Garbage-first: candidate regions sorted by reclaimable bytes.
+        let mut candidates: Vec<(u64, usize)> = self
+            .regions
+            .iter()
+            .enumerate()
+            .filter(|(i, r)| {
+                r.kind == RegionKind::Old
+                    && (r.top - live_in_region[*i]) as f64
+                        > self.config.min_garbage_fraction * REGION_SIZE as f64
+            })
+            .map(|(i, r)| (r.top - live_in_region[i], i))
+            .collect();
+        candidates.sort_unstable_by(|a, b| b.cmp(a));
+        let mut survivors = Vec::new();
+        for &(_, i) in &candidates {
+            survivors.extend(region_objects[i].iter().copied());
+            self.regions[i].kind = RegionKind::Free;
+            self.regions[i].top = 0;
+        }
+        let copied = self.evacuate(sys, &survivors, RegionKind::Old, tag::OLD)?;
+        let freed = self.graph.sweep(&live.marks);
+        let pause = self.gc_cost.full_pause(live.live_objects, copied);
+        self.pending += pause;
+        self.counters.record(GcKind::Full, copied, 0, freed, pause);
+        let _ = dead_humongous_regions;
+        Ok(())
+    }
+
+    /// A full compacting collection: every live object is evacuated
+    /// into the smallest possible set of regions.
+    pub fn full_gc(&mut self, sys: &mut System) -> Result<(), HeapError> {
+        let live = mark(&self.graph, true, true);
+        self.last_live_bytes = live.live_bytes;
+        let mut small = Vec::new();
+        let mut humongous = Vec::new();
+        for (id, o) in self.graph.iter() {
+            if !live.is_live(id) {
+                continue;
+            }
+            if o.space_tag == tag::HUMONGOUS {
+                humongous.push((id, o.size));
+            } else {
+                small.push((id, o.size));
+            }
+        }
+        // Everything becomes free, then live objects are re-placed.
+        for r in &mut self.regions {
+            if r.kind != RegionKind::Free {
+                r.kind = RegionKind::Free;
+                r.top = 0;
+            }
+        }
+        self.eden_current = None;
+        let copied = self.evacuate(sys, &small, RegionKind::Old, tag::OLD)?;
+        for (id, size) in humongous {
+            let asize = align_obj(size as u64);
+            let start = self.take_contiguous(sys, asize)?;
+            let addr = self.region_addr(start);
+            // The evacuation copies the object: its destination pages
+            // become resident.
+            self.charge_touch(sys, addr, asize)?;
+            self.graph.get_mut(id).addr = addr.0;
+        }
+        let freed = self.graph.sweep(&live.marks);
+        let pause = self.gc_cost.full_pause(live.live_objects, copied);
+        self.pending += pause;
+        self.counters.record(GcKind::Full, copied, 0, freed, pause);
+        Ok(())
+    }
+
+    /// The Desiccant reclaim: a full compacting collection, then every
+    /// free region's pages are released (JDK 8 G1 would keep them all
+    /// resident).
+    pub fn reclaim(&mut self, sys: &mut System) -> Result<G1ReclaimOutcome, HeapError> {
+        let pending_before = self.pending;
+        self.full_gc(sys)?;
+        let mut released = 0;
+        for i in 0..self.regions.len() {
+            let r = &self.regions[i];
+            if r.committed && r.kind == RegionKind::Free {
+                released += sys.release(self.pid, self.region_addr(i), REGION_SIZE)?;
+            } else if r.kind != RegionKind::Free {
+                // Release the free tail of a live region too.
+                let tail_start = page_align_up(r.top);
+                if tail_start < REGION_SIZE {
+                    released += sys.release(
+                        self.pid,
+                        self.region_addr(i).offset(tail_start),
+                        REGION_SIZE - tail_start,
+                    )?;
+                }
+            }
+        }
+        self.pending += self.os_cost.release_cost(released);
+        Ok(G1ReclaimOutcome {
+            released_bytes: released,
+            live_bytes: self.last_live_bytes,
+            wall_time: self.pending.saturating_sub(pending_before),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn world() -> (System, G1Heap) {
+        let mut sys = System::new();
+        let pid = sys.spawn_process();
+        let heap = G1Heap::new(&mut sys, pid, G1Config::for_budget(256 << 20)).unwrap();
+        (sys, heap)
+    }
+
+    fn churn(sys: &mut System, heap: &mut G1Heap, n: usize, size: u32, keep: bool) {
+        let scope = heap.graph_mut().push_handle_scope();
+        for _ in 0..n {
+            let id = heap.alloc(sys, size, ObjectKind::Data).unwrap();
+            heap.graph_mut().add_handle(id);
+        }
+        if keep {
+            let id = heap.alloc(sys, size, ObjectKind::Data).unwrap();
+            heap.graph_mut().add_global(id);
+        }
+        heap.graph_mut().pop_handle_scope(scope);
+    }
+
+    #[test]
+    fn allocation_fills_eden_regions_up_to_the_target() {
+        let (mut sys, mut heap) = world();
+        churn(&mut sys, &mut heap, 100, 64 << 10, false);
+        assert!(heap.region_count(RegionKind::Eden) >= 6);
+        assert_eq!(heap.counters().young_collections, 0);
+    }
+
+    #[test]
+    fn young_gc_returns_emptied_regions() {
+        let (mut sys, mut heap) = world();
+        // Enough garbage to cross the young target (25 % of 204
+        // regions) and trigger young collections.
+        for _ in 0..8 {
+            churn(&mut sys, &mut heap, 200, 64 << 10, true);
+        }
+        assert!(heap.counters().young_collections >= 1);
+        // Most regions are free again; only survivors/old/current eden
+        // remain.
+        assert!(heap.region_count(RegionKind::Free) > heap.regions.len() / 2);
+    }
+
+    #[test]
+    fn survivors_tenure_into_old_regions() {
+        let (mut sys, mut heap) = world();
+        let keep = heap.alloc(&mut sys, 128 << 10, ObjectKind::Data).unwrap();
+        heap.graph_mut().add_global(keep);
+        for _ in 0..heap.config.tenure_threshold + 1 {
+            heap.young_gc(&mut sys).unwrap();
+        }
+        assert_eq!(heap.graph().get(keep).space_tag, tag::OLD);
+        assert!(heap.region_count(RegionKind::Old) >= 1);
+    }
+
+    #[test]
+    fn free_regions_stay_resident_until_reclaim() {
+        let (mut sys, mut heap) = world();
+        for _ in 0..6 {
+            churn(&mut sys, &mut heap, 200, 64 << 10, true);
+        }
+        heap.young_gc(&mut sys).unwrap();
+        // Stock G1: committed (= high-water mark) pages are resident
+        // even though most regions are free.
+        let resident = heap.resident_heap_bytes(&sys);
+        let live = heap.last_live_bytes();
+        assert!(
+            resident > live * 3,
+            "free regions should stay resident: {resident} vs live {live}"
+        );
+        let out = heap.reclaim(&mut sys).unwrap();
+        assert!(out.released_bytes > 0);
+        let after = heap.resident_heap_bytes(&sys);
+        assert!(
+            after <= page_align_up(out.live_bytes) + simos::PAGE_SIZE * heap.regions.len() as u64,
+            "reclaim leaves at most page-rounding per region: {after}"
+        );
+    }
+
+    #[test]
+    fn mixed_gc_collects_garbage_first() {
+        let mut sys = System::new();
+        let pid = sys.spawn_process();
+        // A low IHOP so moderate tenured garbage triggers the mixed
+        // collection.
+        let config = G1Config {
+            ihop: 0.12,
+            ..G1Config::for_budget(256 << 20)
+        };
+        let mut heap = G1Heap::new(&mut sys, pid, config).unwrap();
+        // Build tenured garbage: retain, tenure, then drop.
+        let mut victims = Vec::new();
+        for _ in 0..150 {
+            let id = heap.alloc(&mut sys, 256 << 10, ObjectKind::Data).unwrap();
+            heap.graph_mut().add_global(id);
+            victims.push(id);
+        }
+        for _ in 0..heap.config.tenure_threshold + 1 {
+            heap.young_gc(&mut sys).unwrap();
+        }
+        // Drop 90% of them; old occupancy is far above IHOP.
+        for id in victims.iter().take(135) {
+            heap.graph_mut().remove_global(*id);
+        }
+        let old_before = heap.region_count(RegionKind::Old);
+        heap.young_gc(&mut sys).unwrap();
+        assert!(heap.counters().full_collections >= 1, "mixed GC ran");
+        assert!(
+            heap.region_count(RegionKind::Old) < old_before,
+            "garbage-first evacuation compacts old regions"
+        );
+    }
+
+    #[test]
+    fn humongous_objects_take_contiguous_regions_and_die_whole() {
+        let (mut sys, mut heap) = world();
+        let big = heap.alloc(&mut sys, (3 << 20) - 64, ObjectKind::Data).unwrap();
+        assert_eq!(heap.graph().get(big).space_tag, tag::HUMONGOUS);
+        assert_eq!(heap.region_count(RegionKind::Humongous), 3);
+        // Unrooted: a mixed collection reclaims the whole run eagerly.
+        heap.mixed_gc(&mut sys).unwrap();
+        assert_eq!(heap.region_count(RegionKind::Humongous), 0);
+    }
+
+    #[test]
+    fn reclaim_preserves_live_data_and_is_idempotent() {
+        let (mut sys, mut heap) = world();
+        for _ in 0..5 {
+            churn(&mut sys, &mut heap, 100, 64 << 10, true);
+        }
+        let live_before = gc_core::trace::mark(heap.graph(), false, true).live_bytes;
+        let out = heap.reclaim(&mut sys).unwrap();
+        assert_eq!(out.live_bytes, live_before);
+        let resident = heap.resident_heap_bytes(&sys);
+        let again = heap.reclaim(&mut sys).unwrap();
+        assert_eq!(again.live_bytes, live_before);
+        assert!(heap.resident_heap_bytes(&sys) <= resident + simos::PAGE_SIZE);
+    }
+
+    #[test]
+    fn heap_keeps_working_after_reclaim() {
+        let (mut sys, mut heap) = world();
+        churn(&mut sys, &mut heap, 200, 64 << 10, true);
+        heap.reclaim(&mut sys).unwrap();
+        churn(&mut sys, &mut heap, 200, 64 << 10, true);
+        let live = gc_core::trace::mark(heap.graph(), false, true).live_bytes;
+        assert_eq!(live, 2 * (64 << 10));
+    }
+}

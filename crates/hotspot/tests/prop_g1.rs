@@ -1,0 +1,112 @@
+//! Property tests for the G1-style regional collector.
+
+use gc_core::object::ObjectKind;
+use gc_core::trace::mark;
+use hotspot::g1::{G1Config, G1Heap, RegionKind, REGION_SIZE};
+use proptest::prelude::*;
+use simos::mem::page_align_up;
+use simos::System;
+
+#[derive(Debug, Clone)]
+struct Invocation {
+    temps: u8,
+    size: u32,
+    keeps: u8,
+}
+
+fn invocation() -> impl Strategy<Value = Invocation> {
+    // Sizes from small to humongous (beyond half a region).
+    (1u8..40, 1024u32..700_000, 0u8..3).prop_map(|(temps, size, keeps)| Invocation {
+        temps,
+        size,
+        keeps,
+    })
+}
+
+fn world() -> (System, G1Heap) {
+    let mut sys = System::new();
+    let pid = sys.spawn_process();
+    let heap = G1Heap::new(&mut sys, pid, G1Config::for_budget(256 << 20)).unwrap();
+    (sys, heap)
+}
+
+fn run_invocation(sys: &mut System, heap: &mut G1Heap, inv: &Invocation) -> u64 {
+    let scope = heap.graph_mut().push_handle_scope();
+    for _ in 0..inv.temps {
+        let id = heap.alloc(sys, inv.size, ObjectKind::Data).expect("fits");
+        heap.graph_mut().add_handle(id);
+    }
+    let mut kept = 0;
+    for _ in 0..inv.keeps {
+        let id = heap.alloc(sys, inv.size, ObjectKind::Data).expect("fits");
+        heap.graph_mut().add_global(id);
+        kept += inv.size as u64;
+    }
+    heap.graph_mut().pop_handle_scope(scope);
+    kept
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Live bytes are preserved exactly across any collection mix, and
+    /// region accounting stays coherent (tops within bounds, resident
+    /// within committed).
+    #[test]
+    fn collections_preserve_live_bytes(invs in prop::collection::vec(invocation(), 1..5)) {
+        let (mut sys, mut heap) = world();
+        let mut kept = 0;
+        for inv in &invs {
+            kept += run_invocation(&mut sys, &mut heap, inv);
+            prop_assert!(heap.resident_heap_bytes(&sys) <= heap.committed());
+        }
+        heap.young_gc(&mut sys).unwrap();
+        prop_assert_eq!(mark(heap.graph(), false, true).live_bytes, kept);
+        heap.mixed_gc(&mut sys).unwrap();
+        prop_assert_eq!(mark(heap.graph(), false, true).live_bytes, kept);
+        heap.full_gc(&mut sys).unwrap();
+        prop_assert_eq!(mark(heap.graph(), false, true).live_bytes, kept);
+    }
+
+    /// Reclaim is safe, effective (resident ends near live), and the
+    /// heap keeps working.
+    #[test]
+    fn reclaim_safe_and_effective(invs in prop::collection::vec(invocation(), 1..5)) {
+        let (mut sys, mut heap) = world();
+        let mut kept = 0;
+        for inv in &invs {
+            kept += run_invocation(&mut sys, &mut heap, inv);
+        }
+        let out = heap.reclaim(&mut sys).unwrap();
+        prop_assert_eq!(out.live_bytes, kept);
+        let resident = heap.resident_heap_bytes(&sys);
+        // Live bytes, page-rounded per occupied region, bounds the
+        // residue.
+        let occupied = (heap.region_count(RegionKind::Old)
+            + heap.region_count(RegionKind::Humongous)) as u64;
+        prop_assert!(
+            resident <= page_align_up(kept) + occupied * simos::PAGE_SIZE + simos::PAGE_SIZE,
+            "resident {} for live {}", resident, kept
+        );
+        // Still functional afterwards.
+        for inv in &invs {
+            run_invocation(&mut sys, &mut heap, inv);
+        }
+        prop_assert_eq!(mark(heap.graph(), false, true).live_bytes, 2 * kept);
+    }
+
+    /// Humongous allocations always occupy whole contiguous region runs
+    /// sized exactly to the object.
+    #[test]
+    fn humongous_runs_are_exact(size in (REGION_SIZE as u32 / 2 + 1)..(8 * REGION_SIZE as u32)) {
+        let (mut sys, mut heap) = world();
+        let id = heap.alloc(&mut sys, size, ObjectKind::Data).expect("fits");
+        heap.graph_mut().add_global(id);
+        let expected = (size as u64).div_ceil(REGION_SIZE) as usize;
+        prop_assert_eq!(heap.region_count(RegionKind::Humongous), expected);
+        // Dropping it returns the exact run.
+        heap.graph_mut().remove_global(id);
+        heap.mixed_gc(&mut sys).unwrap();
+        prop_assert_eq!(heap.region_count(RegionKind::Humongous), 0);
+    }
+}

@@ -1,0 +1,161 @@
+//! Property tests for the HotSpot serial-GC model.
+//!
+//! Random "function-like" allocation programs (a mix of retained and
+//! temporary objects across invocations) are executed and the core
+//! collector invariants checked: retained objects always survive, the
+//! committed size never exceeds the reservation, and `reclaim` is both
+//! safe (no live object lost) and effective (resident memory drops to
+//! about the live set).
+
+use gc_core::object::ObjectKind;
+use gc_core::trace::mark;
+use hotspot::{HotSpotConfig, HotSpotHeap};
+use proptest::prelude::*;
+use simos::mem::page_align_up;
+use simos::System;
+
+/// One simulated invocation: allocate `temps` temporary objects of
+/// `temp_size` and retain `keeps` objects of `keep_size` in globals.
+#[derive(Debug, Clone)]
+struct Invocation {
+    temps: u16,
+    temp_size: u32,
+    keeps: u8,
+    keep_size: u32,
+}
+
+fn invocation() -> impl Strategy<Value = Invocation> {
+    (1u16..80, 256u32..262_144, 0u8..4, 256u32..65_536).prop_map(
+        |(temps, temp_size, keeps, keep_size)| Invocation {
+            temps,
+            temp_size,
+            keeps,
+            keep_size,
+        },
+    )
+}
+
+fn run_invocation(
+    sys: &mut System,
+    heap: &mut HotSpotHeap,
+    inv: &Invocation,
+) -> Vec<gc_core::ObjectId> {
+    let scope = heap.graph_mut().push_handle_scope();
+    let mut kept = Vec::new();
+    let mut prev = None;
+    for i in 0..inv.temps {
+        let id = heap
+            .alloc(sys, inv.temp_size, ObjectKind::Data)
+            .expect("heap sized for workload");
+        heap.graph_mut().add_handle(id);
+        // Chain some references to make the graph non-trivial.
+        if let Some(p) = prev {
+            if i % 3 == 0 {
+                heap.graph_mut().add_ref(id, p);
+            }
+        }
+        prev = Some(id);
+    }
+    for _ in 0..inv.keeps {
+        let id = heap
+            .alloc(sys, inv.keep_size, ObjectKind::Data)
+            .expect("heap sized for workload");
+        heap.graph_mut().add_global(id);
+        kept.push(id);
+    }
+    heap.graph_mut().pop_handle_scope(scope);
+    kept
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Globally retained objects survive any sequence of invocations
+    /// and collections, and their total bytes equal the marked live
+    /// bytes at the freeze point.
+    #[test]
+    fn retained_objects_survive(invs in prop::collection::vec(invocation(), 1..12)) {
+        let mut sys = System::new();
+        let pid = sys.spawn_process();
+        let mut heap = HotSpotHeap::new(&mut sys, pid, HotSpotConfig::for_budget(256 << 20)).unwrap();
+        let mut retained = Vec::new();
+        for inv in &invs {
+            retained.extend(run_invocation(&mut sys, &mut heap, inv));
+        }
+        for id in &retained {
+            prop_assert!(heap.graph().exists(*id), "retained object collected");
+        }
+        let expected: u64 = invs.iter().map(|i| i.keeps as u64 * i.keep_size as u64).sum();
+        let live = mark(heap.graph(), false, true);
+        prop_assert_eq!(live.live_bytes, expected);
+    }
+
+    /// Committed sizes respect the reservation at all times, and the
+    /// resident heap never exceeds the committed heap.
+    #[test]
+    fn committed_and_resident_bounded(invs in prop::collection::vec(invocation(), 1..10)) {
+        let mut sys = System::new();
+        let pid = sys.spawn_process();
+        let mut heap = HotSpotHeap::new(&mut sys, pid, HotSpotConfig::for_budget(128 << 20)).unwrap();
+        for inv in &invs {
+            run_invocation(&mut sys, &mut heap, inv);
+            let l = heap.layout();
+            prop_assert!(l.eden_committed <= l.eden_max());
+            prop_assert!(l.old_committed <= l.old_reserved);
+            prop_assert!(
+                heap.resident_heap_bytes(&sys) <= page_align_up(l.committed()),
+                "resident exceeds committed"
+            );
+        }
+    }
+
+    /// Reclaim never loses live data and leaves resident ≈ live.
+    #[test]
+    fn reclaim_is_safe_and_effective(invs in prop::collection::vec(invocation(), 1..10)) {
+        let mut sys = System::new();
+        let pid = sys.spawn_process();
+        let mut heap = HotSpotHeap::new(&mut sys, pid, HotSpotConfig::for_budget(256 << 20)).unwrap();
+        let mut retained = Vec::new();
+        for inv in &invs {
+            retained.extend(run_invocation(&mut sys, &mut heap, inv));
+        }
+        let live_before = mark(heap.graph(), false, true).live_bytes;
+        let resident_before = heap.resident_heap_bytes(&sys);
+        let outcome = heap.reclaim(&mut sys).unwrap();
+        for id in &retained {
+            prop_assert!(heap.graph().exists(*id));
+        }
+        prop_assert_eq!(outcome.live_bytes, live_before);
+        let resident_after = heap.resident_heap_bytes(&sys);
+        prop_assert!(resident_after <= resident_before);
+        // Resident may exceed live by page-rounding only.
+        prop_assert!(
+            resident_after <= page_align_up(live_before) + simos::PAGE_SIZE,
+            "resident {} vs live {}", resident_after, live_before
+        );
+        // Reclaiming twice releases nothing more.
+        let again = heap.reclaim(&mut sys).unwrap();
+        prop_assert_eq!(again.live_bytes, live_before);
+        prop_assert!(heap.resident_heap_bytes(&sys) <= resident_after + simos::PAGE_SIZE);
+    }
+
+    /// After reclaim, re-running the same invocations works and ends
+    /// with the same live bytes (the heap is fully functional).
+    #[test]
+    fn heap_remains_functional_after_reclaim(invs in prop::collection::vec(invocation(), 1..6)) {
+        let mut sys = System::new();
+        let pid = sys.spawn_process();
+        let mut heap = HotSpotHeap::new(&mut sys, pid, HotSpotConfig::for_budget(256 << 20)).unwrap();
+        for inv in &invs {
+            run_invocation(&mut sys, &mut heap, inv);
+        }
+        heap.reclaim(&mut sys).unwrap();
+        let live_mid = mark(heap.graph(), false, true).live_bytes;
+        for inv in &invs {
+            run_invocation(&mut sys, &mut heap, inv);
+        }
+        let expected_extra: u64 = invs.iter().map(|i| i.keeps as u64 * i.keep_size as u64).sum();
+        let live_end = mark(heap.graph(), false, true).live_bytes;
+        prop_assert_eq!(live_end, live_mid + expected_extra);
+    }
+}

@@ -1,0 +1,154 @@
+//! Cgroup-style CPU accounting.
+//!
+//! Desiccant's selection policy needs the *accumulated CPU time* of a
+//! reclamation, where the cgroup's CPU allocation can change while the
+//! reclamation runs: the platform gives reclamation only idle CPU and
+//! shrinks its share when new requests arrive (§4.5.2). The paper's
+//! worked example: a 10 ms reclamation with 0.5 CPUs for the first 3 ms
+//! and 0.25 CPUs for the remaining 7 ms accumulates
+//! `0.5·3 + 0.25·7 = 3.25 ms`.
+
+use crate::clock::SimDuration;
+
+/// A sequence of `(wall duration, CPU fraction)` segments.
+///
+/// # Examples
+///
+/// ```
+/// use simos::cpu::CpuTimeline;
+/// use simos::SimDuration;
+///
+/// let mut t = CpuTimeline::new();
+/// t.push(SimDuration::from_millis(3), 0.5);
+/// t.push(SimDuration::from_millis(7), 0.25);
+/// assert_eq!(t.accumulated_cpu_time().as_millis_f64(), 3.25);
+/// assert_eq!(t.wall_time().as_millis_f64(), 10.0);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct CpuTimeline {
+    segments: Vec<(SimDuration, f64)>,
+}
+
+impl CpuTimeline {
+    /// Creates an empty timeline.
+    pub fn new() -> CpuTimeline {
+        CpuTimeline::default()
+    }
+
+    /// Appends a segment of `wall` wall-clock time at `cpus` CPUs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cpus` is negative or not finite.
+    pub fn push(&mut self, wall: SimDuration, cpus: f64) {
+        assert!(cpus.is_finite() && cpus >= 0.0, "invalid CPU count: {cpus}");
+        self.segments.push((wall, cpus));
+    }
+
+    /// Total wall-clock time covered.
+    pub fn wall_time(&self) -> SimDuration {
+        self.segments
+            .iter()
+            .fold(SimDuration::ZERO, |acc, (d, _)| acc + *d)
+    }
+
+    /// Accumulated CPU time: `Σ wallᵢ · cpusᵢ`.
+    pub fn accumulated_cpu_time(&self) -> SimDuration {
+        let ns: f64 = self
+            .segments
+            .iter()
+            .map(|(d, c)| d.as_nanos() as f64 * c)
+            .sum();
+        SimDuration::from_nanos(ns.round() as u64)
+    }
+
+    /// Number of segments recorded.
+    pub fn segment_count(&self) -> usize {
+        self.segments.len()
+    }
+}
+
+/// Utilization accounting for a fixed pool of cores over simulated time.
+///
+/// The FaaS platform uses this to report the Figure 9c CPU-utilization
+/// series: every busy interval on a core is accumulated, and
+/// utilization over a window is `busy_core_time / (cores · window)`.
+#[derive(Debug, Clone)]
+pub struct CoreAccounting {
+    cores: f64,
+    busy_core_ns: f64,
+}
+
+impl CoreAccounting {
+    /// Creates accounting for a machine with `cores` cores.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cores` is not positive.
+    pub fn new(cores: f64) -> CoreAccounting {
+        assert!(cores > 0.0, "core count must be positive");
+        CoreAccounting {
+            cores,
+            busy_core_ns: 0.0,
+        }
+    }
+
+    /// Records `wall` of busy time at `cpus` concurrent CPUs.
+    pub fn record(&mut self, wall: SimDuration, cpus: f64) {
+        self.busy_core_ns += wall.as_nanos() as f64 * cpus;
+    }
+
+    /// Accumulated busy core time.
+    pub fn busy_core_time(&self) -> SimDuration {
+        SimDuration::from_nanos(self.busy_core_ns.round() as u64)
+    }
+
+    /// Mean utilization (0..=1) over a window of `window` wall time.
+    pub fn utilization_over(&self, window: SimDuration) -> f64 {
+        if window == SimDuration::ZERO {
+            return 0.0;
+        }
+        (self.busy_core_ns / (self.cores * window.as_nanos() as f64)).min(1.0)
+    }
+
+    /// The configured core count.
+    pub fn cores(&self) -> f64 {
+        self.cores
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_example_accumulates_3_25_ms() {
+        let mut t = CpuTimeline::new();
+        t.push(SimDuration::from_millis(3), 0.5);
+        t.push(SimDuration::from_millis(7), 0.25);
+        assert_eq!(t.accumulated_cpu_time().as_millis_f64(), 3.25);
+    }
+
+    #[test]
+    fn empty_timeline_is_zero() {
+        let t = CpuTimeline::new();
+        assert_eq!(t.wall_time(), SimDuration::ZERO);
+        assert_eq!(t.accumulated_cpu_time(), SimDuration::ZERO);
+    }
+
+    #[test]
+    fn utilization_is_bounded() {
+        let mut acc = CoreAccounting::new(4.0);
+        acc.record(SimDuration::from_secs(10), 2.0);
+        assert!((acc.utilization_over(SimDuration::from_secs(10)) - 0.5).abs() < 1e-9);
+        // Over-reporting clamps at 1.
+        acc.record(SimDuration::from_secs(100), 40.0);
+        assert_eq!(acc.utilization_over(SimDuration::from_secs(10)), 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid CPU count")]
+    fn negative_cpus_rejected() {
+        CpuTimeline::new().push(SimDuration::from_millis(1), -1.0);
+    }
+}

@@ -1,0 +1,791 @@
+//! Virtual-memory model: mappings, pages, and the calls that move them.
+//!
+//! The model is deliberately close to Linux semantics because the paper
+//! leans on them directly: HotSpot "shrinks" its heap by protecting
+//! pages (`PROT_NONE`, which in HotSpot's implementation frees the
+//! backing physical pages), V8 unmaps whole 256 KiB chunks, Desiccant
+//! releases free in-heap pages with `mmap`, and the shared-library
+//! optimization unmaps *private, unmodified, file-backed* ranges found
+//! in `smaps` (§4.6).
+//!
+//! Each page of a mapping carries four flags:
+//!
+//! * `RESIDENT` — backed by a (simulated) physical page,
+//! * `DIRTY` — modified since mapped (for file mappings this models the
+//!   copy-on-write private copy),
+//! * `SWAPPED` — contents moved to the swap device,
+//! * `NOACCESS` — protected out (`PROT_NONE`), i.e. uncommitted.
+
+use std::collections::BTreeMap;
+
+use crate::error::{SimOsError, SimOsResult};
+use crate::system::{FileId, FileRegistry};
+
+/// The page size of the simulated machine (4 KiB, like the paper's
+/// x86-64 testbed).
+pub const PAGE_SIZE: u64 = 4096;
+
+/// Rounds `len` up to a whole number of pages.
+pub fn page_align_up(len: u64) -> u64 {
+    len.div_ceil(PAGE_SIZE) * PAGE_SIZE
+}
+
+/// A virtual address in a simulated address space.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct VirtAddr(pub u64);
+
+impl VirtAddr {
+    /// Byte offset addition.
+    pub fn offset(self, bytes: u64) -> VirtAddr {
+        VirtAddr(self.0 + bytes)
+    }
+
+    /// True if this address is page-aligned.
+    pub fn is_page_aligned(self) -> bool {
+        self.0 % PAGE_SIZE == 0
+    }
+}
+
+/// Memory protection for a mapping or page range.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Prot {
+    /// No access: the range is uncommitted; touching it is an error.
+    None,
+    /// Read-only access.
+    Read,
+    /// Read-write access.
+    ReadWrite,
+}
+
+impl Prot {
+    /// Alias matching the common `PROT_READ | PROT_WRITE` spelling.
+    pub const READ_WRITE: Prot = Prot::ReadWrite;
+}
+
+/// What backs a mapping.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MappingKind {
+    /// Anonymous private memory (heaps, malloc arenas, stacks).
+    Anonymous,
+    /// A `MAP_PRIVATE` file mapping starting at offset zero of `file`
+    /// (shared libraries and runtime images). Clean pages are shared
+    /// through the page cache; written pages become private copies.
+    PrivateFile(FileId),
+}
+
+/// Per-page state flags.
+pub mod page_flags {
+    /// Page is backed by a physical page.
+    pub const RESIDENT: u8 = 1;
+    /// Page was written since it was mapped (anon) or is a private CoW
+    /// copy (file-backed).
+    pub const DIRTY: u8 = 2;
+    /// Page contents live on the swap device.
+    pub const SWAPPED: u8 = 4;
+    /// Page is protected `PROT_NONE` (uncommitted).
+    pub const NOACCESS: u8 = 8;
+}
+
+/// The outcome of touching a range: how many faults of each kind the
+/// access incurred. The cost model converts this into simulated time.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct TouchOutcome {
+    /// Pages that had to be zero-filled (first touch, or touch after a
+    /// release).
+    pub zero_fill_faults: u64,
+    /// File-backed pages faulted in from the page cache or disk.
+    pub file_faults: u64,
+    /// Pages brought back from the swap device.
+    pub swap_ins: u64,
+}
+
+impl TouchOutcome {
+    /// Total faults of any kind.
+    pub fn total_faults(&self) -> u64 {
+        self.zero_fill_faults + self.file_faults + self.swap_ins
+    }
+
+    /// Accumulates another outcome into this one.
+    pub fn merge(&mut self, other: TouchOutcome) {
+        self.zero_fill_faults += other.zero_fill_faults;
+        self.file_faults += other.file_faults;
+        self.swap_ins += other.swap_ins;
+    }
+}
+
+/// A contiguous virtual mapping.
+#[derive(Debug, Clone)]
+pub struct Mapping {
+    /// First address of the mapping (page-aligned).
+    pub start: VirtAddr,
+    /// What backs the mapping.
+    pub kind: MappingKind,
+    /// Human-readable name, as it would appear in `smaps` (e.g.
+    /// `"[heap:java]"`, `"libjvm.so"`).
+    pub name: String,
+    /// Per-page flags; length is the page count of the mapping.
+    pages: Vec<u8>,
+    /// Count of pages with `RESIDENT` set (kept in sync incrementally).
+    resident_pages: u64,
+    /// Count of pages with `DIRTY` set.
+    dirty_pages: u64,
+    /// Count of pages with `SWAPPED` set.
+    swapped_pages: u64,
+}
+
+impl Mapping {
+    fn new(start: VirtAddr, npages: usize, kind: MappingKind, prot: Prot, name: &str) -> Mapping {
+        let init = if matches!(prot, Prot::None) {
+            page_flags::NOACCESS
+        } else {
+            0
+        };
+        Mapping {
+            start,
+            kind,
+            name: name.to_string(),
+            pages: vec![init; npages],
+            resident_pages: 0,
+            dirty_pages: 0,
+            swapped_pages: 0,
+        }
+    }
+
+    /// Length of the mapping in bytes.
+    pub fn len(&self) -> u64 {
+        self.pages.len() as u64 * PAGE_SIZE
+    }
+
+    /// True if the mapping has zero pages (never constructed this way).
+    pub fn is_empty(&self) -> bool {
+        self.pages.is_empty()
+    }
+
+    /// One-past-the-end address.
+    pub fn end(&self) -> VirtAddr {
+        VirtAddr(self.start.0 + self.len())
+    }
+
+    /// Bytes currently resident.
+    pub fn resident_bytes(&self) -> u64 {
+        self.resident_pages * PAGE_SIZE
+    }
+
+    /// Bytes currently dirty.
+    pub fn dirty_bytes(&self) -> u64 {
+        self.dirty_pages * PAGE_SIZE
+    }
+
+    /// Bytes currently on swap.
+    pub fn swapped_bytes(&self) -> u64 {
+        self.swapped_pages * PAGE_SIZE
+    }
+
+    /// Raw flags for page `idx`.
+    pub fn page(&self, idx: usize) -> u8 {
+        self.pages[idx]
+    }
+
+    /// Number of pages in the mapping.
+    pub fn page_count(&self) -> usize {
+        self.pages.len()
+    }
+
+    /// Converts an address inside the mapping to a page index.
+    fn page_index(&self, addr: VirtAddr) -> usize {
+        debug_assert!(addr >= self.start && addr < self.end());
+        ((addr.0 - self.start.0) / PAGE_SIZE) as usize
+    }
+
+    fn set_flag(&mut self, idx: usize, flag: u8) {
+        let had = self.pages[idx] & flag != 0;
+        self.pages[idx] |= flag;
+        if !had {
+            match flag {
+                page_flags::RESIDENT => self.resident_pages += 1,
+                page_flags::DIRTY => self.dirty_pages += 1,
+                page_flags::SWAPPED => self.swapped_pages += 1,
+                _ => {}
+            }
+        }
+    }
+
+    fn clear_flag(&mut self, idx: usize, flag: u8) {
+        let had = self.pages[idx] & flag != 0;
+        self.pages[idx] &= !flag;
+        if had {
+            match flag {
+                page_flags::RESIDENT => self.resident_pages -= 1,
+                page_flags::DIRTY => self.dirty_pages -= 1,
+                page_flags::SWAPPED => self.swapped_pages -= 1,
+                _ => {}
+            }
+        }
+    }
+
+    /// Resident bytes within `[addr, addr + len)` (the `pmap` view that
+    /// Desiccant uses to size a HotSpot heap, §4.5.2).
+    pub fn resident_bytes_in(&self, addr: VirtAddr, len: u64) -> u64 {
+        // Whole-mapping probes are frequent (heap-residency sampling);
+        // serve them from the maintained counter.
+        if addr == self.start && len == self.len() {
+            return self.resident_bytes();
+        }
+        let first = self.page_index(addr);
+        let last = first + (len / PAGE_SIZE) as usize;
+        self.pages[first..last]
+            .iter()
+            .filter(|p| **p & page_flags::RESIDENT != 0)
+            .count() as u64
+            * PAGE_SIZE
+    }
+}
+
+/// A per-process virtual address space.
+///
+/// Mappings are kept in an ordered map from start address; lookups walk
+/// to the candidate mapping in `O(log n)`.
+#[derive(Debug, Clone)]
+pub struct AddressSpace {
+    mappings: BTreeMap<u64, Mapping>,
+    /// Next address handed out by non-fixed `mmap`; grows upward from a
+    /// conventional base to keep addresses stable and readable.
+    next_addr: u64,
+    /// Upper bound of the usable address range.
+    limit: u64,
+}
+
+/// Base of the `mmap` allocation area.
+const MMAP_BASE: u64 = 0x0000_7000_0000_0000 >> 16 << 16;
+/// End of the usable address range (48-bit canonical user space).
+const ADDR_LIMIT: u64 = 0x0000_7fff_ffff_f000;
+
+impl Default for AddressSpace {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl AddressSpace {
+    /// Creates an empty address space.
+    pub fn new() -> AddressSpace {
+        AddressSpace {
+            mappings: BTreeMap::new(),
+            next_addr: MMAP_BASE,
+            limit: ADDR_LIMIT,
+        }
+    }
+
+    /// Iterates over all mappings in address order.
+    pub fn mappings(&self) -> impl Iterator<Item = &Mapping> {
+        self.mappings.values()
+    }
+
+    /// Looks up the mapping containing `addr`.
+    pub fn mapping_at(&self, addr: VirtAddr) -> Option<&Mapping> {
+        self.mappings
+            .range(..=addr.0)
+            .next_back()
+            .map(|(_, m)| m)
+            .filter(|m| addr < m.end())
+    }
+
+    fn mapping_at_mut(&mut self, addr: VirtAddr) -> Option<&mut Mapping> {
+        self.mappings
+            .range_mut(..=addr.0)
+            .next_back()
+            .map(|(_, m)| m)
+            .filter(|m| addr < m.end())
+    }
+
+    fn validate_range(addr: VirtAddr, len: u64) -> SimOsResult<()> {
+        if len == 0 || !addr.is_page_aligned() || len % PAGE_SIZE != 0 {
+            return Err(SimOsError::BadAlignment { addr: addr.0, len });
+        }
+        Ok(())
+    }
+
+    /// Maps `len` bytes (rounded up to pages) at a kernel-chosen
+    /// address.
+    pub fn mmap(
+        &mut self,
+        len: u64,
+        kind: MappingKind,
+        prot: Prot,
+        name: &str,
+    ) -> SimOsResult<VirtAddr> {
+        let len = page_align_up(len.max(1));
+        if self.next_addr + len > self.limit {
+            return Err(SimOsError::OutOfAddressSpace { requested: len });
+        }
+        let addr = VirtAddr(self.next_addr);
+        // Leave a guard gap between mappings so off-by-one range bugs
+        // surface as `UnmappedRange` instead of silently touching a
+        // neighbour.
+        self.next_addr += len + PAGE_SIZE;
+        self.insert_mapping(addr, len, kind, prot, name)?;
+        Ok(addr)
+    }
+
+    /// Maps `len` bytes at the fixed address `addr`.
+    pub fn mmap_at(
+        &mut self,
+        addr: VirtAddr,
+        len: u64,
+        kind: MappingKind,
+        prot: Prot,
+        name: &str,
+    ) -> SimOsResult<VirtAddr> {
+        Self::validate_range(addr, len)?;
+        self.insert_mapping(addr, len, kind, prot, name)?;
+        Ok(addr)
+    }
+
+    fn insert_mapping(
+        &mut self,
+        addr: VirtAddr,
+        len: u64,
+        kind: MappingKind,
+        prot: Prot,
+        name: &str,
+    ) -> SimOsResult<()> {
+        let end = addr.0 + len;
+        // Check the previous mapping does not run into us and the next
+        // does not start inside us.
+        if let Some(m) = self.mapping_at(addr) {
+            let _ = m;
+            return Err(SimOsError::MappingOverlap { addr });
+        }
+        if self.mappings.range(addr.0..end).next().is_some() {
+            return Err(SimOsError::MappingOverlap { addr });
+        }
+        let npages = (len / PAGE_SIZE) as usize;
+        self.mappings
+            .insert(addr.0, Mapping::new(addr, npages, kind, prot, name));
+        Ok(())
+    }
+
+    /// Unmaps the whole mapping starting exactly at `addr`.
+    ///
+    /// Partial unmapping (splitting) is not supported; the runtimes in
+    /// this reproduction always unmap whole mappings and release page
+    /// ranges with [`AddressSpace::release`] instead.
+    pub fn munmap(&mut self, files: &mut FileRegistry, addr: VirtAddr) -> SimOsResult<Mapping> {
+        let m = self
+            .mappings
+            .remove(&addr.0)
+            .ok_or(SimOsError::UnmappedRange { addr, len: 0 })?;
+        // Drop page-cache references held by this mapping.
+        if let MappingKind::PrivateFile(file) = m.kind {
+            for idx in 0..m.page_count() {
+                let flags = m.page(idx);
+                if flags & page_flags::RESIDENT != 0 && flags & page_flags::DIRTY == 0 {
+                    files.dec_mapper(file, idx);
+                }
+            }
+        }
+        Ok(m)
+    }
+
+    /// Changes the protection of `[addr, addr + len)` (within a single
+    /// mapping).
+    ///
+    /// Setting [`Prot::None`] models HotSpot's uncommit: the range
+    /// becomes inaccessible *and* its physical pages are freed, exactly
+    /// like HotSpot's `os::uncommit_memory`. Re-protecting the range
+    /// readable/writable recommits it; the next touch zero-fills.
+    pub fn mprotect(
+        &mut self,
+        files: &mut FileRegistry,
+        addr: VirtAddr,
+        len: u64,
+        prot: Prot,
+    ) -> SimOsResult<u64> {
+        Self::validate_range(addr, len)?;
+        let m = self
+            .mapping_at_mut(addr)
+            .ok_or(SimOsError::UnmappedRange { addr, len })?;
+        if addr.0 + len > m.end().0 {
+            return Err(SimOsError::UnmappedRange { addr, len });
+        }
+        let kind = m.kind;
+        let first = m.page_index(addr);
+        let last = first + (len / PAGE_SIZE) as usize;
+        let mut freed = 0;
+        for idx in first..last {
+            match prot {
+                Prot::None => {
+                    if m.page(idx) & page_flags::RESIDENT != 0 {
+                        freed += PAGE_SIZE;
+                        Self::evict_page(files, m, kind, idx);
+                    }
+                    // Contents are discarded: a swapped-out private copy
+                    // is dropped too, so the page is no longer dirty.
+                    m.clear_flag(idx, page_flags::SWAPPED);
+                    m.clear_flag(idx, page_flags::DIRTY);
+                    m.set_flag(idx, page_flags::NOACCESS);
+                }
+                Prot::Read | Prot::ReadWrite => {
+                    m.clear_flag(idx, page_flags::NOACCESS);
+                }
+            }
+        }
+        Ok(freed)
+    }
+
+    /// Drops a resident page, maintaining page-cache refcounts.
+    fn evict_page(files: &mut FileRegistry, m: &mut Mapping, kind: MappingKind, idx: usize) {
+        if let MappingKind::PrivateFile(file) = kind {
+            if m.page(idx) & page_flags::DIRTY == 0 {
+                files.dec_mapper(file, idx);
+            }
+        }
+        m.clear_flag(idx, page_flags::RESIDENT);
+        m.clear_flag(idx, page_flags::DIRTY);
+    }
+
+    /// Touches `[addr, addr + len)`, faulting pages in as needed.
+    ///
+    /// Returns how many faults of each kind occurred so the caller can
+    /// charge simulated time.
+    pub fn touch(
+        &mut self,
+        files: &mut FileRegistry,
+        addr: VirtAddr,
+        len: u64,
+        write: bool,
+    ) -> SimOsResult<TouchOutcome> {
+        Self::validate_range(addr, len)?;
+        let m = self
+            .mapping_at_mut(addr)
+            .ok_or(SimOsError::UnmappedRange { addr, len })?;
+        if addr.0 + len > m.end().0 {
+            return Err(SimOsError::UnmappedRange { addr, len });
+        }
+        let kind = m.kind;
+        let first = m.page_index(addr);
+        let last = first + (len / PAGE_SIZE) as usize;
+        let mut out = TouchOutcome::default();
+        for idx in first..last {
+            let flags = m.page(idx);
+            if flags & page_flags::NOACCESS != 0 {
+                return Err(SimOsError::ProtectionViolation {
+                    addr: VirtAddr(m.start.0 + idx as u64 * PAGE_SIZE),
+                });
+            }
+            if flags & page_flags::RESIDENT == 0 {
+                if flags & page_flags::SWAPPED != 0 {
+                    out.swap_ins += 1;
+                    m.clear_flag(idx, page_flags::SWAPPED);
+                } else {
+                    match kind {
+                        MappingKind::Anonymous => out.zero_fill_faults += 1,
+                        MappingKind::PrivateFile(file) => {
+                            out.file_faults += 1;
+                            if !write {
+                                files.inc_mapper(file, idx);
+                            }
+                        }
+                    }
+                }
+                m.set_flag(idx, page_flags::RESIDENT);
+            }
+            if write && m.page(idx) & page_flags::DIRTY == 0 {
+                // A first write to a clean file page breaks CoW: the
+                // page leaves the page cache and becomes private.
+                if let MappingKind::PrivateFile(file) = kind {
+                    if flags & page_flags::RESIDENT != 0 {
+                        files.dec_mapper(file, idx);
+                    }
+                }
+                m.set_flag(idx, page_flags::DIRTY);
+            }
+        }
+        Ok(out)
+    }
+
+    /// Releases the physical pages of `[addr, addr + len)` back to the
+    /// OS (`madvise(MADV_DONTNEED)` semantics): the virtual range stays
+    /// mapped, contents are discarded, and the next touch zero-fills.
+    ///
+    /// Returns the number of bytes that were actually resident.
+    pub fn release(
+        &mut self,
+        files: &mut FileRegistry,
+        addr: VirtAddr,
+        len: u64,
+    ) -> SimOsResult<u64> {
+        Self::validate_range(addr, len)?;
+        let m = self
+            .mapping_at_mut(addr)
+            .ok_or(SimOsError::UnmappedRange { addr, len })?;
+        if addr.0 + len > m.end().0 {
+            return Err(SimOsError::UnmappedRange { addr, len });
+        }
+        let kind = m.kind;
+        let first = m.page_index(addr);
+        let last = first + (len / PAGE_SIZE) as usize;
+        let mut freed = 0;
+        for idx in first..last {
+            if m.page(idx) & page_flags::RESIDENT != 0 {
+                freed += PAGE_SIZE;
+                Self::evict_page(files, m, kind, idx);
+            }
+            // Discard any swapped-out private copy as well.
+            m.clear_flag(idx, page_flags::SWAPPED);
+            m.clear_flag(idx, page_flags::DIRTY);
+        }
+        Ok(freed)
+    }
+
+    /// Moves the resident pages of `[addr, addr + len)` to swap.
+    ///
+    /// Returns the number of bytes swapped out. Clean file pages are
+    /// simply dropped (they can be re-read), dirty/anonymous pages go to
+    /// the swap device. This models the paper's §5.6 swapping baseline,
+    /// which has no runtime guidance about which pages matter.
+    pub fn swap_out(
+        &mut self,
+        files: &mut FileRegistry,
+        addr: VirtAddr,
+        len: u64,
+    ) -> SimOsResult<u64> {
+        Self::validate_range(addr, len)?;
+        let m = self
+            .mapping_at_mut(addr)
+            .ok_or(SimOsError::UnmappedRange { addr, len })?;
+        if addr.0 + len > m.end().0 {
+            return Err(SimOsError::UnmappedRange { addr, len });
+        }
+        let kind = m.kind;
+        let first = m.page_index(addr);
+        let last = first + (len / PAGE_SIZE) as usize;
+        let mut swapped = 0;
+        for idx in first..last {
+            let flags = m.page(idx);
+            if flags & page_flags::RESIDENT == 0 {
+                continue;
+            }
+            swapped += PAGE_SIZE;
+            let dirty = flags & page_flags::DIRTY != 0;
+            match kind {
+                MappingKind::Anonymous => {
+                    m.clear_flag(idx, page_flags::RESIDENT);
+                    m.set_flag(idx, page_flags::SWAPPED);
+                }
+                MappingKind::PrivateFile(file) => {
+                    if dirty {
+                        m.clear_flag(idx, page_flags::RESIDENT);
+                        m.set_flag(idx, page_flags::SWAPPED);
+                    } else {
+                        files.dec_mapper(file, idx);
+                        m.clear_flag(idx, page_flags::RESIDENT);
+                    }
+                }
+            }
+        }
+        Ok(swapped)
+    }
+
+    /// Resident bytes across the whole address space.
+    pub fn resident_bytes(&self) -> u64 {
+        self.mappings.values().map(Mapping::resident_bytes).sum()
+    }
+
+    /// Resident bytes within `[addr, addr + len)`, the `pmap` view.
+    pub fn resident_bytes_in(&self, addr: VirtAddr, len: u64) -> SimOsResult<u64> {
+        Self::validate_range(addr, len)?;
+        let m = self
+            .mapping_at(addr)
+            .ok_or(SimOsError::UnmappedRange { addr, len })?;
+        if addr.0 + len > m.end().0 {
+            return Err(SimOsError::UnmappedRange { addr, len });
+        }
+        Ok(m.resident_bytes_in(addr, len))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn space_and_files() -> (AddressSpace, FileRegistry) {
+        (AddressSpace::new(), FileRegistry::new())
+    }
+
+    #[test]
+    fn mmap_then_touch_makes_pages_resident() {
+        let (mut s, mut f) = space_and_files();
+        let a = s
+            .mmap(8 * PAGE_SIZE, MappingKind::Anonymous, Prot::ReadWrite, "t")
+            .unwrap();
+        assert_eq!(s.resident_bytes(), 0);
+        let out = s.touch(&mut f, a, 3 * PAGE_SIZE, true).unwrap();
+        assert_eq!(out.zero_fill_faults, 3);
+        assert_eq!(s.resident_bytes(), 3 * PAGE_SIZE);
+        // Touching again faults nothing.
+        let out = s.touch(&mut f, a, 3 * PAGE_SIZE, true).unwrap();
+        assert_eq!(out.total_faults(), 0);
+    }
+
+    #[test]
+    fn release_discards_and_refaults() {
+        let (mut s, mut f) = space_and_files();
+        let a = s
+            .mmap(4 * PAGE_SIZE, MappingKind::Anonymous, Prot::ReadWrite, "t")
+            .unwrap();
+        s.touch(&mut f, a, 4 * PAGE_SIZE, true).unwrap();
+        let freed = s.release(&mut f, a, 2 * PAGE_SIZE).unwrap();
+        assert_eq!(freed, 2 * PAGE_SIZE);
+        assert_eq!(s.resident_bytes(), 2 * PAGE_SIZE);
+        let out = s.touch(&mut f, a, 4 * PAGE_SIZE, false).unwrap();
+        assert_eq!(out.zero_fill_faults, 2);
+    }
+
+    #[test]
+    fn prot_none_uncommits_and_blocks_access() {
+        let (mut s, mut f) = space_and_files();
+        let a = s
+            .mmap(4 * PAGE_SIZE, MappingKind::Anonymous, Prot::ReadWrite, "t")
+            .unwrap();
+        s.touch(&mut f, a, 4 * PAGE_SIZE, true).unwrap();
+        let freed = s.mprotect(&mut f, a, 4 * PAGE_SIZE, Prot::None).unwrap();
+        assert_eq!(freed, 4 * PAGE_SIZE);
+        assert_eq!(s.resident_bytes(), 0);
+        let err = s.touch(&mut f, a, PAGE_SIZE, false).unwrap_err();
+        assert!(matches!(err, SimOsError::ProtectionViolation { .. }));
+        // Recommit and touch again.
+        s.mprotect(&mut f, a, 4 * PAGE_SIZE, Prot::ReadWrite).unwrap();
+        let out = s.touch(&mut f, a, PAGE_SIZE, true).unwrap();
+        assert_eq!(out.zero_fill_faults, 1);
+    }
+
+    #[test]
+    fn swap_out_and_back_in() {
+        let (mut s, mut f) = space_and_files();
+        let a = s
+            .mmap(4 * PAGE_SIZE, MappingKind::Anonymous, Prot::ReadWrite, "t")
+            .unwrap();
+        s.touch(&mut f, a, 4 * PAGE_SIZE, true).unwrap();
+        let swapped = s.swap_out(&mut f, a, 4 * PAGE_SIZE).unwrap();
+        assert_eq!(swapped, 4 * PAGE_SIZE);
+        assert_eq!(s.resident_bytes(), 0);
+        let out = s.touch(&mut f, a, 4 * PAGE_SIZE, false).unwrap();
+        assert_eq!(out.swap_ins, 4);
+        assert_eq!(s.resident_bytes(), 4 * PAGE_SIZE);
+    }
+
+    #[test]
+    fn file_pages_share_through_page_cache() {
+        let mut f = FileRegistry::new();
+        let lib = f.register("libjvm.so", 4 * PAGE_SIZE);
+        let mut s1 = AddressSpace::new();
+        let mut s2 = AddressSpace::new();
+        let a1 = s1
+            .mmap(4 * PAGE_SIZE, MappingKind::PrivateFile(lib), Prot::Read, "libjvm.so")
+            .unwrap();
+        let a2 = s2
+            .mmap(4 * PAGE_SIZE, MappingKind::PrivateFile(lib), Prot::Read, "libjvm.so")
+            .unwrap();
+        s1.touch(&mut f, a1, 4 * PAGE_SIZE, false).unwrap();
+        assert_eq!(f.mapper_count(lib, 0), 1);
+        s2.touch(&mut f, a2, 4 * PAGE_SIZE, false).unwrap();
+        assert_eq!(f.mapper_count(lib, 0), 2);
+        s1.release(&mut f, a1, 4 * PAGE_SIZE).unwrap();
+        assert_eq!(f.mapper_count(lib, 0), 1);
+    }
+
+    #[test]
+    fn cow_write_privatizes_file_page() {
+        let mut f = FileRegistry::new();
+        let lib = f.register("libjvm.so", 2 * PAGE_SIZE);
+        let mut s = AddressSpace::new();
+        let a = s
+            .mmap(
+                2 * PAGE_SIZE,
+                MappingKind::PrivateFile(lib),
+                Prot::ReadWrite,
+                "libjvm.so",
+            )
+            .unwrap();
+        s.touch(&mut f, a, 2 * PAGE_SIZE, false).unwrap();
+        assert_eq!(f.mapper_count(lib, 0), 1);
+        // Write to the first page only: it leaves the page cache.
+        s.touch(&mut f, a, PAGE_SIZE, true).unwrap();
+        assert_eq!(f.mapper_count(lib, 0), 0);
+        assert_eq!(f.mapper_count(lib, 1), 1);
+        let m = s.mapping_at(a).unwrap();
+        assert_eq!(m.dirty_bytes(), PAGE_SIZE);
+    }
+
+    #[test]
+    fn overlapping_fixed_mapping_is_rejected() {
+        let (mut s, _f) = space_and_files();
+        let a = s
+            .mmap(4 * PAGE_SIZE, MappingKind::Anonymous, Prot::ReadWrite, "x")
+            .unwrap();
+        let err = s
+            .mmap_at(
+                a.offset(PAGE_SIZE),
+                PAGE_SIZE,
+                MappingKind::Anonymous,
+                Prot::ReadWrite,
+                "y",
+            )
+            .unwrap_err();
+        assert!(matches!(err, SimOsError::MappingOverlap { .. }));
+    }
+
+    #[test]
+    fn unaligned_ranges_are_rejected() {
+        let (mut s, mut f) = space_and_files();
+        let a = s
+            .mmap(4 * PAGE_SIZE, MappingKind::Anonymous, Prot::ReadWrite, "x")
+            .unwrap();
+        assert!(s.touch(&mut f, VirtAddr(a.0 + 1), PAGE_SIZE, false).is_err());
+        assert!(s.touch(&mut f, a, 100, false).is_err());
+    }
+
+    #[test]
+    fn touch_past_mapping_end_is_rejected() {
+        let (mut s, mut f) = space_and_files();
+        let a = s
+            .mmap(2 * PAGE_SIZE, MappingKind::Anonymous, Prot::ReadWrite, "x")
+            .unwrap();
+        let err = s.touch(&mut f, a, 3 * PAGE_SIZE, false).unwrap_err();
+        assert!(matches!(err, SimOsError::UnmappedRange { .. }));
+    }
+
+    #[test]
+    fn pmap_counts_only_requested_range() {
+        let (mut s, mut f) = space_and_files();
+        let a = s
+            .mmap(8 * PAGE_SIZE, MappingKind::Anonymous, Prot::ReadWrite, "x")
+            .unwrap();
+        s.touch(&mut f, a, 2 * PAGE_SIZE, true).unwrap();
+        s.touch(&mut f, a.offset(6 * PAGE_SIZE), PAGE_SIZE, true).unwrap();
+        assert_eq!(
+            s.resident_bytes_in(a, 4 * PAGE_SIZE).unwrap(),
+            2 * PAGE_SIZE
+        );
+        assert_eq!(
+            s.resident_bytes_in(a, 8 * PAGE_SIZE).unwrap(),
+            3 * PAGE_SIZE
+        );
+    }
+
+    #[test]
+    fn munmap_removes_mapping_and_cache_refs() {
+        let mut f = FileRegistry::new();
+        let lib = f.register("node", 2 * PAGE_SIZE);
+        let mut s = AddressSpace::new();
+        let a = s
+            .mmap(2 * PAGE_SIZE, MappingKind::PrivateFile(lib), Prot::Read, "node")
+            .unwrap();
+        s.touch(&mut f, a, 2 * PAGE_SIZE, false).unwrap();
+        assert_eq!(f.mapper_count(lib, 1), 1);
+        s.munmap(&mut f, a).unwrap();
+        assert_eq!(f.mapper_count(lib, 1), 0);
+        assert!(s.mapping_at(a).is_none());
+    }
+}

@@ -1,0 +1,256 @@
+//! Memory metrics: USS, RSS, PSS and `smaps`-style reports.
+//!
+//! The paper measures frozen instances with **USS** (Unique Set Size:
+//! `private_dirty + private_clean`), because shared libraries like
+//! `libjvm.so` are shared by many instances of the same language and
+//! should not be charged to any single one (§3.1). Figure 8 additionally
+//! reports **RSS** and **PSS**. Definitions, per resident page of a
+//! process:
+//!
+//! * anonymous pages and dirty (CoW) file pages are always *private*;
+//! * clean file-backed pages are private iff exactly one process maps
+//!   them, shared otherwise;
+//! * `RSS` counts every resident page once,
+//! * `USS` counts only private pages,
+//! * `PSS` counts private pages once and shared pages as `1/n` where
+//!   `n` is the number of mapping processes.
+
+use crate::mem::{page_flags, Mapping, MappingKind};
+use crate::system::{Pid, System};
+
+/// Per-mapping breakdown, mirroring an `smaps` entry.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SmapsEntry {
+    /// Mapping name (e.g. `"[heap:java]"`, `"libjvm.so"`).
+    pub name: String,
+    /// Mapping start address.
+    pub start: u64,
+    /// Mapping length in bytes.
+    pub len: u64,
+    /// Resident bytes.
+    pub rss: u64,
+    /// Proportional set size in bytes (fractional for shared pages).
+    pub pss: f64,
+    /// Resident private clean bytes (file pages mapped by one process).
+    pub private_clean: u64,
+    /// Resident private dirty bytes (anon + CoW file pages).
+    pub private_dirty: u64,
+    /// Resident shared clean bytes.
+    pub shared_clean: u64,
+    /// Bytes on the swap device.
+    pub swap: u64,
+    /// True if the mapping is file-backed.
+    pub file_backed: bool,
+}
+
+impl SmapsEntry {
+    /// USS contribution of this mapping.
+    pub fn uss(&self) -> u64 {
+        self.private_clean + self.private_dirty
+    }
+
+    /// True if the whole resident part is private and unmodified and
+    /// the mapping is file-backed — the §4.6 unmap-candidate predicate.
+    pub fn is_private_unmodified_file(&self) -> bool {
+        self.file_backed && self.private_dirty == 0 && self.shared_clean == 0 && self.rss > 0
+    }
+}
+
+fn classify(sys: &System, m: &Mapping) -> SmapsEntry {
+    // Anonymous mappings never share pages, so their entry follows
+    // directly from the maintained counters — no page walk needed.
+    // (Heaps are anonymous and large; this path is hot.)
+    if matches!(m.kind, MappingKind::Anonymous) {
+        let rss = m.resident_bytes();
+        // Dirty pages on the swap device keep their dirty flag; deduct
+        // them to approximate the *resident* dirty count. The USS/PSS
+        // totals are exact either way (anonymous pages are always
+        // private); only the clean/dirty split is approximate.
+        let dirty = m.dirty_bytes().saturating_sub(m.swapped_bytes()).min(rss);
+        return SmapsEntry {
+            name: m.name.clone(),
+            start: m.start.0,
+            len: m.len(),
+            rss,
+            pss: rss as f64,
+            private_clean: rss - dirty,
+            private_dirty: dirty,
+            shared_clean: 0,
+            swap: m.swapped_bytes(),
+            file_backed: false,
+        };
+    }
+    let mut rss = 0u64;
+    let mut pss = 0f64;
+    let mut private_clean = 0u64;
+    let mut private_dirty = 0u64;
+    let mut shared_clean = 0u64;
+    let mut swap = 0u64;
+    let page = crate::mem::PAGE_SIZE;
+    for idx in 0..m.page_count() {
+        let flags = m.page(idx);
+        if flags & page_flags::SWAPPED != 0 {
+            swap += page;
+        }
+        if flags & page_flags::RESIDENT == 0 {
+            continue;
+        }
+        rss += page;
+        let dirty = flags & page_flags::DIRTY != 0;
+        match m.kind {
+            MappingKind::Anonymous => {
+                private_dirty += page;
+                pss += page as f64;
+            }
+            MappingKind::PrivateFile(file) => {
+                if dirty {
+                    private_dirty += page;
+                    pss += page as f64;
+                } else {
+                    let n = sys.files().mapper_count(file, idx).max(1);
+                    if n == 1 {
+                        private_clean += page;
+                        pss += page as f64;
+                    } else {
+                        shared_clean += page;
+                        pss += page as f64 / n as f64;
+                    }
+                }
+            }
+        }
+    }
+    SmapsEntry {
+        name: m.name.clone(),
+        start: m.start.0,
+        len: m.len(),
+        rss,
+        pss,
+        private_clean,
+        private_dirty,
+        shared_clean,
+        swap,
+        file_backed: matches!(m.kind, MappingKind::PrivateFile(_)),
+    }
+}
+
+/// Full `smaps` report for `pid` (empty if the process is gone).
+pub fn smaps(sys: &System, pid: Pid) -> Vec<SmapsEntry> {
+    match sys.space(pid) {
+        Ok(space) => space.mappings().map(|m| classify(sys, m)).collect(),
+        Err(_) => Vec::new(),
+    }
+}
+
+/// Resident set size of `pid` in bytes.
+pub fn rss(sys: &System, pid: Pid) -> u64 {
+    smaps(sys, pid).iter().map(|e| e.rss).sum()
+}
+
+/// Unique set size of `pid` in bytes (`private_clean + private_dirty`).
+pub fn uss(sys: &System, pid: Pid) -> u64 {
+    smaps(sys, pid).iter().map(SmapsEntry::uss).sum()
+}
+
+/// Proportional set size of `pid` in bytes.
+pub fn pss(sys: &System, pid: Pid) -> f64 {
+    smaps(sys, pid).iter().map(|e| e.pss).sum()
+}
+
+/// Bytes of `pid` currently on the swap device.
+pub fn swap_bytes(sys: &System, pid: Pid) -> u64 {
+    smaps(sys, pid).iter().map(|e| e.swap).sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mem::{MappingKind, Prot, PAGE_SIZE};
+
+    #[test]
+    fn anon_pages_count_in_all_metrics() {
+        let mut sys = System::new();
+        let pid = sys.spawn_process();
+        let a = sys
+            .mmap(pid, 4 * PAGE_SIZE, MappingKind::Anonymous, Prot::ReadWrite)
+            .unwrap();
+        sys.touch(pid, a, 3 * PAGE_SIZE, true).unwrap();
+        assert_eq!(rss(&sys, pid), 3 * PAGE_SIZE);
+        assert_eq!(uss(&sys, pid), 3 * PAGE_SIZE);
+        assert_eq!(pss(&sys, pid), (3 * PAGE_SIZE) as f64);
+    }
+
+    #[test]
+    fn single_mapper_library_is_private_clean() {
+        let mut sys = System::new();
+        let lib = sys.register_file("libjvm.so", 8 * PAGE_SIZE);
+        let pid = sys.spawn_process();
+        sys.map_library(pid, lib).unwrap();
+        let entries = smaps(&sys, pid);
+        assert_eq!(entries.len(), 1);
+        assert_eq!(entries[0].private_clean, 8 * PAGE_SIZE);
+        assert_eq!(entries[0].shared_clean, 0);
+        assert!(entries[0].is_private_unmodified_file());
+        assert_eq!(uss(&sys, pid), 8 * PAGE_SIZE);
+    }
+
+    #[test]
+    fn shared_library_leaves_uss_and_splits_pss() {
+        let mut sys = System::new();
+        let lib = sys.register_file("libjvm.so", 8 * PAGE_SIZE);
+        let p1 = sys.spawn_process();
+        let p2 = sys.spawn_process();
+        sys.map_library(p1, lib).unwrap();
+        sys.map_library(p2, lib).unwrap();
+        // USS excludes the library entirely once shared.
+        assert_eq!(uss(&sys, p1), 0);
+        // RSS still counts it in full.
+        assert_eq!(rss(&sys, p1), 8 * PAGE_SIZE);
+        // PSS splits it evenly.
+        assert_eq!(pss(&sys, p1), (4 * PAGE_SIZE) as f64);
+    }
+
+    #[test]
+    fn pss_approaches_uss_with_more_sharers() {
+        let mut sys = System::new();
+        let lib = sys.register_file("node", 64 * PAGE_SIZE);
+        let mut pids = Vec::new();
+        for _ in 0..8 {
+            let pid = sys.spawn_process();
+            sys.map_library(pid, lib).unwrap();
+            pids.push(pid);
+        }
+        let p = pids[0];
+        let gap = pss(&sys, p) - uss(&sys, p) as f64;
+        assert!(gap <= (8 * PAGE_SIZE) as f64 + 1.0, "gap was {gap}");
+    }
+
+    #[test]
+    fn metric_ordering_invariants_hold() {
+        let mut sys = System::new();
+        let lib = sys.register_file("libc.so", 16 * PAGE_SIZE);
+        let p1 = sys.spawn_process();
+        let p2 = sys.spawn_process();
+        sys.map_library(p1, lib).unwrap();
+        sys.map_library(p2, lib).unwrap();
+        let a = sys
+            .mmap(p1, 16 * PAGE_SIZE, MappingKind::Anonymous, Prot::ReadWrite)
+            .unwrap();
+        sys.touch(p1, a, 10 * PAGE_SIZE, true).unwrap();
+        let (u, p, r) = (uss(&sys, p1) as f64, pss(&sys, p1), rss(&sys, p1) as f64);
+        assert!(u <= p + 1e-9);
+        assert!(p <= r + 1e-9);
+    }
+
+    #[test]
+    fn swap_shows_in_smaps_not_rss() {
+        let mut sys = System::new();
+        let pid = sys.spawn_process();
+        let a = sys
+            .mmap(pid, 4 * PAGE_SIZE, MappingKind::Anonymous, Prot::ReadWrite)
+            .unwrap();
+        sys.touch(pid, a, 4 * PAGE_SIZE, true).unwrap();
+        sys.swap_out(pid, a, 4 * PAGE_SIZE).unwrap();
+        assert_eq!(rss(&sys, pid), 0);
+        assert_eq!(swap_bytes(&sys, pid), 4 * PAGE_SIZE);
+    }
+}

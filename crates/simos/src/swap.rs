@@ -1,0 +1,51 @@
+//! Swap-device statistics.
+//!
+//! Page state for swapped pages lives in the mappings themselves (see
+//! [`crate::mem`]); this module only aggregates device-level counters
+//! used by the §5.6 swapping-baseline experiments.
+
+use crate::clock::SimDuration;
+use crate::cost::CostModel;
+
+/// Counters for a simulated swap device.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct SwapStats {
+    /// Pages written out over the device lifetime.
+    pub pages_out: u64,
+    /// Pages read back over the device lifetime.
+    pub pages_in: u64,
+}
+
+impl SwapStats {
+    /// Records `bytes` swapped out.
+    pub fn record_out(&mut self, bytes: u64) {
+        self.pages_out += bytes / crate::mem::PAGE_SIZE;
+    }
+
+    /// Records `pages` swapped in.
+    pub fn record_in(&mut self, pages: u64) {
+        self.pages_in += pages;
+    }
+
+    /// Total swap-in latency at the given cost model.
+    pub fn swap_in_time(&self, costs: &CostModel) -> SimDuration {
+        costs.swap_in * self.pages_in
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mem::PAGE_SIZE;
+
+    #[test]
+    fn counters_accumulate() {
+        let mut s = SwapStats::default();
+        s.record_out(10 * PAGE_SIZE);
+        s.record_in(4);
+        assert_eq!(s.pages_out, 10);
+        assert_eq!(s.pages_in, 4);
+        let costs = CostModel::default();
+        assert_eq!(s.swap_in_time(&costs), costs.swap_in * 4);
+    }
+}

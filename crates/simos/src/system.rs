@@ -1,0 +1,323 @@
+//! The machine: all processes plus the shared file page cache.
+//!
+//! [`System`] is the single owner of every [`AddressSpace`] and of the
+//! [`FileRegistry`]. All memory operations go through it so that
+//! cross-process sharing (the page cache backing `MAP_PRIVATE` library
+//! mappings) stays consistent — that sharing is what distinguishes USS
+//! from PSS in the paper's measurements (§3.1, Figure 8).
+
+use std::collections::BTreeMap;
+
+use crate::error::{SimOsError, SimOsResult};
+use crate::mem::{AddressSpace, Mapping, MappingKind, Prot, TouchOutcome, VirtAddr, PAGE_SIZE};
+
+/// A process identifier.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Pid(pub u32);
+
+/// A file identifier in the [`FileRegistry`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct FileId(pub u32);
+
+/// One registered file (a shared library or runtime image).
+#[derive(Debug, Clone)]
+struct FileInfo {
+    name: String,
+    /// Per-page count of processes holding the page through the page
+    /// cache (clean `MAP_PRIVATE` mappings).
+    mapper_counts: Vec<u32>,
+}
+
+/// The global file registry and page cache.
+///
+/// Tracks, for every page of every registered file, how many processes
+/// currently map it clean. A count of one means the page is *private*
+/// to its process in `smaps` terms (and thus part of its USS); two or
+/// more means it is *shared*.
+#[derive(Debug, Clone, Default)]
+pub struct FileRegistry {
+    files: Vec<FileInfo>,
+}
+
+impl FileRegistry {
+    /// Creates an empty registry.
+    pub fn new() -> FileRegistry {
+        FileRegistry::default()
+    }
+
+    /// Registers a file of `size` bytes (rounded up to pages) and
+    /// returns its id.
+    pub fn register(&mut self, name: &str, size: u64) -> FileId {
+        let npages = size.div_ceil(PAGE_SIZE) as usize;
+        self.files.push(FileInfo {
+            name: name.to_string(),
+            mapper_counts: vec![0; npages],
+        });
+        FileId(self.files.len() as u32 - 1)
+    }
+
+    /// The registered name of `file`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `file` was not produced by this registry.
+    pub fn name(&self, file: FileId) -> &str {
+        &self.files[file.0 as usize].name
+    }
+
+    /// Size of `file` in bytes.
+    pub fn size(&self, file: FileId) -> u64 {
+        self.files[file.0 as usize].mapper_counts.len() as u64 * PAGE_SIZE
+    }
+
+    /// How many processes map page `page` of `file` clean.
+    pub fn mapper_count(&self, file: FileId, page: usize) -> u32 {
+        self.files[file.0 as usize].mapper_counts[page]
+    }
+
+    /// Records one more clean mapper of a file page.
+    pub(crate) fn inc_mapper(&mut self, file: FileId, page: usize) {
+        self.files[file.0 as usize].mapper_counts[page] += 1;
+    }
+
+    /// Records one fewer clean mapper of a file page.
+    pub(crate) fn dec_mapper(&mut self, file: FileId, page: usize) {
+        let c = &mut self.files[file.0 as usize].mapper_counts[page];
+        debug_assert!(*c > 0, "mapper count underflow");
+        *c = c.saturating_sub(1);
+    }
+}
+
+/// The whole simulated machine.
+#[derive(Debug, Clone, Default)]
+pub struct System {
+    files: FileRegistry,
+    spaces: BTreeMap<Pid, AddressSpace>,
+    next_pid: u32,
+}
+
+impl System {
+    /// Creates an empty system.
+    pub fn new() -> System {
+        System::default()
+    }
+
+    /// Creates a new process with an empty address space.
+    pub fn spawn_process(&mut self) -> Pid {
+        let pid = Pid(self.next_pid);
+        self.next_pid += 1;
+        self.spaces.insert(pid, AddressSpace::new());
+        pid
+    }
+
+    /// Destroys a process, dropping all its mappings (and page-cache
+    /// references).
+    pub fn kill_process(&mut self, pid: Pid) -> SimOsResult<()> {
+        let space = self
+            .spaces
+            .remove(&pid)
+            .ok_or(SimOsError::NoSuchProcess(pid))?;
+        // Walk the mappings to release clean file pages from the cache.
+        for m in space.mappings() {
+            if let MappingKind::PrivateFile(file) = m.kind {
+                for idx in 0..m.page_count() {
+                    let flags = m.page(idx);
+                    if flags & crate::mem::page_flags::RESIDENT != 0
+                        && flags & crate::mem::page_flags::DIRTY == 0
+                    {
+                        self.files.dec_mapper(file, idx);
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Registers a file (shared library / runtime image).
+    pub fn register_file(&mut self, name: &str, size: u64) -> FileId {
+        self.files.register(name, size)
+    }
+
+    /// Immutable access to the file registry.
+    pub fn files(&self) -> &FileRegistry {
+        &self.files
+    }
+
+    /// Immutable access to a process's address space.
+    pub fn space(&self, pid: Pid) -> SimOsResult<&AddressSpace> {
+        self.spaces.get(&pid).ok_or(SimOsError::NoSuchProcess(pid))
+    }
+
+    fn space_and_files(
+        &mut self,
+        pid: Pid,
+    ) -> SimOsResult<(&mut AddressSpace, &mut FileRegistry)> {
+        let space = self
+            .spaces
+            .get_mut(&pid)
+            .ok_or(SimOsError::NoSuchProcess(pid))?;
+        Ok((space, &mut self.files))
+    }
+
+    /// Number of live processes.
+    pub fn process_count(&self) -> usize {
+        self.spaces.len()
+    }
+
+    /// `mmap` in process `pid`.
+    pub fn mmap(
+        &mut self,
+        pid: Pid,
+        len: u64,
+        kind: MappingKind,
+        prot: Prot,
+    ) -> SimOsResult<VirtAddr> {
+        self.mmap_named(pid, len, kind, prot, "[anon]")
+    }
+
+    /// `mmap` with an explicit `smaps` name.
+    pub fn mmap_named(
+        &mut self,
+        pid: Pid,
+        len: u64,
+        kind: MappingKind,
+        prot: Prot,
+        name: &str,
+    ) -> SimOsResult<VirtAddr> {
+        let (space, _files) = self.space_and_files(pid)?;
+        space.mmap(len, kind, prot, name)
+    }
+
+    /// Maps a registered file into `pid` (at its full size) and faults
+    /// in all of it read-only, as the dynamic loader effectively does
+    /// for a hot library.
+    pub fn map_library(&mut self, pid: Pid, file: FileId) -> SimOsResult<VirtAddr> {
+        let size = self.files.size(file);
+        let name = self.files.name(file).to_string();
+        let (space, files) = self.space_and_files(pid)?;
+        let addr = space.mmap(size, MappingKind::PrivateFile(file), Prot::Read, &name)?;
+        space.touch(files, addr, size, false)?;
+        Ok(addr)
+    }
+
+    /// `munmap` of the whole mapping starting at `addr`.
+    pub fn munmap(&mut self, pid: Pid, addr: VirtAddr) -> SimOsResult<Mapping> {
+        let (space, files) = self.space_and_files(pid)?;
+        space.munmap(files, addr)
+    }
+
+    /// `mprotect` of a range; `Prot::None` uncommits (frees pages).
+    pub fn mprotect(
+        &mut self,
+        pid: Pid,
+        addr: VirtAddr,
+        len: u64,
+        prot: Prot,
+    ) -> SimOsResult<u64> {
+        let (space, files) = self.space_and_files(pid)?;
+        space.mprotect(files, addr, len, prot)
+    }
+
+    /// Touches a range, faulting pages in.
+    pub fn touch(
+        &mut self,
+        pid: Pid,
+        addr: VirtAddr,
+        len: u64,
+        write: bool,
+    ) -> SimOsResult<TouchOutcome> {
+        let (space, files) = self.space_and_files(pid)?;
+        space.touch(files, addr, len, write)
+    }
+
+    /// Releases the physical pages of a range (`madvise(DONTNEED)`).
+    pub fn release(&mut self, pid: Pid, addr: VirtAddr, len: u64) -> SimOsResult<u64> {
+        let (space, files) = self.space_and_files(pid)?;
+        space.release(files, addr, len)
+    }
+
+    /// Swaps out the resident pages of a range.
+    pub fn swap_out(&mut self, pid: Pid, addr: VirtAddr, len: u64) -> SimOsResult<u64> {
+        let (space, files) = self.space_and_files(pid)?;
+        space.swap_out(files, addr, len)
+    }
+
+    /// Resident bytes of the whole process (RSS numerator).
+    pub fn resident_bytes(&self, pid: Pid) -> SimOsResult<u64> {
+        Ok(self.space(pid)?.resident_bytes())
+    }
+
+    /// Resident bytes in `[addr, addr + len)` of `pid` — the `pmap`
+    /// probe Desiccant uses to size HotSpot heaps (§4.5.2).
+    pub fn pmap(&self, pid: Pid, addr: VirtAddr, len: u64) -> SimOsResult<u64> {
+        self.space(pid)?.resident_bytes_in(addr, len)
+    }
+
+    /// RSS of `pid` in bytes. See [`crate::metrics`] for definitions.
+    pub fn rss(&self, pid: Pid) -> u64 {
+        crate::metrics::rss(self, pid)
+    }
+
+    /// USS of `pid` in bytes.
+    pub fn uss(&self, pid: Pid) -> u64 {
+        crate::metrics::uss(self, pid)
+    }
+
+    /// PSS of `pid` in bytes.
+    pub fn pss(&self, pid: Pid) -> f64 {
+        crate::metrics::pss(self, pid)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn spawn_and_kill_round_trip() {
+        let mut sys = System::new();
+        let pid = sys.spawn_process();
+        assert_eq!(sys.process_count(), 1);
+        sys.kill_process(pid).unwrap();
+        assert_eq!(sys.process_count(), 0);
+        assert!(matches!(
+            sys.kill_process(pid),
+            Err(SimOsError::NoSuchProcess(_))
+        ));
+    }
+
+    #[test]
+    fn kill_releases_page_cache_refs() {
+        let mut sys = System::new();
+        let lib = sys.register_file("libjvm.so", 4 * PAGE_SIZE);
+        let p1 = sys.spawn_process();
+        let p2 = sys.spawn_process();
+        sys.map_library(p1, lib).unwrap();
+        sys.map_library(p2, lib).unwrap();
+        assert_eq!(sys.files().mapper_count(lib, 0), 2);
+        sys.kill_process(p1).unwrap();
+        assert_eq!(sys.files().mapper_count(lib, 0), 1);
+    }
+
+    #[test]
+    fn pmap_reports_range_residency() {
+        let mut sys = System::new();
+        let pid = sys.spawn_process();
+        let a = sys
+            .mmap(pid, 16 * PAGE_SIZE, MappingKind::Anonymous, Prot::ReadWrite)
+            .unwrap();
+        sys.touch(pid, a, 4 * PAGE_SIZE, true).unwrap();
+        assert_eq!(sys.pmap(pid, a, 16 * PAGE_SIZE).unwrap(), 4 * PAGE_SIZE);
+    }
+
+    #[test]
+    fn operations_on_dead_process_fail() {
+        let mut sys = System::new();
+        let pid = sys.spawn_process();
+        sys.kill_process(pid).unwrap();
+        assert!(sys
+            .mmap(pid, PAGE_SIZE, MappingKind::Anonymous, Prot::ReadWrite)
+            .is_err());
+        assert!(sys.resident_bytes(pid).is_err());
+    }
+}

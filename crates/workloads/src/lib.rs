@@ -1,0 +1,38 @@
+//! # workloads — the Table-1 FaaS functions
+//!
+//! The paper evaluates 20 functions (8 Java, 12 JavaScript, including
+//! six chains) drawn from FaaS benchmark suites and converted
+//! microservices. This crate models each one as a *kernel*: real Rust
+//! code that performs a miniature version of the function's computation
+//! (an actual FFT, an actual union-find, an actual word count, …) while
+//! driving the simulated managed heap with the function's allocation
+//! personality — how much it allocates per invocation, how much of that
+//! survives until function exit, how much state it retains across
+//! invocations, and (for chains) how much intermediate data each stage
+//! hands to the next.
+//!
+//! Those personalities are *calibrated*: the per-function constants in
+//! [`catalog`] are chosen so the characterization harnesses reproduce
+//! the magnitudes the paper reports (e.g. `fft`'s young generation
+//! ratcheting to its cap, `file-hash` holding ≈1 MiB live in a much
+//! larger heap, `hotel-searching` peaking above 5× its ideal).
+//!
+//! # Examples
+//!
+//! ```
+//! use workloads::catalog;
+//!
+//! let fns = catalog::catalog();
+//! assert_eq!(fns.len(), 20);
+//! let fft = catalog::by_name("fft").unwrap();
+//! assert_eq!(fft.language, faas_runtime::Language::JavaScript);
+//! ```
+
+pub mod catalog;
+pub mod compute;
+pub mod spec;
+pub mod state;
+
+pub use catalog::{by_name, catalog};
+pub use spec::{FunctionSpec, KernelKind, MemProfile};
+pub use state::FunctionState;

@@ -1,0 +1,112 @@
+//! Function specifications: language, chain shape, memory personality,
+//! compute cost.
+
+use faas_runtime::{ExecProfile, Language};
+use simos::SimDuration;
+
+/// Which miniature computation the kernel runs (see [`crate::compute`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum KernelKind {
+    /// Returns the current time (trivial).
+    Time,
+    /// Sorts an integer array.
+    Sort,
+    /// Hashes a buffer (file-hash, filesystem).
+    Hash,
+    /// Image processing (resize / pipeline stages): blur-like stencil.
+    Image,
+    /// Search with scoring (hotel-searching, alexa intents).
+    Search,
+    /// Word count (mapreduce).
+    WordCount,
+    /// Transactional mix (specjbb).
+    Transaction,
+    /// Fast Fourier transform.
+    Fft,
+    /// Fibonacci.
+    Fibonacci,
+    /// Matrix multiplication.
+    Matrix,
+    /// Monte-Carlo-free Leibniz pi.
+    Pi,
+    /// Integer factorization by trial division.
+    Factor,
+    /// Union-find over random edges.
+    UnionFind,
+    /// Templated HTML generation (dynamic-html, web-server).
+    Html,
+    /// Group-by aggregation (data-analysis).
+    Aggregate,
+}
+
+/// The allocation personality of a function.
+#[derive(Debug, Clone, Copy)]
+pub struct MemProfile {
+    /// Bytes of temporary objects allocated per invocation (per chain
+    /// stage).
+    pub temp_bytes: u64,
+    /// Mean size of one temporary object.
+    pub temp_obj_size: u32,
+    /// Fraction of temporaries held in handles until function exit
+    /// (the rest die immediately). High values drive survivor copying
+    /// and V8's young-generation doubling.
+    pub hold_fraction: f64,
+    /// Bytes of state allocated at first invocation (Java functions'
+    /// expensive initialization).
+    pub init_bytes: u64,
+    /// Bytes of state added per invocation (caches).
+    pub state_per_invoke: u64,
+    /// Cap on retained state; the oldest entries are dropped beyond it.
+    pub state_cap: u64,
+    /// Intermediate bytes a chain stage hands to the next stage
+    /// (retained across the function exit until the transfer
+    /// completes — the mapreduce effect of §5.2).
+    pub intermediate_bytes: u64,
+}
+
+/// A complete function specification.
+#[derive(Debug, Clone, Copy)]
+pub struct FunctionSpec {
+    /// Function name as in Table 1.
+    pub name: &'static str,
+    /// Implementation language.
+    pub language: Language,
+    /// Number of chained functions (1 = not a chain).
+    pub chain_len: u8,
+    /// Which miniature computation the kernel runs.
+    pub kernel: KernelKind,
+    /// Memory personality.
+    pub mem: MemProfile,
+    /// Kernel compute per invocation (full-CPU time, before JIT
+    /// multipliers).
+    pub compute: SimDuration,
+    /// JIT model parameters.
+    pub exec: ExecProfile,
+}
+
+impl FunctionSpec {
+    /// Mean end-to-end busy time of the whole chain at `cpu_share`,
+    /// ignoring JIT effects — used to match trace functions by
+    /// duration (§5.3).
+    pub fn nominal_duration(&self, cpu_share: f64) -> SimDuration {
+        (self.compute * self.chain_len as u64).mul_f64(1.0 / cpu_share)
+    }
+
+    /// Sanity checks for a catalog entry.
+    ///
+    /// # Panics
+    ///
+    /// Panics on inconsistent personalities (programming errors in the
+    /// catalog).
+    pub fn validate(&self) {
+        assert!(self.chain_len >= 1);
+        assert!(self.mem.temp_obj_size > 0);
+        assert!(self.mem.temp_bytes >= self.mem.temp_obj_size as u64);
+        assert!((0.0..=1.0).contains(&self.mem.hold_fraction));
+        assert!(self.mem.state_cap >= self.mem.state_per_invoke);
+        if self.chain_len == 1 {
+            assert_eq!(self.mem.intermediate_bytes, 0, "{}: non-chain with intermediate", self.name);
+        }
+        assert!(self.compute > SimDuration::ZERO);
+    }
+}

@@ -1,0 +1,87 @@
+//! Property tests over the workload catalog: every function must be
+//! executable, deterministic, and within its calibrated budget for any
+//! seed and invocation count.
+
+use faas_runtime::{Instance, RuntimeImage};
+use proptest::prelude::*;
+use simos::{SimDuration, SimTime, System};
+use workloads::{catalog, FunctionState};
+
+fn run(spec_idx: usize, seed: u64, iterations: u8) -> (u64, u64, SimDuration) {
+    let spec = catalog()[spec_idx];
+    let mut sys = System::new();
+    let image = RuntimeImage::openwhisk(spec.language);
+    let libs = image.register_files(&mut sys);
+    let mut total_wall = SimDuration::ZERO;
+    let mut uss_sum = 0u64;
+    let mut checksum = 0u64;
+    let mut stages: Vec<(Instance, FunctionState)> = (0..spec.chain_len)
+        .map(|stage| {
+            (
+                Instance::launch(&mut sys, &image, &libs, 256 << 20, 0.14).expect("fits"),
+                FunctionState::new(stage, seed),
+            )
+        })
+        .collect();
+    let mut now = SimTime::ZERO;
+    for _ in 0..iterations {
+        for (inst, state) in stages.iter_mut() {
+            let r = inst
+                .invoke(&mut sys, now, &spec.exec, |ctx| state.invoke(&spec, ctx))
+                .expect("calibrated workload fits its instance");
+            now += r.wall_time;
+            total_wall += r.wall_time;
+            state.complete_transfer(inst.heap_mut().graph_mut());
+        }
+        now += SimDuration::from_millis(100);
+    }
+    for (inst, state) in &stages {
+        uss_sum += inst.uss(&sys);
+        checksum = checksum.wrapping_mul(31).wrapping_add(state.checksum());
+    }
+    (checksum, uss_sum, total_wall)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Any function, any seed, any (small) invocation count: executes
+    /// without exhausting its instance budget and stays within it.
+    #[test]
+    fn every_function_runs_within_budget(
+        spec_idx in 0usize..20,
+        seed in 0u64..1000,
+        iterations in 1u8..8,
+    ) {
+        let spec = catalog()[spec_idx];
+        let (_, uss_sum, wall) = run(spec_idx, seed, iterations);
+        // Accumulated chain memory stays within the per-stage budgets.
+        prop_assert!(
+            uss_sum <= spec.chain_len as u64 * (256 << 20),
+            "{}: chain exceeds its budgets", spec.name
+        );
+        prop_assert!(wall > SimDuration::ZERO);
+    }
+
+    /// Identical (seed, iterations) runs are bit-identical in both
+    /// computation results and memory outcomes.
+    #[test]
+    fn runs_are_deterministic(
+        spec_idx in 0usize..20,
+        seed in 0u64..1000,
+        iterations in 1u8..5,
+    ) {
+        let a = run(spec_idx, seed, iterations);
+        let b = run(spec_idx, seed, iterations);
+        prop_assert_eq!(a, b);
+    }
+
+    /// Different seeds give different computations (the kernels really
+    /// consume their inputs) for the non-trivial kernels.
+    #[test]
+    fn seeds_matter(spec_idx in 1usize..8, seed in 0u64..500) {
+        let (a, _, _) = run(spec_idx, seed, 2);
+        let (b, _, _) = run(spec_idx, seed + 1, 2);
+        prop_assert_ne!(a, b, "checksum insensitive to seed");
+    }
+}

@@ -1,0 +1,76 @@
+//! Single-function study: the §3.1 characterization protocol on any
+//! Table-1 function.
+//!
+//! Run with:
+//!
+//! ```text
+//! cargo run --release --example single_function_study -- fft
+//! cargo run --release --example single_function_study -- file-hash 512
+//! ```
+//!
+//! Arguments: function name (see `workloads::catalog`), optional memory
+//! budget in MiB (default 256). Prints the per-iteration memory series
+//! for all four treatments plus the Figure-1 ratios.
+
+use desiccant_repro::bench::{run_study, Mode, StudyConfig};
+use desiccant_repro::workloads;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let name = args.first().map(String::as_str).unwrap_or("fft");
+    let budget_mib: u64 = args
+        .get(1)
+        .map(|s| s.parse().expect("budget in MiB"))
+        .unwrap_or(256);
+    let spec = workloads::by_name(name).unwrap_or_else(|| {
+        eprintln!("unknown function {name:?}; available:");
+        for f in workloads::catalog() {
+            eprintln!("  {} ({})", f.name, f.language.name());
+        }
+        std::process::exit(2);
+    });
+    let cfg = StudyConfig {
+        budget: budget_mib << 20,
+        ..StudyConfig::default()
+    };
+    let vanilla = run_study(&spec, Mode::Vanilla, &cfg);
+    let eager = run_study(&spec, Mode::Eager, &cfg);
+    let desiccant = run_study(&spec, Mode::Desiccant, &cfg);
+
+    println!(
+        "# {} ({}), {} chain stage(s), {} MiB budget",
+        spec.name,
+        spec.language.name(),
+        spec.chain_len,
+        budget_mib
+    );
+    println!("iteration,vanilla_mib,eager_mib,ideal_mib");
+    let mib = |b: u64| b as f64 / (1 << 20) as f64;
+    for i in (0..vanilla.uss.len()).step_by(5) {
+        println!(
+            "{},{:.2},{:.2},{:.2}",
+            i + 1,
+            mib(vanilla.uss[i]),
+            mib(eager.uss[i]),
+            mib(vanilla.ideal[i])
+        );
+    }
+    println!();
+    println!(
+        "final USS: vanilla {:.1} MiB, eager {:.1} MiB, desiccant {:.1} MiB, ideal {:.1} MiB",
+        mib(vanilla.final_uss),
+        mib(eager.final_uss),
+        mib(desiccant.final_uss),
+        mib(desiccant.final_ideal)
+    );
+    println!(
+        "frozen-garbage ratios (vanilla): avg {:.2}, max {:.2}",
+        vanilla.avg_ratio(),
+        vanilla.max_ratio()
+    );
+    println!(
+        "desiccant reduction: {:.2}x vs vanilla, {:.2}x vs eager",
+        vanilla.final_uss as f64 / desiccant.final_uss.max(1) as f64,
+        eager.final_uss as f64 / desiccant.final_uss.max(1) as f64
+    );
+}

@@ -1,0 +1,62 @@
+//! Trace replay: the §5.3 end-to-end experiment on one command line.
+//!
+//! Run with:
+//!
+//! ```text
+//! cargo run --release --example trace_replay -- 15
+//! cargo run --release --example trace_replay -- 25 eager
+//! ```
+//!
+//! Arguments: scale factor (default 15), optional mode
+//! (`vanilla` | `eager` | `desiccant`; default compares all three).
+//! Replays a synthetic Azure-style trace against the platform and
+//! prints the Figure-9/10 metrics.
+
+use desiccant_repro::azure_trace::{build_trace, replay, ReplayConfig};
+use desiccant_repro::desiccant::{Desiccant, DesiccantConfig};
+use desiccant_repro::faas::platform::{GcMode, Platform};
+use desiccant_repro::faas::{MemoryManager, PlatformConfig};
+use desiccant_repro::workloads;
+
+fn run(scale: f64, mode: &str) {
+    let catalog = workloads::catalog();
+    let trace = build_trace(&catalog, 11);
+    let manager: Option<Box<dyn MemoryManager>> = if mode == "desiccant" {
+        Some(Box::new(Desiccant::new(DesiccantConfig::default())))
+    } else {
+        None
+    };
+    let gc = if mode == "eager" { GcMode::Eager } else { GcMode::Vanilla };
+    let mut p = Platform::new(PlatformConfig::default(), catalog, gc, manager);
+    let out = replay(&mut p, &trace, &ReplayConfig { scale, ..ReplayConfig::default() });
+    let (p50, p90, p95, p99) = out.latency_ms;
+    println!(
+        "{mode:>10}: {:>5} requests, {:.2} cold boots/s, {:.1} req/s, cpu {:.0}%, reclaim cpu {:.1}%, p50/p90/p95/p99 = {:.0}/{:.0}/{:.0}/{:.0} ms",
+        out.completed,
+        out.cold_boot_rate,
+        out.throughput,
+        out.cpu_utilization * 100.0,
+        out.reclaim_cpu_fraction * 100.0,
+        p50,
+        p90,
+        p95,
+        p99
+    );
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let scale: f64 = args
+        .first()
+        .map(|s| s.parse().expect("scale factor"))
+        .unwrap_or(15.0);
+    println!("# synthetic Azure trace, scale factor {scale}, 60s warm-up + 180s replay");
+    match args.get(1) {
+        Some(mode) => run(scale, mode),
+        None => {
+            for mode in ["vanilla", "eager", "desiccant"] {
+                run(scale, mode);
+            }
+        }
+    }
+}

@@ -1,0 +1,35 @@
+//! # desiccant-repro — workspace root
+//!
+//! A Rust reproduction of *Characterization and Reclamation of Frozen
+//! Garbage in Managed FaaS Workloads* (EuroSys '24). This root crate
+//! only re-exports the workspace so the `examples/` binaries and the
+//! cross-crate integration tests in `tests/` have a single import
+//! surface; the substance lives in the member crates:
+//!
+//! * [`simos`] — simulated OS memory substrate;
+//! * [`gc_core`] — shared object graph and tracing;
+//! * [`hotspot`] / [`v8heap`] — the two managed-heap models;
+//! * [`faas_runtime`] — runtime instances;
+//! * [`workloads`] — the Table-1 functions;
+//! * [`faas`] — the OpenWhisk-like platform;
+//! * [`azure_trace`] — trace synthesis and replay;
+//! * [`desiccant`] — the paper's contribution;
+//! * `bench` — figure harnesses.
+//!
+//! See `README.md` for a tour and `DESIGN.md` / `EXPERIMENTS.md` for
+//! the reproduction methodology and results.
+
+pub use azure_trace;
+// `bench` collides with rustc's unstable built-in `bench` path in a
+// plain `pub use`; an explicit extern-crate re-export avoids it.
+pub extern crate bench;
+pub use cpython_heap;
+pub use desiccant;
+pub use goruntime;
+pub use faas;
+pub use faas_runtime;
+pub use gc_core;
+pub use hotspot;
+pub use simos;
+pub use v8heap;
+pub use workloads;

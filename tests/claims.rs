@@ -1,0 +1,139 @@
+//! Cross-crate integration tests for the artifact's two major claims
+//! (§A.4.1):
+//!
+//! * **C1** — Desiccant reclaims frozen garbage across environments and
+//!   memory configurations (Figures 7, 8, 11, 12).
+//! * **C2** — Desiccant improves end-to-end performance under a fixed
+//!   memory bound (Figures 9, 10).
+//!
+//! These run reduced-size versions of the figure protocols; the full
+//! harnesses live in `crates/bench/src/bin`.
+
+use desiccant_repro::azure_trace::{build_trace, replay, ReplayConfig};
+use desiccant_repro::bench::{run_study, Mode, StudyConfig};
+use desiccant_repro::desiccant::{Desiccant, DesiccantConfig};
+use desiccant_repro::faas::platform::{GcMode, Platform};
+use desiccant_repro::faas::PlatformConfig;
+use desiccant_repro::simos::SimDuration;
+use desiccant_repro::workloads;
+
+fn quick() -> StudyConfig {
+    StudyConfig {
+        iterations: 30,
+        ..StudyConfig::default()
+    }
+}
+
+/// C1 on OpenWhisk: for every function, desiccant ≤ eager ≤ vanilla
+/// (mapreduce exempt from the eager/vanilla clause, §5.2) and desiccant
+/// lands near the ideal.
+#[test]
+fn c1_reclamation_openwhisk() {
+    for spec in workloads::catalog() {
+        let vanilla = run_study(&spec, Mode::Vanilla, &quick());
+        let eager = run_study(&spec, Mode::Eager, &quick());
+        let desiccant = run_study(&spec, Mode::Desiccant, &quick());
+        assert!(
+            desiccant.final_uss <= eager.final_uss,
+            "{}: desiccant {} above eager {}",
+            spec.name,
+            desiccant.final_uss,
+            eager.final_uss
+        );
+        assert!(
+            desiccant.final_uss as f64 <= desiccant.final_ideal as f64 * 1.2,
+            "{}: desiccant too far from ideal",
+            spec.name
+        );
+        if spec.name != "mapreduce" {
+            assert!(
+                eager.final_uss <= vanilla.final_uss * 11 / 10,
+                "{}: eager above vanilla",
+                spec.name
+            );
+        }
+    }
+}
+
+/// C1 on Lambda: reclamation (with the unmap optimization) still works
+/// with private libraries, and saves *more* than on OpenWhisk.
+#[test]
+fn c1_reclamation_lambda() {
+    let spec = workloads::by_name("fft").expect("catalog function");
+    let ow = quick();
+    let lambda = StudyConfig {
+        lambda_env: true,
+        unmap_libs: true,
+        ..ow
+    };
+    let ow_v = run_study(&spec, Mode::Vanilla, &ow);
+    let ow_d = run_study(&spec, Mode::Desiccant, &ow);
+    let la_v = run_study(&spec, Mode::Vanilla, &lambda);
+    let la_d = run_study(&spec, Mode::Desiccant, &lambda);
+    let ow_gain = ow_v.final_uss as f64 / ow_d.final_uss.max(1) as f64;
+    let la_gain = la_v.final_uss as f64 / la_d.final_uss.max(1) as f64;
+    assert!(la_gain > 1.0 && ow_gain > 1.0);
+    assert!(
+        la_gain > ow_gain,
+        "lambda gain {la_gain:.2} not above openwhisk gain {ow_gain:.2}"
+    );
+}
+
+/// C1 across memory configurations: fft's reduction grows with the
+/// budget (Figure 12d).
+#[test]
+fn c1_reclamation_across_budgets() {
+    let spec = workloads::by_name("fft").expect("catalog function");
+    let mut reductions = Vec::new();
+    for budget in [256u64 << 20, 1 << 30] {
+        let cfg = StudyConfig {
+            budget,
+            iterations: 30,
+            ..StudyConfig::default()
+        };
+        let v = run_study(&spec, Mode::Vanilla, &cfg);
+        let d = run_study(&spec, Mode::Desiccant, &cfg);
+        reductions.push(v.final_uss as f64 / d.final_uss.max(1) as f64);
+    }
+    assert!(
+        reductions[1] > reductions[0],
+        "fft reduction flat across budgets: {reductions:?}"
+    );
+}
+
+/// C2: under trace load with a fixed cache, Desiccant reduces cold
+/// boots and p99 latency relative to vanilla.
+#[test]
+fn c2_end_to_end_performance() {
+    let catalog = workloads::catalog();
+    let trace = build_trace(&catalog, 11);
+    let config = ReplayConfig {
+        scale: 15.0,
+        warmup: SimDuration::from_secs(60),
+        duration: SimDuration::from_secs(180),
+        ..ReplayConfig::default()
+    };
+    let mut vanilla = Platform::new(PlatformConfig::default(), catalog.clone(), GcMode::Vanilla, None);
+    let v = replay(&mut vanilla, &trace, &config);
+    let mut with_d = Platform::new(
+        PlatformConfig::default(),
+        catalog,
+        GcMode::Vanilla,
+        Some(Box::new(Desiccant::new(DesiccantConfig::default()))),
+    );
+    let d = replay(&mut with_d, &trace, &config);
+    assert!(
+        d.cold_boot_rate < v.cold_boot_rate,
+        "cold boots: desiccant {:.3}/s vs vanilla {:.3}/s",
+        d.cold_boot_rate,
+        v.cold_boot_rate
+    );
+    assert!(
+        d.latency_ms.3 < v.latency_ms.3,
+        "p99: desiccant {:.0} vs vanilla {:.0}",
+        d.latency_ms.3,
+        v.latency_ms.3
+    );
+    assert!(d.reclaim_cpu_fraction < 0.062, "reclaim CPU above the paper's bound");
+    assert!(d.cpu_utilization <= v.cpu_utilization + 1e-9);
+}

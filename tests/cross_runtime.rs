@@ -1,0 +1,136 @@
+//! Cross-runtime invariants: properties that must hold identically for
+//! the HotSpot and V8 models, exercised through the unified runtime
+//! layer.
+
+use desiccant_repro::faas_runtime::{ExecProfile, Instance, Language, RuntimeImage};
+use desiccant_repro::gc_core::trace::mark;
+use desiccant_repro::simos::{SimDuration, SimTime, System};
+
+fn world(lang: Language) -> (System, Instance) {
+    let mut sys = System::new();
+    let image = RuntimeImage::openwhisk(lang);
+    let libs = image.register_files(&mut sys);
+    let inst = Instance::launch(&mut sys, &image, &libs, 256 << 20, 0.14).expect("fits");
+    (sys, inst)
+}
+
+fn churn(sys: &mut System, inst: &mut Instance, rounds: u64, keep_each: u32) {
+    let exec = ExecProfile::default();
+    for i in 0..rounds {
+        inst.invoke(sys, SimTime(i * 300_000_000), &exec, |ctx| {
+            for _ in 0..32 {
+                let t = ctx.alloc(48 << 10);
+                ctx.handle(t);
+            }
+            if keep_each > 0 {
+                let k = ctx.alloc(keep_each);
+                ctx.global(k);
+            }
+            ctx.work(SimDuration::from_millis(5));
+        })
+        .expect("sized workload");
+    }
+}
+
+#[test]
+fn reclaim_preserves_live_bytes_exactly() {
+    for lang in [Language::Java, Language::JavaScript] {
+        let (mut sys, mut inst) = world(lang);
+        churn(&mut sys, &mut inst, 20, 64 << 10);
+        let live_before = mark(inst.heap().graph(), false, true).live_bytes;
+        let report = inst.reclaim(&mut sys, SimTime(10_000_000_000), true).expect("ok");
+        let live_after = mark(inst.heap().graph(), false, true).live_bytes;
+        assert_eq!(live_before, live_after, "{lang:?}: reclaim lost live data");
+        assert_eq!(report.live_bytes, live_before, "{lang:?}: reported live wrong");
+    }
+}
+
+#[test]
+fn reclaim_is_idempotent_on_memory() {
+    for lang in [Language::Java, Language::JavaScript] {
+        let (mut sys, mut inst) = world(lang);
+        churn(&mut sys, &mut inst, 20, 64 << 10);
+        inst.reclaim(&mut sys, SimTime(10_000_000_000), true).expect("ok");
+        let uss_once = inst.uss(&sys);
+        let second = inst.reclaim(&mut sys, SimTime(11_000_000_000), true).expect("ok");
+        let uss_twice = inst.uss(&sys);
+        assert!(
+            uss_twice <= uss_once + 4096,
+            "{lang:?}: second reclaim grew memory: {uss_once} -> {uss_twice}"
+        );
+        // The second reclamation finds nothing substantial to release.
+        assert!(
+            second.released_bytes < 1 << 20,
+            "{lang:?}: second reclaim released {} bytes",
+            second.released_bytes
+        );
+    }
+}
+
+#[test]
+fn metric_ordering_holds_for_live_instances() {
+    for lang in [Language::Java, Language::JavaScript] {
+        let (mut sys, mut inst) = world(lang);
+        churn(&mut sys, &mut inst, 10, 32 << 10);
+        let (u, p, r) = (inst.uss(&sys) as f64, inst.pss(&sys), inst.rss(&sys) as f64);
+        assert!(u <= p + 1e-6 && p <= r + 1e-6, "{lang:?}: USS {u} PSS {p} RSS {r}");
+    }
+}
+
+#[test]
+fn instances_keep_working_after_many_reclaim_cycles() {
+    for lang in [Language::Java, Language::JavaScript] {
+        let (mut sys, mut inst) = world(lang);
+        for cycle in 0..5u64 {
+            churn(&mut sys, &mut inst, 10, 16 << 10);
+            inst.reclaim(&mut sys, SimTime((cycle + 1) * 100_000_000_000), true)
+                .expect("ok");
+        }
+        // Live state from all cycles survived: 5 cycles × 10 keeps.
+        let live = mark(inst.heap().graph(), false, true);
+        assert!(
+            live.live_bytes >= 50 * (16 << 10),
+            "{lang:?}: retained state lost across cycles ({} bytes)",
+            live.live_bytes
+        );
+    }
+}
+
+#[test]
+fn post_reclaim_execution_pays_refaults_but_stays_close() {
+    for lang in [Language::Java, Language::JavaScript] {
+        let (mut sys, mut inst) = world(lang);
+        churn(&mut sys, &mut inst, 30, 0);
+        // Warm latency.
+        let exec = ExecProfile::default();
+        let warm = inst
+            .invoke(&mut sys, SimTime(20_000_000_000), &exec, |ctx| {
+                for _ in 0..32 {
+                    let t = ctx.alloc(48 << 10);
+                    ctx.handle(t);
+                }
+                ctx.work(SimDuration::from_millis(5));
+            })
+            .expect("ok");
+        inst.reclaim(&mut sys, SimTime(30_000_000_000), true).expect("ok");
+        let cold = inst
+            .invoke(&mut sys, SimTime(40_000_000_000), &exec, |ctx| {
+                for _ in 0..32 {
+                    let t = ctx.alloc(48 << 10);
+                    ctx.handle(t);
+                }
+                ctx.work(SimDuration::from_millis(5));
+            })
+            .expect("ok");
+        assert!(
+            cold.wall_time >= warm.wall_time,
+            "{lang:?}: refaults should not make execution faster"
+        );
+        assert!(
+            cold.wall_time.as_nanos() < warm.wall_time.as_nanos() * 2,
+            "{lang:?}: post-reclaim overhead should be far below 2x ({} vs {})",
+            cold.wall_time,
+            warm.wall_time
+        );
+    }
+}
