@@ -3,6 +3,7 @@
 //! of host time.
 
 use azure_trace::{build_trace, generate_arrivals, replay, ReplayConfig};
+use bench::{run_studies_parallel, Mode, StudyConfig};
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use desiccant::{Desiccant, DesiccantConfig};
 use faas::platform::{GcMode, Platform};
@@ -74,5 +75,33 @@ fn bench_cold_boot(c: &mut Criterion) {
     });
 }
 
-criterion_group!(benches, bench_trace_generation, bench_replay, bench_cold_boot);
+fn bench_study_matrix_parallel(c: &mut Criterion) {
+    // Study throughput through the worker pool: the fig-7-shaped
+    // (function × mode) matrix at one worker vs. all cores. On a
+    // multi-core host the parallel case should approach a
+    // cores-times speedup; results are identical either way.
+    let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let cfg = StudyConfig {
+        iterations: 10,
+        ..StudyConfig::default()
+    };
+    let specs = workloads::catalog();
+    let modes = [Mode::Vanilla, Mode::Desiccant];
+    let mut group = c.benchmark_group("study_matrix");
+    group.sample_size(10);
+    for (jobs, label) in [(1usize, "serial"), (cores, "parallel")] {
+        group.bench_with_input(BenchmarkId::from_parameter(label), &jobs, |b, &jobs| {
+            b.iter(|| run_studies_parallel(&specs, &modes, &cfg, jobs));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_trace_generation,
+    bench_replay,
+    bench_cold_boot,
+    bench_study_matrix_parallel
+);
 criterion_main!(benches);

@@ -1,11 +1,23 @@
 //! Criterion micro-benchmarks for the simulated OS layer: page-state
 //! operations and the metric computations Desiccant's sweeps rely on.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use criterion::{black_box, criterion_group, criterion_main, BatchSize, BenchmarkId, Criterion};
 use desiccant::ProfileStore;
 use faas::{InstanceId, ReclaimProfile};
-use simos::mem::{MappingKind, Prot, PAGE_SIZE};
+use simos::mem::pagebits::PageBits;
+use simos::mem::reference::NaivePages;
+use simos::mem::{page_flags, MappingKind, Prot, PAGE_SIZE};
 use simos::{SimDuration, System};
+
+/// Mapping sizes for the bitmap-vs-naive range benches: 4 KiB (one
+/// page) up to 1 GiB (256 Ki pages).
+const RANGE_SIZES: [(u64, &str); 5] = [
+    (4 << 10, "4KiB"),
+    (256 << 10, "256KiB"),
+    (16 << 20, "16MiB"),
+    (256 << 20, "256MiB"),
+    (1 << 30, "1GiB"),
+];
 
 fn world(npages: u64) -> (System, simos::Pid, simos::VirtAddr) {
     let mut sys = System::new();
@@ -77,11 +89,57 @@ fn bench_selection(c: &mut Criterion) {
     });
 }
 
+fn bench_range_count(c: &mut Criterion) {
+    // The smaps/pmap aggregation primitive: count resident pages in a
+    // range. Packed-u64 popcounts vs. the retained byte-per-page
+    // reference model.
+    let mut group = c.benchmark_group("range_count");
+    for (bytes, label) in RANGE_SIZES {
+        let npages = (bytes / PAGE_SIZE) as usize;
+        group.bench_with_input(BenchmarkId::new("bitmap", label), &npages, |b, &n| {
+            let bits = PageBits::new_filled(n);
+            b.iter(|| black_box(&bits).count_range(0, n));
+        });
+        group.bench_with_input(BenchmarkId::new("naive", label), &npages, |b, &n| {
+            let pages = NaivePages::new_with(n, page_flags::RESIDENT);
+            b.iter(|| black_box(&pages).count_flag_range(page_flags::RESIDENT, 0, n));
+        });
+    }
+    group.finish();
+}
+
+fn bench_range_release(c: &mut Criterion) {
+    // The reclamation primitive: clear a flag over a whole range (what
+    // `madvise(DONTNEED)` does to the resident set). Setup rebuilds the
+    // filled state outside the timed region.
+    let mut group = c.benchmark_group("range_release");
+    for (bytes, label) in RANGE_SIZES {
+        let npages = (bytes / PAGE_SIZE) as usize;
+        group.bench_with_input(BenchmarkId::new("bitmap", label), &npages, |b, &n| {
+            b.iter_batched(
+                || PageBits::new_filled(n),
+                |mut bits| bits.clear_range(0, n),
+                BatchSize::LargeInput,
+            );
+        });
+        group.bench_with_input(BenchmarkId::new("naive", label), &npages, |b, &n| {
+            b.iter_batched(
+                || NaivePages::new_with(n, page_flags::RESIDENT),
+                |mut pages| pages.clear_flag_range(page_flags::RESIDENT, 0, n),
+                BatchSize::LargeInput,
+            );
+        });
+    }
+    group.finish();
+}
+
 criterion_group!(
     benches,
     bench_touch_release,
     bench_uss,
     bench_pmap_whole_mapping,
-    bench_selection
+    bench_selection,
+    bench_range_count,
+    bench_range_release
 );
 criterion_main!(benches);

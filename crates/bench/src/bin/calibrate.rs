@@ -4,10 +4,14 @@
 //! personalities. Prints, per function: vanilla/eager/desiccant/ideal
 //! final USS (MiB), avg and max frozen-garbage ratios, and the
 //! reductions the paper reports in §5.2.
+//!
+//! Flags: `--jobs N`.
 
-use bench::{run_study, Mode, StudyConfig};
+use bench::cli::Flags;
+use bench::{run_studies_parallel, Mode, StudyConfig};
 
 fn main() {
+    let flags = Flags::parse();
     let cfg = StudyConfig::default();
     println!(
         "{:<16} {:>4} {:>8} {:>8} {:>8} {:>8} {:>6} {:>6} {:>6} {:>6} {:>8}",
@@ -17,10 +21,15 @@ fn main() {
     let mut js_max_ratios = Vec::new();
     let mut java_vd = Vec::new();
     let mut js_vd = Vec::new();
-    for spec in workloads::catalog() {
-        let vanilla = run_study(&spec, Mode::Vanilla, &cfg);
-        let eager = run_study(&spec, Mode::Eager, &cfg);
-        let desic = run_study(&spec, Mode::Desiccant, &cfg);
+    let specs = workloads::catalog();
+    let outcomes = run_studies_parallel(
+        &specs,
+        &[Mode::Vanilla, Mode::Eager, Mode::Desiccant],
+        &cfg,
+        flags.jobs(),
+    );
+    for (spec, row) in specs.into_iter().zip(outcomes) {
+        let [vanilla, eager, desic]: [_; 3] = row.try_into().expect("three modes per spec");
         let mb = |b: u64| b as f64 / (1 << 20) as f64;
         let vd = vanilla.final_uss as f64 / desic.final_uss.max(1) as f64;
         let ed = eager.final_uss as f64 / desic.final_uss.max(1) as f64;

@@ -5,14 +5,16 @@
 //! `max_ratio` — real memory over ideal memory at each freeze point.
 //!
 //! Flags: `--list` prints Table 1 instead; `--quick` uses 30
-//! iterations; `--check` asserts the paper-shape invariants:
+//! iterations; `--jobs N` fans the studies over N worker threads
+//! (output is identical at any job count); `--check` asserts the
+//! paper-shape invariants:
 //! every function has ratio > 1, `hotel-searching` peaks above 4×, and
 //! the per-language means land near the paper's 2.72 (Java) / 2.15
 //! (JavaScript).
 
 use bench::cli::{check, Flags};
 use bench::report;
-use bench::{run_study, Mode, StudyConfig};
+use bench::{run_studies_parallel, Mode, StudyConfig};
 use faas_runtime::Language;
 
 fn main() {
@@ -38,8 +40,10 @@ fn main() {
         &["language", "function", "avg_ratio", "max_ratio"],
     );
     let mut means: Vec<(Language, f64, f64)> = Vec::new();
-    for spec in workloads::catalog() {
-        let out = run_study(&spec, Mode::Vanilla, &cfg);
+    let specs = workloads::catalog();
+    let outcomes = run_studies_parallel(&specs, &[Mode::Vanilla], &cfg, flags.jobs());
+    for (spec, mut row) in specs.into_iter().zip(outcomes) {
+        let out = row.pop().expect("one mode per spec");
         report::row(&[
             spec.language.name().into(),
             spec.name.into(),

@@ -6,11 +6,11 @@
 //! functions — image-pipeline is excluded because its external calls
 //! don't run on the vanilla Corretto image) and 2.76× for JavaScript.
 //!
-//! Flags: `--quick`, `--check`.
+//! Flags: `--quick`, `--check`, `--jobs N`.
 
 use bench::cli::{check, Flags};
 use bench::report;
-use bench::{run_study, Mode, StudyConfig};
+use bench::{run_study_jobs, Mode, StudyConfig};
 use faas_runtime::Language;
 
 fn main() {
@@ -25,16 +25,39 @@ fn main() {
         "Figure 11: memory efficiency on AWS Lambda (MiB)",
         &["language", "function", "vanilla", "desiccant", "improvement"],
     );
+    // §5.4: image-pipeline's external calls are unsupported on the
+    // vanilla Corretto image; the paper reports the other Java
+    // functions.
+    let specs: Vec<_> = workloads::catalog()
+        .into_iter()
+        .filter(|f| f.name != "image-pipeline")
+        .collect();
+    // One flat job list: the (function × mode) matrix plus the three
+    // fft unmap-ablation studies appended at the end.
+    let fft = workloads::by_name("fft").expect("catalog function");
+    let ow_cfg = StudyConfig {
+        lambda_env: false,
+        unmap_libs: false,
+        iterations: cfg.iterations,
+        ..StudyConfig::default()
+    };
+    let nounmap_cfg = StudyConfig {
+        unmap_libs: false,
+        ..cfg
+    };
+    let mut work: Vec<_> = specs
+        .iter()
+        .flat_map(|&spec| {
+            [(spec, Mode::Vanilla, cfg), (spec, Mode::Desiccant, cfg)]
+        })
+        .collect();
+    work.push((fft, Mode::Desiccant, ow_cfg));
+    work.push((fft, Mode::Desiccant, nounmap_cfg));
+    work.push((fft, Mode::Desiccant, cfg));
+    let outcomes = run_study_jobs(flags.jobs(), &work);
     let mut by_lang: Vec<(Language, f64)> = Vec::new();
-    for spec in workloads::catalog() {
-        // §5.4: image-pipeline's external calls are unsupported on the
-        // vanilla Corretto image; the paper reports the other Java
-        // functions.
-        if spec.name == "image-pipeline" {
-            continue;
-        }
-        let vanilla = run_study(&spec, Mode::Vanilla, &cfg);
-        let desiccant = run_study(&spec, Mode::Desiccant, &cfg);
+    for (i, spec) in specs.iter().enumerate() {
+        let (vanilla, desiccant) = (&outcomes[2 * i], &outcomes[2 * i + 1]);
         let improvement = vanilla.final_uss as f64 / desiccant.final_uss.max(1) as f64;
         report::row(&[
             spec.language.name().into(),
@@ -66,26 +89,9 @@ fn main() {
         );
     }
     // The unmap optimization matters more on Lambda than on OpenWhisk.
-    let spec = workloads::by_name("fft").expect("catalog function");
-    let ow = run_study(
-        &spec,
-        Mode::Desiccant,
-        &StudyConfig {
-            lambda_env: false,
-            unmap_libs: false,
-            iterations: cfg.iterations,
-            ..StudyConfig::default()
-        },
-    );
-    let lam_nounmap = run_study(
-        &spec,
-        Mode::Desiccant,
-        &StudyConfig {
-            unmap_libs: false,
-            ..cfg
-        },
-    );
-    let lam_unmap = run_study(&spec, Mode::Desiccant, &cfg);
+    let [ow, lam_nounmap, lam_unmap] = &outcomes[2 * specs.len()..] else {
+        unreachable!("three ablation studies appended to the job list");
+    };
     println!(
         "# fft desiccant USS: openwhisk {} MiB, lambda w/o unmap {} MiB, lambda with unmap {} MiB",
         report::mib(ow.final_uss),

@@ -6,18 +6,45 @@
 //! budget (young cap scales) while Desiccant stays put, reaching the
 //! paper's headline 6.72× at 1 GiB.
 //!
-//! Flags: `--quick`, `--check`.
+//! Flags: `--quick`, `--check`, `--jobs N`.
 
 use bench::cli::{check, Flags};
 use bench::report;
-use bench::{run_study, Mode, StudyConfig};
+use bench::{run_study_jobs, Mode, StudyConfig};
 use faas_runtime::Language;
 
 const BUDGETS: [(u64, &str); 3] = [(256 << 20, "256MiB"), (512 << 20, "512MiB"), (1 << 30, "1GiB")];
+const MODES: [Mode; 3] = [Mode::Vanilla, Mode::Eager, Mode::Desiccant];
 
 fn main() {
     let flags = Flags::parse();
     let iterations = if flags.quick { 30 } else { 100 };
+    let specs = workloads::catalog();
+    // One flat job list: (budget × function × mode) for panels a/b,
+    // then (budget × {clock, fft} × mode) for panels c/d.
+    let cfg_for = |budget| StudyConfig {
+        budget,
+        iterations,
+        ..StudyConfig::default()
+    };
+    let mut work = Vec::new();
+    for (budget, _) in BUDGETS {
+        for &spec in &specs {
+            for mode in MODES {
+                work.push((spec, mode, cfg_for(budget)));
+            }
+        }
+    }
+    let panel_cd_start = work.len();
+    for (budget, _) in BUDGETS {
+        for name in ["clock", "fft"] {
+            let spec = workloads::by_name(name).expect("catalog function");
+            for mode in MODES {
+                work.push((spec, mode, cfg_for(budget)));
+            }
+        }
+    }
+    let outcomes = run_study_jobs(flags.jobs(), &work);
     // Panels (a) and (b): per-language means.
     report::caption(
         "Figure 12a/b: mean memory per language (MiB)",
@@ -25,21 +52,17 @@ fn main() {
     );
     let mut java_reduction = Vec::new();
     let mut js_reduction = Vec::new();
-    for (budget, label) in BUDGETS {
-        let cfg = StudyConfig {
-            budget,
-            iterations,
-            ..StudyConfig::default()
-        };
+    for (b, (_, label)) in BUDGETS.into_iter().enumerate() {
+        let by_budget = &outcomes[b * specs.len() * 3..(b + 1) * specs.len() * 3];
         for lang in [Language::Java, Language::JavaScript] {
             let mut v = 0u64;
             let mut e = 0u64;
             let mut d = 0u64;
             let mut n = 0u64;
-            for spec in workloads::catalog().into_iter().filter(|f| f.language == lang) {
-                v += run_study(&spec, Mode::Vanilla, &cfg).final_uss;
-                e += run_study(&spec, Mode::Eager, &cfg).final_uss;
-                d += run_study(&spec, Mode::Desiccant, &cfg).final_uss;
+            for (i, _) in specs.iter().enumerate().filter(|(_, f)| f.language == lang) {
+                v += by_budget[3 * i].final_uss;
+                e += by_budget[3 * i + 1].final_uss;
+                d += by_budget[3 * i + 2].final_uss;
                 n += 1;
             }
             let reduction = v as f64 / d.max(1) as f64;
@@ -78,17 +101,13 @@ fn main() {
     );
     let mut fft_reduction = Vec::new();
     let mut clock_vanilla = Vec::new();
-    for (budget, label) in BUDGETS {
-        let cfg = StudyConfig {
-            budget,
-            iterations,
-            ..StudyConfig::default()
-        };
+    let mut cd = outcomes[panel_cd_start..].chunks_exact(3);
+    for (_, label) in BUDGETS {
         for name in ["clock", "fft"] {
-            let spec = workloads::by_name(name).expect("catalog function");
-            let v = run_study(&spec, Mode::Vanilla, &cfg).final_uss;
-            let e = run_study(&spec, Mode::Eager, &cfg).final_uss;
-            let d = run_study(&spec, Mode::Desiccant, &cfg).final_uss;
+            let [v, e, d] = cd.next().expect("a chunk per (budget, function)") else {
+                unreachable!("chunks_exact(3) yields three-element chunks");
+            };
+            let (v, e, d) = (v.final_uss, e.final_uss, d.final_uss);
             let reduction = v as f64 / d.max(1) as f64;
             report::row(&[
                 label.into(),

@@ -7,25 +7,47 @@
 //! (2.14×) and `unionfind` (1.74×) from deoptimization slowdowns.
 //!
 //! Flags: `--quick` (skips half the functions), `--check`,
-//! `--ablate-weak` (adds the keep-weak vs. aggressive comparison).
+//! `--ablate-weak` (adds the keep-weak vs. aggressive comparison),
+//! `--jobs N`.
 
 use bench::cli::{check, Flags};
 use bench::report;
-use bench::{run_overhead_study, Mode, StudyConfig};
+use bench::{run_jobs, run_overhead_study, Mode, StudyConfig};
+use workloads::FunctionSpec;
 
 fn main() {
     let flags = Flags::parse();
     let cfg = StudyConfig::default();
+    let ablate = flags.has("--ablate-weak") || !flags.quick;
+    let specs: Vec<_> = workloads::catalog()
+        .into_iter()
+        .enumerate()
+        .filter(|&(i, _)| !(flags.quick && i % 2 == 1))
+        .map(|(_, spec)| spec)
+        .collect();
+    // One flat job list: the per-function Desiccant studies, the sort
+    // swap comparison, and (unless skipped) the weak-ref ablation.
+    let sort = workloads::by_name("sort").expect("catalog function");
+    let mut work: Vec<(FunctionSpec, Mode, StudyConfig)> =
+        specs.iter().map(|&spec| (spec, Mode::Desiccant, cfg)).collect();
+    work.push((sort, Mode::Desiccant, cfg));
+    work.push((sort, Mode::Swap, cfg));
+    if ablate {
+        for name in ["data-analysis", "unionfind"] {
+            let spec = workloads::by_name(name).expect("catalog function");
+            work.push((spec, Mode::Desiccant, cfg));
+            work.push((spec, Mode::Desiccant, StudyConfig { keep_weak: false, ..cfg }));
+        }
+    }
+    let outcomes = run_jobs(flags.jobs(), &work, |(spec, mode, cfg)| {
+        run_overhead_study(spec, *mode, cfg)
+    });
     report::caption(
         "Figure 13: execution overhead after reclamation",
         &["language", "function", "overhead"],
     );
     let mut overheads = Vec::new();
-    for (i, spec) in workloads::catalog().into_iter().enumerate() {
-        if flags.quick && i % 2 == 1 {
-            continue;
-        }
-        let out = run_overhead_study(&spec, Mode::Desiccant, &cfg);
+    for (spec, out) in specs.iter().zip(&outcomes) {
         let overhead = out.overhead();
         report::row(&[
             spec.language.name().into(),
@@ -47,9 +69,7 @@ fn main() {
     check(&flags, mean < 1.25, "mean overhead stays small (paper 8.3%)");
 
     // Swap comparison on sort (§5.6: 2.37x slower re-execution).
-    let sort = workloads::by_name("sort").expect("catalog function");
-    let d = run_overhead_study(&sort, Mode::Desiccant, &cfg);
-    let s = run_overhead_study(&sort, Mode::Swap, &cfg);
+    let (d, s) = (&outcomes[specs.len()], &outcomes[specs.len() + 1]);
     println!(
         "# sort: desiccant overhead {:.2}, swap overhead {:.2} (paper: swap 2.37x slower)",
         d.overhead(),
@@ -61,22 +81,16 @@ fn main() {
         "swapping costs much more than reclamation on re-execution",
     );
 
-    if flags.has("--ablate-weak") || !flags.quick {
+    if ablate {
         report::caption(
             "Figure 13 (weak-ref ablation): keep-weak vs aggressive reclaim",
             &["function", "keep_weak_overhead", "aggressive_overhead"],
         );
+        let mut pairs = outcomes[specs.len() + 2..].chunks_exact(2);
         for name in ["data-analysis", "unionfind"] {
-            let spec = workloads::by_name(name).expect("catalog function");
-            let gentle = run_overhead_study(&spec, Mode::Desiccant, &cfg);
-            let aggressive = run_overhead_study(
-                &spec,
-                Mode::Desiccant,
-                &StudyConfig {
-                    keep_weak: false,
-                    ..cfg
-                },
-            );
+            let [gentle, aggressive] = pairs.next().expect("a chunk per ablated function") else {
+                unreachable!("chunks_exact(2) yields two-element chunks");
+            };
             report::row(&[
                 name.into(),
                 format!("{:.2}", gentle.overhead()),

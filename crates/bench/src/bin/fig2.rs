@@ -7,11 +7,11 @@
 //! paper — 86.4 % free), and `fft`'s heap size under vanilla
 //! (41.40 MiB, young generation pinned at its 32 MiB cap).
 //!
-//! Flags: `--quick` (30 iterations), `--check`.
+//! Flags: `--quick` (30 iterations), `--check`, `--jobs N`.
 
 use bench::cli::{check, Flags};
 use bench::report;
-use bench::{run_study, Mode, StudyConfig};
+use bench::{run_studies_parallel, Mode, StudyConfig};
 
 fn main() {
     let flags = Flags::parse();
@@ -19,10 +19,19 @@ fn main() {
         iterations: if flags.quick { 30 } else { 100 },
         ..StudyConfig::default()
     };
-    for name in ["file-hash", "fft"] {
-        let spec = workloads::by_name(name).expect("catalog function");
-        let vanilla = run_study(&spec, Mode::Vanilla, &cfg);
-        let eager = run_study(&spec, Mode::Eager, &cfg);
+    let names = ["file-hash", "fft"];
+    let specs: Vec<_> = names
+        .iter()
+        .map(|name| workloads::by_name(name).expect("catalog function"))
+        .collect();
+    let outcomes = run_studies_parallel(
+        &specs,
+        &[Mode::Vanilla, Mode::Eager],
+        &cfg,
+        flags.jobs(),
+    );
+    for (name, row) in names.into_iter().zip(outcomes) {
+        let [vanilla, eager]: [_; 2] = row.try_into().expect("two modes per spec");
         report::caption(
             &format!("Figure 2: memory consumption curve for {name}"),
             &["iteration", "vanilla_mib", "eager_mib", "ideal_mib"],

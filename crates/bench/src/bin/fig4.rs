@@ -6,11 +6,11 @@
 //! with the budget (V8's young-generation cap scales with the heap, so
 //! `fft`'s average ratio climbs from 3.27× to 7.11×).
 //!
-//! Flags: `--quick`, `--check`.
+//! Flags: `--quick`, `--check`, `--jobs N`.
 
 use bench::cli::{check, Flags};
 use bench::report;
-use bench::{run_study, Mode, StudyConfig};
+use bench::{run_study_jobs, Mode, StudyConfig};
 use faas_runtime::Language;
 
 fn main() {
@@ -20,21 +20,31 @@ fn main() {
         "Figure 4: average of ratios under different memory settings",
         &["budget", "language", "mean_avg_ratio", "mean_max_ratio", "fft_avg_ratio"],
     );
+    // The whole budget × function sweep is one flat job list; each
+    // budget gets its own config.
+    let specs = workloads::catalog();
+    let work: Vec<_> = budgets
+        .iter()
+        .flat_map(|&(budget, _)| {
+            let cfg = StudyConfig {
+                budget,
+                iterations: if flags.quick { 30 } else { 100 },
+                ..StudyConfig::default()
+            };
+            specs.iter().map(move |&spec| (spec, Mode::Vanilla, cfg))
+        })
+        .collect();
+    let outcomes = run_study_jobs(flags.jobs(), &work);
     let mut js_fft_avg = Vec::new();
     let mut java_means = Vec::new();
     let mut js_means = Vec::new();
-    for &(budget, label) in budgets {
-        let cfg = StudyConfig {
-            budget,
-            iterations: if flags.quick { 30 } else { 100 },
-            ..StudyConfig::default()
-        };
+    for (b, &(_, label)) in budgets.iter().enumerate() {
+        let by_budget = &outcomes[b * specs.len()..(b + 1) * specs.len()];
         for lang in [Language::Java, Language::JavaScript] {
             let mut avg = Vec::new();
             let mut max = Vec::new();
             let mut fft = 0.0;
-            for spec in workloads::catalog().into_iter().filter(|f| f.language == lang) {
-                let out = run_study(&spec, Mode::Vanilla, &cfg);
+            for (spec, out) in specs.iter().zip(by_budget).filter(|(f, _)| f.language == lang) {
                 avg.push(out.avg_ratio());
                 max.push(out.max_ratio());
                 if spec.name == "fft" {

@@ -7,11 +7,12 @@
 //! (1.93× mean); it beats eager everywhere (1.36× / 1.55× mean); and it
 //! lands within 0.1 % (Java) / 6.4 % (JavaScript) of the ideal.
 //!
-//! Flags: `--quick`, `--check`.
+//! Flags: `--quick`, `--check`, `--jobs N` (output is identical at any
+//! job count).
 
 use bench::cli::{check, Flags};
 use bench::report;
-use bench::{run_study, Mode, StudyConfig};
+use bench::{run_studies_parallel, Mode, StudyConfig};
 use faas_runtime::Language;
 
 fn main() {
@@ -25,10 +26,15 @@ fn main() {
         &["language", "function", "vanilla", "eager", "desiccant", "ideal", "vanilla/desiccant", "eager/desiccant"],
     );
     let mut by_lang: Vec<(Language, f64, f64, f64)> = Vec::new();
-    for spec in workloads::catalog() {
-        let vanilla = run_study(&spec, Mode::Vanilla, &cfg);
-        let eager = run_study(&spec, Mode::Eager, &cfg);
-        let desiccant = run_study(&spec, Mode::Desiccant, &cfg);
+    let specs = workloads::catalog();
+    let outcomes = run_studies_parallel(
+        &specs,
+        &[Mode::Vanilla, Mode::Eager, Mode::Desiccant],
+        &cfg,
+        flags.jobs(),
+    );
+    for (spec, row) in specs.into_iter().zip(outcomes) {
+        let [vanilla, eager, desiccant]: [_; 3] = row.try_into().expect("three modes per spec");
         let vd = vanilla.final_uss as f64 / desiccant.final_uss.max(1) as f64;
         let ed = eager.final_uss as f64 / desiccant.final_uss.max(1) as f64;
         let gap = desiccant.final_uss as f64 / desiccant.final_ideal.max(1) as f64 - 1.0;

@@ -29,8 +29,11 @@ fn run_one(scale: f64, mode: &str, quick: bool) -> azure_trace::ReplayOutcome {
     let mut p = Platform::new(PlatformConfig::default(), catalog, gc, manager);
     let config = ReplayConfig {
         scale,
-        warmup: SimDuration::from_secs(if quick { 20 } else { 60 }),
-        duration: SimDuration::from_secs(if quick { 60 } else { 180 }),
+        // The quick window still has to be long enough for cache
+        // pressure to build at sf 15, or the cold-boot checks become
+        // vacuous (all modes identical).
+        warmup: SimDuration::from_secs(if quick { 45 } else { 60 }),
+        duration: SimDuration::from_secs(if quick { 150 } else { 180 }),
         ..ReplayConfig::default()
     };
     replay(&mut p, &trace, &config)

@@ -5,6 +5,8 @@
 //! * `--check` — assert the paper-shape invariants and exit non-zero on
 //!   violation (used by the integration tests);
 //! * `--quick` — smaller iteration counts / sweeps for fast runs;
+//! * `--jobs N` — worker threads for the study matrix (default: all
+//!   available cores; `--jobs 1` runs serially);
 //! * harness-specific flags documented in each binary.
 
 /// Parsed common flags.
@@ -14,6 +16,9 @@ pub struct Flags {
     pub check: bool,
     /// Reduced workload for fast runs.
     pub quick: bool,
+    /// Worker threads requested with `--jobs`; `None` means use all
+    /// available cores.
+    pub jobs: Option<usize>,
     /// Remaining positional / harness-specific arguments.
     pub rest: Vec<String>,
 }
@@ -27,11 +32,30 @@ impl Flags {
     /// Parses an explicit argument list.
     pub fn from_args(args: impl Iterator<Item = String>) -> Flags {
         let mut flags = Flags::default();
+        let mut want_jobs = false;
         for a in args {
+            if want_jobs {
+                want_jobs = false;
+                flags.jobs = a.parse().ok().filter(|&n| n > 0);
+                if flags.jobs.is_none() {
+                    eprintln!("ignoring invalid --jobs value: {a}");
+                }
+                continue;
+            }
             match a.as_str() {
                 "--check" => flags.check = true,
                 "--quick" => flags.quick = true,
-                _ => flags.rest.push(a),
+                "--jobs" => want_jobs = true,
+                _ => {
+                    if let Some(n) = a.strip_prefix("--jobs=") {
+                        flags.jobs = n.parse().ok().filter(|&n| n > 0);
+                        if flags.jobs.is_none() {
+                            eprintln!("ignoring invalid --jobs value: {n}");
+                        }
+                    } else {
+                        flags.rest.push(a);
+                    }
+                }
             }
         }
         flags
@@ -40,6 +64,14 @@ impl Flags {
     /// True if a harness-specific flag is present.
     pub fn has(&self, flag: &str) -> bool {
         self.rest.iter().any(|a| a == flag)
+    }
+
+    /// Effective worker-thread count: the `--jobs` value, or every
+    /// available core.
+    pub fn jobs(&self) -> usize {
+        self.jobs.unwrap_or_else(|| {
+            std::thread::available_parallelism().map_or(1, |n| n.get())
+        })
     }
 }
 
@@ -68,5 +100,20 @@ mod tests {
         assert!(f.quick);
         assert!(f.has("--list"));
         assert!(!f.has("--nope"));
+    }
+
+    #[test]
+    fn parses_jobs_in_both_spellings() {
+        let f = Flags::from_args(["--jobs", "4"].iter().map(|s| s.to_string()));
+        assert_eq!(f.jobs, Some(4));
+        assert_eq!(f.jobs(), 4);
+        let f = Flags::from_args(["--jobs=2"].iter().map(|s| s.to_string()));
+        assert_eq!(f.jobs, Some(2));
+        // Invalid and zero values fall back to auto.
+        let f = Flags::from_args(["--jobs", "zero"].iter().map(|s| s.to_string()));
+        assert_eq!(f.jobs, None);
+        assert!(f.jobs() >= 1);
+        let f = Flags::from_args(["--jobs=0"].iter().map(|s| s.to_string()));
+        assert_eq!(f.jobs, None);
     }
 }

@@ -10,10 +10,16 @@
 //!   (vanilla / eager / Desiccant / swap), and compute the
 //!   frozen-garbage ratios against the ideal baseline;
 //! * [`report`] — CSV-style output helpers so every harness prints
-//!   rows shaped like the figure it reproduces.
+//!   rows shaped like the figure it reproduces;
+//! * [`parallel`] — a std-only scoped-thread pool fanning the
+//!   `(function × mode)` study matrix across cores (`--jobs N`), with
+//!   results in stable input order so output stays byte-identical to a
+//!   serial run.
 
 pub mod cli;
+pub mod parallel;
 pub mod report;
 pub mod singlefn;
 
+pub use parallel::{run_jobs, run_studies_parallel, run_study_jobs};
 pub use singlefn::{run_overhead_study, run_study, Mode, OverheadOutcome, StudyConfig, StudyOutcome};

@@ -1,0 +1,143 @@
+//! Scoped-thread worker pool fanning independent studies across cores.
+//!
+//! Every figure harness runs the same shape of work: a matrix of
+//! `(function, mode)` studies, each a self-contained simulation seeded
+//! from its [`StudyConfig`] — no study reads another's state. That
+//! makes them embarrassingly parallel, and it makes parallel execution
+//! *exactly* reproducible: a study computes the same [`StudyOutcome`]
+//! (checksum included) no matter which worker runs it or when.
+//!
+//! The pool is std-only: `std::thread::scope` workers pull item indices
+//! from a shared atomic counter and write results into per-item slots,
+//! so results come back in input order. Harnesses compute the whole
+//! matrix first and print afterwards, which keeps their stdout
+//! byte-identical between `--jobs 1` and `--jobs N`.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+use workloads::FunctionSpec;
+
+use crate::singlefn::{run_study, Mode, StudyConfig, StudyOutcome};
+
+/// Runs `f` over every item on `jobs` worker threads, returning results
+/// in input order.
+///
+/// `jobs <= 1` (or a single item) degenerates to a plain serial loop on
+/// the calling thread — exactly the pre-pool behaviour. A worker panic
+/// propagates out of the scope and aborts the harness, as it would
+/// serially.
+pub fn run_jobs<I, T, F>(jobs: usize, items: &[I], f: F) -> Vec<T>
+where
+    I: Sync,
+    T: Send,
+    F: Fn(&I) -> T + Sync,
+{
+    let jobs = jobs.max(1).min(items.len().max(1));
+    if jobs == 1 {
+        return items.iter().map(&f).collect();
+    }
+    let next = AtomicUsize::new(0);
+    // Uncontended per-item slots; Mutex (rather than OnceLock) keeps the
+    // bound at `T: Send` without requiring `T: Sync`.
+    let slots: Vec<Mutex<Option<T>>> = items.iter().map(|_| Mutex::new(None)).collect();
+    std::thread::scope(|scope| {
+        for _ in 0..jobs {
+            scope.spawn(|| loop {
+                let idx = next.fetch_add(1, Ordering::Relaxed);
+                let Some(item) = items.get(idx) else { break };
+                let result = f(item);
+                let prev = slots[idx].lock().expect("slot lock poisoned").replace(result);
+                debug_assert!(prev.is_none(), "two workers claimed item {idx}");
+            });
+        }
+    });
+    slots
+        .into_iter()
+        .map(|slot| {
+            slot.into_inner()
+                .expect("slot lock poisoned")
+                .expect("worker filled every slot")
+        })
+        .collect()
+}
+
+/// Runs an explicit list of `(function, mode, config)` studies and
+/// returns their outcomes in input order.
+///
+/// This is the general form for harnesses whose config varies per study
+/// (budget sweeps, environment toggles).
+pub fn run_study_jobs(
+    jobs: usize,
+    work: &[(FunctionSpec, Mode, StudyConfig)],
+) -> Vec<StudyOutcome> {
+    run_jobs(jobs, work, |(spec, mode, cfg)| run_study(spec, *mode, cfg))
+}
+
+/// Fans the full `specs × modes` study matrix across `jobs` workers.
+///
+/// Returns one row per spec, holding the outcomes for each mode in the
+/// order given — `result[s][m]` is `run_study(&specs[s], modes[m], cfg)`.
+/// Input order is preserved regardless of which worker finishes first,
+/// so tables printed from the result (and `--check` assertions over it)
+/// are byte-identical to a serial run.
+pub fn run_studies_parallel(
+    specs: &[FunctionSpec],
+    modes: &[Mode],
+    cfg: &StudyConfig,
+    jobs: usize,
+) -> Vec<Vec<StudyOutcome>> {
+    let work: Vec<(FunctionSpec, Mode, StudyConfig)> = specs
+        .iter()
+        .flat_map(|spec| modes.iter().map(move |&mode| (*spec, mode, *cfg)))
+        .collect();
+    let mut flat = run_study_jobs(jobs, &work).into_iter();
+    specs
+        .iter()
+        .map(|_| modes.iter().map(|_| flat.next().expect("full matrix")).collect())
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn run_jobs_preserves_input_order() {
+        let items: Vec<usize> = (0..257).collect();
+        let doubled = run_jobs(8, &items, |&i| i * 2);
+        assert_eq!(doubled, items.iter().map(|i| i * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn run_jobs_serial_and_empty_edge_cases() {
+        let items = [1, 2, 3];
+        assert_eq!(run_jobs(1, &items, |&i| i + 1), vec![2, 3, 4]);
+        assert_eq!(run_jobs(0, &items, |&i| i + 1), vec![2, 3, 4]);
+        let empty: [u32; 0] = [];
+        assert!(run_jobs(4, &empty, |&i| i).is_empty());
+    }
+
+    #[test]
+    fn parallel_matrix_matches_serial_exactly() {
+        // The acceptance bar for the figure harnesses: every study
+        // outcome — checksum included — is identical between one worker
+        // and many.
+        let cfg = StudyConfig {
+            iterations: 4,
+            ..StudyConfig::default()
+        };
+        let specs: Vec<FunctionSpec> = workloads::catalog().into_iter().take(3).collect();
+        let modes = [Mode::Vanilla, Mode::Desiccant];
+        let serial = run_studies_parallel(&specs, &modes, &cfg, 1);
+        let parallel = run_studies_parallel(&specs, &modes, &cfg, 8);
+        for (row_s, row_p) in serial.iter().zip(&parallel) {
+            for (s, p) in row_s.iter().zip(row_p) {
+                assert_eq!(s.checksum, p.checksum);
+                assert_eq!(s.final_uss, p.final_uss);
+                assert_eq!(s.uss, p.uss);
+                assert_eq!(s.latency, p.latency);
+            }
+        }
+    }
+}

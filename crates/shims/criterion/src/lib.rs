@@ -1,0 +1,348 @@
+//! Offline stand-in for `criterion`.
+//!
+//! The build environment cannot reach crates.io, so this workspace
+//! vendors the benchmark-harness subset it uses: `Criterion`,
+//! `benchmark_group` / `bench_function` / `bench_with_input`,
+//! `Bencher::{iter, iter_batched}`, `BenchmarkId`, `BatchSize`,
+//! `black_box`, and the `criterion_group!` / `criterion_main!` macros.
+//!
+//! Measurement is deliberately simple: after a short warm-up the
+//! routine is run in timed batches until the target measurement time
+//! (default 1 s, scaled down by `sample_size`) elapses, and the mean,
+//! minimum and maximum per-iteration wall times are printed in a
+//! criterion-like format. There is no statistical analysis, HTML
+//! report, or saved baseline — the printed numbers are the deliverable.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// Re-export so `criterion::black_box` works as in the real crate.
+pub use std::hint::black_box;
+
+/// How `iter_batched` amortizes setup (ignored by this harness beyond
+/// batch sizing).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Small inputs: large batches.
+    SmallInput,
+    /// Large inputs: small batches.
+    LargeInput,
+    /// One setup per iteration.
+    PerIteration,
+}
+
+/// Identifies one benchmark within a group.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// `group/function_name/parameter` style id.
+    pub fn new(function_name: impl Into<String>, parameter: impl Display) -> BenchmarkId {
+        BenchmarkId {
+            id: format!("{}/{}", function_name.into(), parameter),
+        }
+    }
+
+    /// Id from the parameter alone.
+    pub fn from_parameter(parameter: impl Display) -> BenchmarkId {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> BenchmarkId {
+        BenchmarkId { id: s.to_string() }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> BenchmarkId {
+        BenchmarkId { id: s }
+    }
+}
+
+/// Drives iterations of one benchmark routine.
+pub struct Bencher {
+    /// Total measured time across all timed iterations.
+    elapsed: Duration,
+    /// Number of timed iterations.
+    iters: u64,
+    /// Minimum observed per-batch mean.
+    min: Duration,
+    /// Maximum observed per-batch mean.
+    max: Duration,
+    /// Wall-clock budget for the measurement loop.
+    budget: Duration,
+}
+
+impl Bencher {
+    fn new(budget: Duration) -> Bencher {
+        Bencher {
+            elapsed: Duration::ZERO,
+            iters: 0,
+            min: Duration::MAX,
+            max: Duration::ZERO,
+            budget,
+        }
+    }
+
+    fn record(&mut self, batch: Duration, batch_iters: u64) {
+        self.elapsed += batch;
+        self.iters += batch_iters;
+        let per = batch / batch_iters.max(1) as u32;
+        self.min = self.min.min(per);
+        self.max = self.max.max(per);
+    }
+
+    /// Times `routine` repeatedly.
+    pub fn iter<O>(&mut self, mut routine: impl FnMut() -> O) {
+        // Warm-up and batch-size calibration: aim for batches of
+        // roughly 10 ms so the Instant overhead vanishes.
+        let t0 = Instant::now();
+        black_box(routine());
+        let once = t0.elapsed().max(Duration::from_nanos(1));
+        let batch_iters = (Duration::from_millis(10).as_nanos() / once.as_nanos()).clamp(1, 1 << 20) as u64;
+        let deadline = Instant::now() + self.budget;
+        while Instant::now() < deadline {
+            let t = Instant::now();
+            for _ in 0..batch_iters {
+                black_box(routine());
+            }
+            self.record(t.elapsed(), batch_iters);
+        }
+        if self.iters == 0 {
+            self.record(once, 1);
+        }
+    }
+
+    /// Times `routine` on fresh inputs produced by `setup`; setup time
+    /// is excluded from the measurement.
+    pub fn iter_batched<I, O>(
+        &mut self,
+        mut setup: impl FnMut() -> I,
+        mut routine: impl FnMut(I) -> O,
+        _size: BatchSize,
+    ) {
+        let deadline = Instant::now() + self.budget;
+        loop {
+            let input = setup();
+            let t = Instant::now();
+            black_box(routine(input));
+            self.record(t.elapsed(), 1);
+            if Instant::now() >= deadline {
+                break;
+            }
+        }
+    }
+
+    fn report(&self, name: &str) {
+        if self.iters == 0 {
+            println!("{name:<50} time:   [no samples]");
+            return;
+        }
+        let mean = self.elapsed / self.iters.max(1) as u32;
+        println!(
+            "{name:<50} time:   [{} {} {}]  ({} iterations)",
+            fmt_duration(self.min),
+            fmt_duration(mean),
+            fmt_duration(self.max),
+            self.iters,
+        );
+    }
+}
+
+fn fmt_duration(d: Duration) -> String {
+    let ns = d.as_nanos();
+    if ns < 1_000 {
+        format!("{ns} ns")
+    } else if ns < 1_000_000 {
+        format!("{:.3} µs", ns as f64 / 1_000.0)
+    } else if ns < 1_000_000_000 {
+        format!("{:.3} ms", ns as f64 / 1_000_000.0)
+    } else {
+        format!("{:.3} s", ns as f64 / 1_000_000_000.0)
+    }
+}
+
+/// Top-level harness state.
+pub struct Criterion {
+    measurement_time: Duration,
+    /// Substring filter from the command line, as real criterion.
+    filter: Option<String>,
+}
+
+impl Default for Criterion {
+    fn default() -> Criterion {
+        Criterion {
+            measurement_time: Duration::from_millis(300),
+            filter: None,
+        }
+    }
+}
+
+impl Criterion {
+    /// Applies command-line arguments (`<filter>`, `--bench` ignored).
+    pub fn configure_from_args(mut self) -> Criterion {
+        let filter = std::env::args()
+            .skip(1)
+            .find(|a| !a.starts_with("--") && !a.is_empty());
+        self.filter = filter;
+        self
+    }
+
+    /// Overrides the per-benchmark measurement budget.
+    pub fn measurement_time(mut self, t: Duration) -> Criterion {
+        self.measurement_time = t;
+        self
+    }
+
+    fn enabled(&self, name: &str) -> bool {
+        self.filter.as_deref().is_none_or(|f| name.contains(f))
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            sample_scale: 1.0,
+        }
+    }
+
+    /// Runs a single ungrouped benchmark.
+    pub fn bench_function(
+        &mut self,
+        name: &str,
+        f: impl FnMut(&mut Bencher),
+    ) -> &mut Criterion {
+        run_one(name, self.measurement_time, self.enabled(name), f);
+        self
+    }
+}
+
+fn run_one(name: &str, budget: Duration, enabled: bool, mut f: impl FnMut(&mut Bencher)) {
+    if !enabled {
+        return;
+    }
+    let mut b = Bencher::new(budget);
+    f(&mut b);
+    b.report(name);
+}
+
+/// A group of related benchmarks sharing a name prefix.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    sample_scale: f64,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Criterion-compatible knob; scales the measurement budget down
+    /// for expensive benchmarks (real criterion's default is 100).
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_scale = (n as f64 / 100.0).clamp(0.05, 1.0);
+        self
+    }
+
+    /// Measurement budget for this group.
+    pub fn measurement_time(&mut self, t: Duration) -> &mut Self {
+        self.criterion.measurement_time = t;
+        self
+    }
+
+    fn budget(&self) -> Duration {
+        self.criterion.measurement_time.mul_f64(self.sample_scale)
+    }
+
+    /// Runs one benchmark with an explicit input.
+    pub fn bench_with_input<I: ?Sized>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        input: &I,
+        mut f: impl FnMut(&mut Bencher, &I),
+    ) -> &mut Self {
+        let full = format!("{}/{}", self.name, id.into().id);
+        let enabled = self.criterion.enabled(&full);
+        run_one(&full, self.budget(), enabled, |b| f(b, input));
+        self
+    }
+
+    /// Runs one benchmark without an input.
+    pub fn bench_function(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        f: impl FnMut(&mut Bencher),
+    ) -> &mut Self {
+        let full = format!("{}/{}", self.name, id.into().id);
+        let enabled = self.criterion.enabled(&full);
+        run_one(&full, self.budget(), enabled, f);
+        self
+    }
+
+    /// Ends the group.
+    pub fn finish(self) {}
+}
+
+/// Declares a group-runner function, as real criterion.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default().configure_from_args();
+            $($target(&mut criterion);)+
+        }
+    };
+    (name = $name:ident; config = $cfg:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $cfg.configure_from_args();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares the benchmark `main` running each group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quick() -> Criterion {
+        Criterion::default().measurement_time(Duration::from_millis(5))
+    }
+
+    #[test]
+    fn bench_function_runs_and_reports() {
+        let mut c = quick();
+        let mut ran = 0u64;
+        c.bench_function("smoke", |b| {
+            b.iter(|| {
+                ran += 1;
+                black_box(ran)
+            })
+        });
+        assert!(ran > 0);
+    }
+
+    #[test]
+    fn groups_and_batched_iters_run() {
+        let mut c = quick();
+        let mut group = c.benchmark_group("g");
+        group.sample_size(10);
+        group.bench_with_input(BenchmarkId::from_parameter(4usize), &4usize, |b, &n| {
+            b.iter_batched(|| vec![0u8; n], |v| v.len(), BatchSize::SmallInput);
+        });
+        group.finish();
+    }
+}

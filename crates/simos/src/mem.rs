@@ -15,6 +15,16 @@
 //!   copy-on-write private copy),
 //! * `SWAPPED` — contents moved to the swap device,
 //! * `NOACCESS` — protected out (`PROT_NONE`), i.e. uncommitted.
+//!
+//! Flags are stored as four packed bitmaps ([`pagebits::PageBits`], one
+//! bit per page per flag) so range operations — touch, release,
+//! `PROT_NONE` uncommit, swap scans, `pmap`/`smaps` aggregation — work
+//! on 64 pages per instruction with `count_ones()` popcounts instead of
+//! a byte-per-page walk. Per-page iteration survives only where a
+//! side effect is inherently per-page (page-cache refcounts of
+//! file-backed pages). The old byte-per-page representation lives on in
+//! [`reference`] as the oracle for property tests and the baseline side
+//! of the Criterion comparisons.
 
 use std::collections::BTreeMap;
 
@@ -29,6 +39,286 @@ pub const PAGE_SIZE: u64 = 4096;
 pub fn page_align_up(len: u64) -> u64 {
     len.div_ceil(PAGE_SIZE) * PAGE_SIZE
 }
+
+pub mod pagebits {
+    //! One-bit-per-page sets packed into `u64` words.
+    //!
+    //! A [`PageBits`] stores one flag for every page of a mapping. Range
+    //! operations visit whole words through [`masked_words`], so setting,
+    //! clearing, or counting a flag over an `N`-page range costs
+    //! `O(N / 64)` word operations, each resolving a 64-page batch with
+    //! one mask and one `count_ones()`.
+
+    /// A packed bitmap with one bit per page.
+    #[derive(Debug, Clone, Default, PartialEq, Eq)]
+    pub struct PageBits {
+        words: Vec<u64>,
+        npages: usize,
+    }
+
+    /// Iterator of `(word_index, mask)` pairs covering a page range.
+    #[derive(Debug, Clone)]
+    pub struct MaskedWords {
+        next: usize,
+        last: usize,
+    }
+
+    /// Yields `(word_index, mask)` for every word overlapping
+    /// `[first, last)`; the mask selects exactly the in-range bits.
+    pub fn masked_words(first: usize, last: usize) -> MaskedWords {
+        MaskedWords { next: first, last }
+    }
+
+    impl Iterator for MaskedWords {
+        type Item = (usize, u64);
+
+        fn next(&mut self) -> Option<(usize, u64)> {
+            if self.next >= self.last {
+                return None;
+            }
+            let w = self.next / 64;
+            let lo = self.next % 64;
+            let hi = (self.last - w * 64).min(64);
+            let mask = if hi - lo == 64 {
+                u64::MAX
+            } else {
+                ((1u64 << (hi - lo)) - 1) << lo
+            };
+            self.next = (w + 1) * 64;
+            Some((w, mask))
+        }
+    }
+
+    /// Calls `f` with the page index of every set bit in `bits`, where
+    /// `bits` came from word `w` of a bitmap.
+    pub fn for_each_bit(w: usize, mut bits: u64, mut f: impl FnMut(usize)) {
+        while bits != 0 {
+            f(w * 64 + bits.trailing_zeros() as usize);
+            bits &= bits - 1;
+        }
+    }
+
+    impl PageBits {
+        /// An all-clear bitmap covering `npages` pages.
+        pub fn new(npages: usize) -> PageBits {
+            PageBits {
+                words: vec![0; npages.div_ceil(64)],
+                npages,
+            }
+        }
+
+        /// An all-set bitmap covering `npages` pages.
+        pub fn new_filled(npages: usize) -> PageBits {
+            let mut bits = PageBits::new(npages);
+            bits.set_range(0, npages);
+            bits
+        }
+
+        /// Number of pages the bitmap covers.
+        pub fn npages(&self) -> usize {
+            self.npages
+        }
+
+        /// The raw words; trailing bits past `npages` are always zero.
+        pub fn words(&self) -> &[u64] {
+            &self.words
+        }
+
+        /// Word `w` of the bitmap.
+        pub fn word(&self, w: usize) -> u64 {
+            self.words[w]
+        }
+
+        /// Whether page `idx` is set.
+        pub fn get(&self, idx: usize) -> bool {
+            debug_assert!(idx < self.npages);
+            self.words[idx / 64] >> (idx % 64) & 1 != 0
+        }
+
+        /// Sets page `idx`; returns true if it was newly set.
+        pub fn set(&mut self, idx: usize) -> bool {
+            self.set_word_bits(idx / 64, 1 << (idx % 64)) != 0
+        }
+
+        /// Clears page `idx`; returns true if it was previously set.
+        pub fn clear(&mut self, idx: usize) -> bool {
+            self.clear_word_bits(idx / 64, 1 << (idx % 64)) != 0
+        }
+
+        /// ORs `bits` into word `w`; returns how many were newly set.
+        pub fn set_word_bits(&mut self, w: usize, bits: u64) -> u64 {
+            let newly = bits & !self.words[w];
+            self.words[w] |= bits;
+            u64::from(newly.count_ones())
+        }
+
+        /// Clears `bits` in word `w`; returns how many were set before.
+        pub fn clear_word_bits(&mut self, w: usize, bits: u64) -> u64 {
+            let had = bits & self.words[w];
+            self.words[w] &= !bits;
+            u64::from(had.count_ones())
+        }
+
+        /// Sets every page in `[first, last)`; returns the newly-set
+        /// count.
+        pub fn set_range(&mut self, first: usize, last: usize) -> u64 {
+            debug_assert!(first <= last && last <= self.npages);
+            masked_words(first, last)
+                .map(|(w, mask)| self.set_word_bits(w, mask))
+                .sum()
+        }
+
+        /// Clears every page in `[first, last)`; returns the
+        /// previously-set count.
+        pub fn clear_range(&mut self, first: usize, last: usize) -> u64 {
+            debug_assert!(first <= last && last <= self.npages);
+            masked_words(first, last)
+                .map(|(w, mask)| self.clear_word_bits(w, mask))
+                .sum()
+        }
+
+        /// Number of set pages in `[first, last)`.
+        pub fn count_range(&self, first: usize, last: usize) -> u64 {
+            debug_assert!(first <= last && last <= self.npages);
+            masked_words(first, last)
+                .map(|(w, mask)| u64::from((self.words[w] & mask).count_ones()))
+                .sum()
+        }
+
+        /// Number of set pages in the whole bitmap.
+        pub fn count(&self) -> u64 {
+            self.words.iter().map(|w| u64::from(w.count_ones())).sum()
+        }
+    }
+
+    #[cfg(test)]
+    mod tests {
+        use super::*;
+
+        #[test]
+        fn masked_words_covers_partial_and_full_words() {
+            let spans: Vec<(usize, u64)> = masked_words(60, 70).collect();
+            assert_eq!(spans, vec![(0, 0xF << 60), (1, 0x3F)]);
+            let spans: Vec<(usize, u64)> = masked_words(64, 128).collect();
+            assert_eq!(spans, vec![(1, u64::MAX)]);
+            assert_eq!(masked_words(5, 5).count(), 0);
+        }
+
+        #[test]
+        fn range_ops_report_deltas() {
+            let mut bits = PageBits::new(200);
+            assert_eq!(bits.set_range(10, 150), 140);
+            // Re-setting an overlapping range only counts new bits.
+            assert_eq!(bits.set_range(0, 20), 10);
+            assert_eq!(bits.count_range(0, 200), 150);
+            assert_eq!(bits.count_range(100, 200), 50);
+            assert_eq!(bits.clear_range(0, 64), 64);
+            assert_eq!(bits.count(), 86);
+        }
+
+        #[test]
+        fn single_bit_ops_round_trip() {
+            let mut bits = PageBits::new(100);
+            assert!(bits.set(63));
+            assert!(!bits.set(63));
+            assert!(bits.get(63));
+            assert!(bits.clear(63));
+            assert!(!bits.clear(63));
+            assert_eq!(PageBits::new_filled(100).count(), 100);
+        }
+    }
+}
+
+pub mod reference {
+    //! The naive byte-per-page flag store this crate used before the
+    //! packed-bitmap rewrite.
+    //!
+    //! Kept on purpose: property tests drive it in lockstep with the
+    //! bitmap implementation as an executable oracle, and the Criterion
+    //! benches use it as the baseline side of the range-op comparisons.
+
+    use super::page_flags;
+
+    /// `Vec<u8>` of flag bytes, one per page.
+    #[derive(Debug, Clone, PartialEq, Eq)]
+    pub struct NaivePages {
+        flags: Vec<u8>,
+    }
+
+    impl NaivePages {
+        /// All pages zeroed.
+        pub fn new(npages: usize) -> NaivePages {
+            NaivePages::new_with(npages, 0)
+        }
+
+        /// All pages initialised to `init` flags.
+        pub fn new_with(npages: usize, init: u8) -> NaivePages {
+            NaivePages {
+                flags: vec![init; npages],
+            }
+        }
+
+        /// Number of pages.
+        pub fn npages(&self) -> usize {
+            self.flags.len()
+        }
+
+        /// Raw flags of page `idx`.
+        pub fn get(&self, idx: usize) -> u8 {
+            self.flags[idx]
+        }
+
+        /// Sets `flag` on page `idx`; returns true if newly set.
+        pub fn set_flag(&mut self, idx: usize, flag: u8) -> bool {
+            let had = self.flags[idx] & flag != 0;
+            self.flags[idx] |= flag;
+            !had
+        }
+
+        /// Clears `flag` on page `idx`; returns true if previously set.
+        pub fn clear_flag(&mut self, idx: usize, flag: u8) -> bool {
+            let had = self.flags[idx] & flag != 0;
+            self.flags[idx] &= !flag;
+            had
+        }
+
+        /// Sets `flag` over `[first, last)`; returns the newly-set count.
+        pub fn set_flag_range(&mut self, flag: u8, first: usize, last: usize) -> u64 {
+            (first..last).filter(|&idx| self.set_flag(idx, flag)).count() as u64
+        }
+
+        /// Clears `flag` over `[first, last)`; returns the
+        /// previously-set count.
+        pub fn clear_flag_range(&mut self, flag: u8, first: usize, last: usize) -> u64 {
+            (first..last).filter(|&idx| self.clear_flag(idx, flag)).count() as u64
+        }
+
+        /// Pages in `[first, last)` with `flag` set.
+        pub fn count_flag_range(&self, flag: u8, first: usize, last: usize) -> u64 {
+            self.flags[first..last]
+                .iter()
+                .filter(|&&f| f & flag != 0)
+                .count() as u64
+        }
+
+        /// Pages with `flag` set anywhere in the store.
+        pub fn count_flag(&self, flag: u8) -> u64 {
+            self.count_flag_range(flag, 0, self.flags.len())
+        }
+
+        /// Pages that are resident and clean (hold page-cache refs when
+        /// file-backed).
+        pub fn for_each_clean_resident(&self, mut f: impl FnMut(usize)) {
+            for (idx, &flags) in self.flags.iter().enumerate() {
+                if flags & page_flags::RESIDENT != 0 && flags & page_flags::DIRTY == 0 {
+                    f(idx);
+                }
+            }
+        }
+    }
+}
+
+use pagebits::{for_each_bit, masked_words, PageBits};
 
 /// A virtual address in a simulated address space.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
@@ -123,9 +413,13 @@ pub struct Mapping {
     /// Human-readable name, as it would appear in `smaps` (e.g.
     /// `"[heap:java]"`, `"libjvm.so"`).
     pub name: String,
-    /// Per-page flags; length is the page count of the mapping.
-    pages: Vec<u8>,
-    /// Count of pages with `RESIDENT` set (kept in sync incrementally).
+    /// One bitmap per flag; all four cover the same page count.
+    resident: PageBits,
+    dirty: PageBits,
+    swapped: PageBits,
+    noaccess: PageBits,
+    /// Count of pages with `RESIDENT` set (kept in sync incrementally;
+    /// debug builds re-derive it from the bitmap after every mutation).
     resident_pages: u64,
     /// Count of pages with `DIRTY` set.
     dirty_pages: u64,
@@ -135,16 +429,19 @@ pub struct Mapping {
 
 impl Mapping {
     fn new(start: VirtAddr, npages: usize, kind: MappingKind, prot: Prot, name: &str) -> Mapping {
-        let init = if matches!(prot, Prot::None) {
-            page_flags::NOACCESS
+        let noaccess = if matches!(prot, Prot::None) {
+            PageBits::new_filled(npages)
         } else {
-            0
+            PageBits::new(npages)
         };
         Mapping {
             start,
             kind,
             name: name.to_string(),
-            pages: vec![init; npages],
+            resident: PageBits::new(npages),
+            dirty: PageBits::new(npages),
+            swapped: PageBits::new(npages),
+            noaccess,
             resident_pages: 0,
             dirty_pages: 0,
             swapped_pages: 0,
@@ -153,12 +450,12 @@ impl Mapping {
 
     /// Length of the mapping in bytes.
     pub fn len(&self) -> u64 {
-        self.pages.len() as u64 * PAGE_SIZE
+        self.page_count() as u64 * PAGE_SIZE
     }
 
     /// True if the mapping has zero pages (never constructed this way).
     pub fn is_empty(&self) -> bool {
-        self.pages.is_empty()
+        self.page_count() == 0
     }
 
     /// One-past-the-end address.
@@ -181,14 +478,27 @@ impl Mapping {
         self.swapped_pages * PAGE_SIZE
     }
 
-    /// Raw flags for page `idx`.
+    /// Raw flags for page `idx`, composed from the four bitmaps.
     pub fn page(&self, idx: usize) -> u8 {
-        self.pages[idx]
+        let mut flags = 0;
+        if self.resident.get(idx) {
+            flags |= page_flags::RESIDENT;
+        }
+        if self.dirty.get(idx) {
+            flags |= page_flags::DIRTY;
+        }
+        if self.swapped.get(idx) {
+            flags |= page_flags::SWAPPED;
+        }
+        if self.noaccess.get(idx) {
+            flags |= page_flags::NOACCESS;
+        }
+        flags
     }
 
     /// Number of pages in the mapping.
     pub fn page_count(&self) -> usize {
-        self.pages.len()
+        self.resident.npages()
     }
 
     /// Converts an address inside the mapping to a page index.
@@ -197,34 +507,80 @@ impl Mapping {
         ((addr.0 - self.start.0) / PAGE_SIZE) as usize
     }
 
-    fn set_flag(&mut self, idx: usize, flag: u8) {
-        let had = self.pages[idx] & flag != 0;
-        self.pages[idx] |= flag;
-        if !had {
-            match flag {
-                page_flags::RESIDENT => self.resident_pages += 1,
-                page_flags::DIRTY => self.dirty_pages += 1,
-                page_flags::SWAPPED => self.swapped_pages += 1,
-                _ => {}
+    fn set_flag_range(&mut self, flag: u8, first: usize, last: usize) -> u64 {
+        match flag {
+            page_flags::RESIDENT => {
+                let n = self.resident.set_range(first, last);
+                self.resident_pages += n;
+                n
             }
+            page_flags::DIRTY => {
+                let n = self.dirty.set_range(first, last);
+                self.dirty_pages += n;
+                n
+            }
+            page_flags::SWAPPED => {
+                let n = self.swapped.set_range(first, last);
+                self.swapped_pages += n;
+                n
+            }
+            page_flags::NOACCESS => self.noaccess.set_range(first, last),
+            _ => unreachable!("set_flag_range takes a single flag"),
         }
     }
 
-    fn clear_flag(&mut self, idx: usize, flag: u8) {
-        let had = self.pages[idx] & flag != 0;
-        self.pages[idx] &= !flag;
-        if had {
-            match flag {
-                page_flags::RESIDENT => self.resident_pages -= 1,
-                page_flags::DIRTY => self.dirty_pages -= 1,
-                page_flags::SWAPPED => self.swapped_pages -= 1,
-                _ => {}
+    fn clear_flag_range(&mut self, flag: u8, first: usize, last: usize) -> u64 {
+        match flag {
+            page_flags::RESIDENT => {
+                let n = self.resident.clear_range(first, last);
+                self.resident_pages -= n;
+                n
             }
+            page_flags::DIRTY => {
+                let n = self.dirty.clear_range(first, last);
+                self.dirty_pages -= n;
+                n
+            }
+            page_flags::SWAPPED => {
+                let n = self.swapped.clear_range(first, last);
+                self.swapped_pages -= n;
+                n
+            }
+            page_flags::NOACCESS => self.noaccess.clear_range(first, last),
+            _ => unreachable!("clear_flag_range takes a single flag"),
         }
+    }
+
+    /// Calls `f` with the index of every resident, clean page in
+    /// `[first, last)` — the pages that hold page-cache references when
+    /// the mapping is file-backed.
+    pub fn for_each_clean_resident_in(&self, first: usize, last: usize, mut f: impl FnMut(usize)) {
+        for (w, mask) in masked_words(first, last) {
+            for_each_bit(w, self.resident.word(w) & !self.dirty.word(w) & mask, &mut f);
+        }
+    }
+
+    /// Calls `f` with the index of every resident, clean page.
+    pub fn for_each_clean_resident_page(&self, f: impl FnMut(usize)) {
+        self.for_each_clean_resident_in(0, self.page_count(), f);
+    }
+
+    /// Number of pages that are both resident and dirty (the resident
+    /// private-dirty set of `smaps`).
+    pub fn resident_dirty_pages(&self) -> u64 {
+        self.resident
+            .words()
+            .iter()
+            .zip(self.dirty.words())
+            .map(|(&r, &d)| u64::from((r & d).count_ones()))
+            .sum()
     }
 
     /// Resident bytes within `[addr, addr + len)` (the `pmap` view that
     /// Desiccant uses to size a HotSpot heap, §4.5.2).
+    ///
+    /// A partial trailing page counts in full: a 100-byte probe covers
+    /// the one page it starts on, as `pmap` would report it.
     pub fn resident_bytes_in(&self, addr: VirtAddr, len: u64) -> u64 {
         // Whole-mapping probes are frequent (heap-residency sampling);
         // serve them from the maintained counter.
@@ -232,12 +588,153 @@ impl Mapping {
             return self.resident_bytes();
         }
         let first = self.page_index(addr);
-        let last = first + (len / PAGE_SIZE) as usize;
-        self.pages[first..last]
-            .iter()
-            .filter(|p| **p & page_flags::RESIDENT != 0)
-            .count() as u64
-            * PAGE_SIZE
+        let last = (first + len.div_ceil(PAGE_SIZE) as usize).min(self.page_count());
+        self.resident.count_range(first, last) * PAGE_SIZE
+    }
+
+    /// Re-derives the incremental counters from the bitmaps. Debug
+    /// builds run this after every mutating operation; release builds
+    /// skip it.
+    fn verify_counters(&self) {
+        #[cfg(debug_assertions)]
+        {
+            assert_eq!(
+                self.resident_pages,
+                self.resident.count(),
+                "resident counter drift in `{}`",
+                self.name
+            );
+            assert_eq!(
+                self.dirty_pages,
+                self.dirty.count(),
+                "dirty counter drift in `{}`",
+                self.name
+            );
+            assert_eq!(
+                self.swapped_pages,
+                self.swapped.count(),
+                "swapped counter drift in `{}`",
+                self.name
+            );
+        }
+    }
+
+    /// Touches `[first, last)`, faulting pages in word batches.
+    ///
+    /// Protection is validated up front, so a faulting touch leaves the
+    /// mapping unchanged.
+    fn touch_range(
+        &mut self,
+        files: &mut FileRegistry,
+        first: usize,
+        last: usize,
+        write: bool,
+    ) -> SimOsResult<TouchOutcome> {
+        for (w, mask) in masked_words(first, last) {
+            let bad = self.noaccess.word(w) & mask;
+            if bad != 0 {
+                let idx = w * 64 + bad.trailing_zeros() as usize;
+                return Err(SimOsError::ProtectionViolation {
+                    addr: VirtAddr(self.start.0 + idx as u64 * PAGE_SIZE),
+                });
+            }
+        }
+        let mut out = TouchOutcome::default();
+        for (w, mask) in masked_words(first, last) {
+            let resident = self.resident.word(w) & mask;
+            let absent = mask & !resident;
+            let swap_in = absent & self.swapped.word(w);
+            out.swap_ins += u64::from(swap_in.count_ones());
+            let fresh = absent & !swap_in;
+            match self.kind {
+                MappingKind::Anonymous => {
+                    out.zero_fill_faults += u64::from(fresh.count_ones());
+                }
+                MappingKind::PrivateFile(file) => {
+                    out.file_faults += u64::from(fresh.count_ones());
+                    // Read faults join the page cache; write faults go
+                    // straight to a private copy and never join it.
+                    if !write {
+                        for_each_bit(w, fresh, |idx| files.inc_mapper(file, idx));
+                    }
+                }
+            }
+            self.swapped_pages -= self.swapped.clear_word_bits(w, swap_in);
+            self.resident_pages += self.resident.set_word_bits(w, absent);
+            if write {
+                // A first write to a clean, already-resident file page
+                // breaks CoW: the page leaves the page cache.
+                if let MappingKind::PrivateFile(file) = self.kind {
+                    let cow = resident & !self.dirty.word(w);
+                    for_each_bit(w, cow, |idx| files.dec_mapper(file, idx));
+                }
+                self.dirty_pages += self.dirty.set_word_bits(w, mask);
+            }
+        }
+        Ok(out)
+    }
+
+    /// `madvise(MADV_DONTNEED)` over `[first, last)`: contents (and any
+    /// swapped copies) are discarded. Returns freed resident bytes.
+    fn release_range(&mut self, files: &mut FileRegistry, first: usize, last: usize) -> u64 {
+        if let MappingKind::PrivateFile(file) = self.kind {
+            self.for_each_clean_resident_in(first, last, |idx| files.dec_mapper(file, idx));
+        }
+        let freed = self.clear_flag_range(page_flags::RESIDENT, first, last) * PAGE_SIZE;
+        self.clear_flag_range(page_flags::SWAPPED, first, last);
+        self.clear_flag_range(page_flags::DIRTY, first, last);
+        freed
+    }
+
+    /// Protection change over `[first, last)`. `Prot::None` also frees
+    /// the backing pages (HotSpot-uncommit semantics); returns the
+    /// bytes freed.
+    fn protect_range(
+        &mut self,
+        files: &mut FileRegistry,
+        first: usize,
+        last: usize,
+        prot: Prot,
+    ) -> u64 {
+        match prot {
+            Prot::None => {
+                // Contents are discarded like a release, and the range
+                // becomes inaccessible until re-protected.
+                let freed = self.release_range(files, first, last);
+                self.set_flag_range(page_flags::NOACCESS, first, last);
+                freed
+            }
+            Prot::Read | Prot::ReadWrite => {
+                self.clear_flag_range(page_flags::NOACCESS, first, last);
+                0
+            }
+        }
+    }
+
+    /// Moves the resident pages of `[first, last)` to swap. Anonymous
+    /// and dirty file pages go to the swap device; clean file pages are
+    /// simply dropped (they can be re-read). Returns bytes removed from
+    /// residency.
+    fn swap_out_range(&mut self, files: &mut FileRegistry, first: usize, last: usize) -> u64 {
+        let mut swapped_bytes = 0;
+        for (w, mask) in masked_words(first, last) {
+            let resident = self.resident.word(w) & mask;
+            if resident == 0 {
+                continue;
+            }
+            swapped_bytes += u64::from(resident.count_ones()) * PAGE_SIZE;
+            let to_swap = match self.kind {
+                MappingKind::Anonymous => resident,
+                MappingKind::PrivateFile(file) => {
+                    let clean = resident & !self.dirty.word(w);
+                    for_each_bit(w, clean, |idx| files.dec_mapper(file, idx));
+                    resident & self.dirty.word(w)
+                }
+            };
+            self.swapped_pages += self.swapped.set_word_bits(w, to_swap);
+            self.resident_pages -= self.resident.clear_word_bits(w, resident);
+        }
+        swapped_bytes
     }
 }
 
@@ -303,6 +800,25 @@ impl AddressSpace {
             return Err(SimOsError::BadAlignment { addr: addr.0, len });
         }
         Ok(())
+    }
+
+    /// Resolves `[addr, addr + len)` to its mapping and page range,
+    /// checking alignment and bounds.
+    fn resolve_range_mut(
+        &mut self,
+        addr: VirtAddr,
+        len: u64,
+    ) -> SimOsResult<(&mut Mapping, usize, usize)> {
+        Self::validate_range(addr, len)?;
+        let m = self
+            .mapping_at_mut(addr)
+            .ok_or(SimOsError::UnmappedRange { addr, len })?;
+        if addr.0 + len > m.end().0 {
+            return Err(SimOsError::UnmappedRange { addr, len });
+        }
+        let first = m.page_index(addr);
+        let last = first + (len / PAGE_SIZE) as usize;
+        Ok((m, first, last))
     }
 
     /// Maps `len` bytes (rounded up to pages) at a kernel-chosen
@@ -377,12 +893,7 @@ impl AddressSpace {
             .ok_or(SimOsError::UnmappedRange { addr, len: 0 })?;
         // Drop page-cache references held by this mapping.
         if let MappingKind::PrivateFile(file) = m.kind {
-            for idx in 0..m.page_count() {
-                let flags = m.page(idx);
-                if flags & page_flags::RESIDENT != 0 && flags & page_flags::DIRTY == 0 {
-                    files.dec_mapper(file, idx);
-                }
-            }
+            m.for_each_clean_resident_page(|idx| files.dec_mapper(file, idx));
         }
         Ok(m)
     }
@@ -401,53 +912,17 @@ impl AddressSpace {
         len: u64,
         prot: Prot,
     ) -> SimOsResult<u64> {
-        Self::validate_range(addr, len)?;
-        let m = self
-            .mapping_at_mut(addr)
-            .ok_or(SimOsError::UnmappedRange { addr, len })?;
-        if addr.0 + len > m.end().0 {
-            return Err(SimOsError::UnmappedRange { addr, len });
-        }
-        let kind = m.kind;
-        let first = m.page_index(addr);
-        let last = first + (len / PAGE_SIZE) as usize;
-        let mut freed = 0;
-        for idx in first..last {
-            match prot {
-                Prot::None => {
-                    if m.page(idx) & page_flags::RESIDENT != 0 {
-                        freed += PAGE_SIZE;
-                        Self::evict_page(files, m, kind, idx);
-                    }
-                    // Contents are discarded: a swapped-out private copy
-                    // is dropped too, so the page is no longer dirty.
-                    m.clear_flag(idx, page_flags::SWAPPED);
-                    m.clear_flag(idx, page_flags::DIRTY);
-                    m.set_flag(idx, page_flags::NOACCESS);
-                }
-                Prot::Read | Prot::ReadWrite => {
-                    m.clear_flag(idx, page_flags::NOACCESS);
-                }
-            }
-        }
+        let (m, first, last) = self.resolve_range_mut(addr, len)?;
+        let freed = m.protect_range(files, first, last, prot);
+        m.verify_counters();
         Ok(freed)
-    }
-
-    /// Drops a resident page, maintaining page-cache refcounts.
-    fn evict_page(files: &mut FileRegistry, m: &mut Mapping, kind: MappingKind, idx: usize) {
-        if let MappingKind::PrivateFile(file) = kind {
-            if m.page(idx) & page_flags::DIRTY == 0 {
-                files.dec_mapper(file, idx);
-            }
-        }
-        m.clear_flag(idx, page_flags::RESIDENT);
-        m.clear_flag(idx, page_flags::DIRTY);
     }
 
     /// Touches `[addr, addr + len)`, faulting pages in as needed.
     ///
     /// Returns how many faults of each kind occurred so the caller can
-    /// charge simulated time.
+    /// charge simulated time. A range containing a `PROT_NONE` page
+    /// fails up front without touching anything.
     pub fn touch(
         &mut self,
         files: &mut FileRegistry,
@@ -455,52 +930,9 @@ impl AddressSpace {
         len: u64,
         write: bool,
     ) -> SimOsResult<TouchOutcome> {
-        Self::validate_range(addr, len)?;
-        let m = self
-            .mapping_at_mut(addr)
-            .ok_or(SimOsError::UnmappedRange { addr, len })?;
-        if addr.0 + len > m.end().0 {
-            return Err(SimOsError::UnmappedRange { addr, len });
-        }
-        let kind = m.kind;
-        let first = m.page_index(addr);
-        let last = first + (len / PAGE_SIZE) as usize;
-        let mut out = TouchOutcome::default();
-        for idx in first..last {
-            let flags = m.page(idx);
-            if flags & page_flags::NOACCESS != 0 {
-                return Err(SimOsError::ProtectionViolation {
-                    addr: VirtAddr(m.start.0 + idx as u64 * PAGE_SIZE),
-                });
-            }
-            if flags & page_flags::RESIDENT == 0 {
-                if flags & page_flags::SWAPPED != 0 {
-                    out.swap_ins += 1;
-                    m.clear_flag(idx, page_flags::SWAPPED);
-                } else {
-                    match kind {
-                        MappingKind::Anonymous => out.zero_fill_faults += 1,
-                        MappingKind::PrivateFile(file) => {
-                            out.file_faults += 1;
-                            if !write {
-                                files.inc_mapper(file, idx);
-                            }
-                        }
-                    }
-                }
-                m.set_flag(idx, page_flags::RESIDENT);
-            }
-            if write && m.page(idx) & page_flags::DIRTY == 0 {
-                // A first write to a clean file page breaks CoW: the
-                // page leaves the page cache and becomes private.
-                if let MappingKind::PrivateFile(file) = kind {
-                    if flags & page_flags::RESIDENT != 0 {
-                        files.dec_mapper(file, idx);
-                    }
-                }
-                m.set_flag(idx, page_flags::DIRTY);
-            }
-        }
+        let (m, first, last) = self.resolve_range_mut(addr, len)?;
+        let out = m.touch_range(files, first, last, write)?;
+        m.verify_counters();
         Ok(out)
     }
 
@@ -515,26 +947,9 @@ impl AddressSpace {
         addr: VirtAddr,
         len: u64,
     ) -> SimOsResult<u64> {
-        Self::validate_range(addr, len)?;
-        let m = self
-            .mapping_at_mut(addr)
-            .ok_or(SimOsError::UnmappedRange { addr, len })?;
-        if addr.0 + len > m.end().0 {
-            return Err(SimOsError::UnmappedRange { addr, len });
-        }
-        let kind = m.kind;
-        let first = m.page_index(addr);
-        let last = first + (len / PAGE_SIZE) as usize;
-        let mut freed = 0;
-        for idx in first..last {
-            if m.page(idx) & page_flags::RESIDENT != 0 {
-                freed += PAGE_SIZE;
-                Self::evict_page(files, m, kind, idx);
-            }
-            // Discard any swapped-out private copy as well.
-            m.clear_flag(idx, page_flags::SWAPPED);
-            m.clear_flag(idx, page_flags::DIRTY);
-        }
+        let (m, first, last) = self.resolve_range_mut(addr, len)?;
+        let freed = m.release_range(files, first, last);
+        m.verify_counters();
         Ok(freed)
     }
 
@@ -550,40 +965,9 @@ impl AddressSpace {
         addr: VirtAddr,
         len: u64,
     ) -> SimOsResult<u64> {
-        Self::validate_range(addr, len)?;
-        let m = self
-            .mapping_at_mut(addr)
-            .ok_or(SimOsError::UnmappedRange { addr, len })?;
-        if addr.0 + len > m.end().0 {
-            return Err(SimOsError::UnmappedRange { addr, len });
-        }
-        let kind = m.kind;
-        let first = m.page_index(addr);
-        let last = first + (len / PAGE_SIZE) as usize;
-        let mut swapped = 0;
-        for idx in first..last {
-            let flags = m.page(idx);
-            if flags & page_flags::RESIDENT == 0 {
-                continue;
-            }
-            swapped += PAGE_SIZE;
-            let dirty = flags & page_flags::DIRTY != 0;
-            match kind {
-                MappingKind::Anonymous => {
-                    m.clear_flag(idx, page_flags::RESIDENT);
-                    m.set_flag(idx, page_flags::SWAPPED);
-                }
-                MappingKind::PrivateFile(file) => {
-                    if dirty {
-                        m.clear_flag(idx, page_flags::RESIDENT);
-                        m.set_flag(idx, page_flags::SWAPPED);
-                    } else {
-                        files.dec_mapper(file, idx);
-                        m.clear_flag(idx, page_flags::RESIDENT);
-                    }
-                }
-            }
-        }
+        let (m, first, last) = self.resolve_range_mut(addr, len)?;
+        let swapped = m.swap_out_range(files, first, last);
+        m.verify_counters();
         Ok(swapped)
     }
 
@@ -594,7 +978,9 @@ impl AddressSpace {
 
     /// Resident bytes within `[addr, addr + len)`, the `pmap` view.
     pub fn resident_bytes_in(&self, addr: VirtAddr, len: u64) -> SimOsResult<u64> {
-        Self::validate_range(addr, len)?;
+        if len == 0 || !addr.is_page_aligned() {
+            return Err(SimOsError::BadAlignment { addr: addr.0, len });
+        }
         let m = self
             .mapping_at(addr)
             .ok_or(SimOsError::UnmappedRange { addr, len })?;
@@ -770,6 +1156,66 @@ mod tests {
         );
         assert_eq!(
             s.resident_bytes_in(a, 8 * PAGE_SIZE).unwrap(),
+            3 * PAGE_SIZE
+        );
+    }
+
+    #[test]
+    fn pmap_counts_partial_trailing_page() {
+        // Regression: a probe whose length is not page-aligned must
+        // still count the page its tail lands on. The old
+        // `len / PAGE_SIZE` rounding silently dropped it.
+        let (mut s, mut f) = space_and_files();
+        let a = s
+            .mmap(8 * PAGE_SIZE, MappingKind::Anonymous, Prot::ReadWrite, "x")
+            .unwrap();
+        s.touch(&mut f, a, 3 * PAGE_SIZE, true).unwrap();
+        let m = s.mapping_at(a).unwrap();
+        // A sub-page probe covers exactly the one page it starts on.
+        assert_eq!(m.resident_bytes_in(a, 100), PAGE_SIZE);
+        // One byte past a page boundary rounds up to the next page.
+        assert_eq!(m.resident_bytes_in(a, PAGE_SIZE + 1), 2 * PAGE_SIZE);
+        // An unaligned probe over the whole resident prefix sees all of
+        // it, not `len / PAGE_SIZE` pages of it.
+        assert_eq!(
+            m.resident_bytes_in(a, 2 * PAGE_SIZE + 100),
+            3 * PAGE_SIZE
+        );
+        // A probe running past the resident prefix is clamped to the
+        // mapping and still exact.
+        assert_eq!(
+            m.resident_bytes_in(a.offset(2 * PAGE_SIZE), 6 * PAGE_SIZE - 1),
+            PAGE_SIZE
+        );
+    }
+
+    #[test]
+    fn word_boundary_ranges_are_exact() {
+        // Exercise ranges that straddle, start, and end on 64-page word
+        // boundaries, where mask construction is easiest to get wrong.
+        let (mut s, mut f) = space_and_files();
+        let a = s
+            .mmap(200 * PAGE_SIZE, MappingKind::Anonymous, Prot::ReadWrite, "w")
+            .unwrap();
+        // Touch [60, 70) — straddles the first word boundary.
+        let out = s
+            .touch(&mut f, a.offset(60 * PAGE_SIZE), 10 * PAGE_SIZE, true)
+            .unwrap();
+        assert_eq!(out.zero_fill_faults, 10);
+        // Touch exactly the second word, [64, 128).
+        let out = s
+            .touch(&mut f, a.offset(64 * PAGE_SIZE), 64 * PAGE_SIZE, true)
+            .unwrap();
+        assert_eq!(out.zero_fill_faults, 58);
+        assert_eq!(s.resident_bytes(), 68 * PAGE_SIZE);
+        // Release across both boundaries, [63, 129).
+        let freed = s
+            .release(&mut f, a.offset(63 * PAGE_SIZE), 66 * PAGE_SIZE)
+            .unwrap();
+        assert_eq!(freed, 65 * PAGE_SIZE);
+        assert_eq!(s.resident_bytes(), 3 * PAGE_SIZE);
+        assert_eq!(
+            s.resident_bytes_in(a, 200 * PAGE_SIZE).unwrap(),
             3 * PAGE_SIZE
         );
     }

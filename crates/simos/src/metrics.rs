@@ -15,7 +15,7 @@
 //! * `PSS` counts private pages once and shared pages as `1/n` where
 //!   `n` is the number of mapping processes.
 
-use crate::mem::{page_flags, Mapping, MappingKind};
+use crate::mem::{Mapping, MappingKind};
 use crate::system::{Pid, System};
 
 /// Per-mapping breakdown, mirroring an `smaps` entry.
@@ -80,44 +80,29 @@ fn classify(sys: &System, m: &Mapping) -> SmapsEntry {
             file_backed: false,
         };
     }
-    let mut rss = 0u64;
-    let mut pss = 0f64;
-    let mut private_clean = 0u64;
-    let mut private_dirty = 0u64;
-    let mut shared_clean = 0u64;
-    let mut swap = 0u64;
+    // File-backed mapping: residency, swap, and the dirty (CoW) subset
+    // come from the bitmaps via popcounts. Only clean resident pages
+    // need per-page treatment — their private/shared split depends on
+    // the page-cache mapper count — and those are enumerated by set-bit
+    // iteration rather than a walk over every page.
     let page = crate::mem::PAGE_SIZE;
-    for idx in 0..m.page_count() {
-        let flags = m.page(idx);
-        if flags & page_flags::SWAPPED != 0 {
-            swap += page;
-        }
-        if flags & page_flags::RESIDENT == 0 {
-            continue;
-        }
-        rss += page;
-        let dirty = flags & page_flags::DIRTY != 0;
-        match m.kind {
-            MappingKind::Anonymous => {
-                private_dirty += page;
+    let rss = m.resident_bytes();
+    let swap = m.swapped_bytes();
+    let private_dirty = m.resident_dirty_pages() * page;
+    let mut pss = private_dirty as f64;
+    let mut private_clean = 0u64;
+    let mut shared_clean = 0u64;
+    if let MappingKind::PrivateFile(file) = m.kind {
+        m.for_each_clean_resident_page(|idx| {
+            let n = sys.files().mapper_count(file, idx).max(1);
+            if n == 1 {
+                private_clean += page;
                 pss += page as f64;
+            } else {
+                shared_clean += page;
+                pss += page as f64 / n as f64;
             }
-            MappingKind::PrivateFile(file) => {
-                if dirty {
-                    private_dirty += page;
-                    pss += page as f64;
-                } else {
-                    let n = sys.files().mapper_count(file, idx).max(1);
-                    if n == 1 {
-                        private_clean += page;
-                        pss += page as f64;
-                    } else {
-                        shared_clean += page;
-                        pss += page as f64 / n as f64;
-                    }
-                }
-            }
-        }
+        });
     }
     SmapsEntry {
         name: m.name.clone(),

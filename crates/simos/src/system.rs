@@ -117,17 +117,11 @@ impl System {
             .spaces
             .remove(&pid)
             .ok_or(SimOsError::NoSuchProcess(pid))?;
-        // Walk the mappings to release clean file pages from the cache.
+        // Walk the mappings to release clean file pages from the cache;
+        // the candidate pages come straight off the packed bitmaps.
         for m in space.mappings() {
             if let MappingKind::PrivateFile(file) = m.kind {
-                for idx in 0..m.page_count() {
-                    let flags = m.page(idx);
-                    if flags & crate::mem::page_flags::RESIDENT != 0
-                        && flags & crate::mem::page_flags::DIRTY == 0
-                    {
-                        self.files.dec_mapper(file, idx);
-                    }
-                }
+                m.for_each_clean_resident_page(|idx| self.files.dec_mapper(file, idx));
             }
         }
         Ok(())

@@ -1,0 +1,26 @@
+#!/usr/bin/env bash
+# Tier-1 gate: release build, the full test suite, and every figure
+# harness in quick mode with its shape checks enforced.
+#
+# `--jobs 2` keeps the harness runs deterministic-by-construction while
+# exercising the parallel path (output is byte-identical at any job
+# count; see EXPERIMENTS.md "Running the figures").
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "== build =="
+cargo build --release --workspace
+
+echo "== tests =="
+cargo test -q --workspace
+
+echo "== figure harnesses (quick, checked, 2 jobs) =="
+bins=(fig1 fig2 fig4 fig7 fig8 fig9 fig10 fig11 fig12 fig13
+      ablation_threshold ablation_selection ablation_unmap)
+for bin in "${bins[@]}"; do
+    echo "-- $bin"
+    cargo run --release -q -p bench --bin "$bin" -- --quick --check --jobs 2 \
+        >/dev/null
+done
+
+echo "tier1 OK"
