@@ -55,6 +55,14 @@ pub struct ReplayOutcome {
     pub reclaim_cpu_fraction: f64,
     /// Evictions in the window.
     pub evictions: u64,
+    /// Requests that terminated with a failure (always zero in a
+    /// fault-free run — a standing inertness check).
+    pub failed: u64,
+    /// Retry attempts scheduled (always zero fault-free).
+    pub retries: u64,
+    /// Fault events of every class: boot failures, crashes, OOM kills,
+    /// thaw failures, reclaim failures (always zero fault-free).
+    pub fault_events: u64,
     /// Latency percentiles in milliseconds: (p50, p90, p95, p99).
     pub latency_ms: (f64, f64, f64, f64),
 }
@@ -100,6 +108,9 @@ pub fn replay(platform: &mut Platform, trace: &[TraceFunction], config: &ReplayC
         cpu_utilization,
         reclaim_cpu_fraction,
         evictions: stats.evictions,
+        failed: stats.failed,
+        retries: stats.retries,
+        fault_events: stats.fault_events(),
         latency_ms: (
             pct(&mut latency, 0.50),
             pct(&mut latency, 0.90),
@@ -135,6 +146,11 @@ mod tests {
         assert!(out.completed <= out.submitted + 50);
         assert!(out.throughput > 0.0);
         assert!(out.cpu_utilization > 0.0 && out.cpu_utilization <= 1.0);
+        // No fault plan installed: the failure counters must be dead
+        // zero (the fault machinery is inert by default).
+        assert_eq!(out.failed, 0);
+        assert_eq!(out.retries, 0);
+        assert_eq!(out.fault_events, 0);
         let (p50, p90, p95, p99) = out.latency_ms;
         assert!(p50 <= p90 && p90 <= p95 && p95 <= p99, "{out:?}");
     }

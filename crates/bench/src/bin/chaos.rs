@@ -1,0 +1,235 @@
+//! Chaos harness: replays fig9-style Azure traces under seeded fault
+//! schedules and asserts the platform's robustness invariants.
+//!
+//! For each fault seed the trace is replayed with every fault class
+//! enabled at `--fault-rate` (default 1 %), then the platform is given
+//! a settle window (the retry deadline plus slack) so every retry
+//! chain resolves. Invariants, enforced with `--check`:
+//!
+//! * **termination** — every submitted request ends completed or
+//!   failed; nothing is in flight after the settle window;
+//! * **accounting** — cache charge returns exactly to zero on
+//!   teardown and no simulated process survives (`Platform::shutdown`);
+//! * **memory conservation** — machine-wide USS ≤ PSS ≤ RSS while
+//!   instances live, and all three are zero after teardown: crash and
+//!   OOM-kill paths may not leak or double-free pages;
+//! * **determinism** — the same `(seed, rate)` replays to identical
+//!   counters;
+//! * **bounded degradation** — at a 1 % fault rate, completions stay
+//!   within a bounded factor of the fault-free run.
+//!
+//! Flags: `--quick`, `--check`, `--fault-seed N` (single seed instead
+//! of the default sweep), `--fault-rate R`.
+
+use azure_trace::{build_trace, replay, ReplayConfig};
+use bench::cli::{check, Flags};
+use bench::report;
+use desiccant::{Desiccant, DesiccantConfig};
+use faas::platform::{GcMode, Platform};
+use faas::{FaultPlan, MemoryManager, PlatformConfig};
+use simos::metrics::{total_pss, total_rss, total_uss};
+use simos::SimDuration;
+
+/// Everything one run exposes to the invariant checks.
+#[derive(Debug, Clone, PartialEq)]
+struct RunProbe {
+    submitted: u64,
+    completed: u64,
+    failed: u64,
+    retries: u64,
+    fault_events: u64,
+    breaker_trips: u64,
+    oom_kills: u64,
+    in_flight: u64,
+    /// Machine USS/PSS/RSS ordering held while instances were live.
+    metrics_ordered: bool,
+    /// `shutdown()` succeeded: cache charge and process table at zero.
+    clean_teardown: bool,
+    /// Machine RSS and PSS after teardown (must be zero).
+    residual_rss: u64,
+    residual_pss_bytes: u64,
+}
+
+fn run_one(mode: &str, quick: bool, faults: Option<FaultPlan>) -> RunProbe {
+    let catalog = workloads::catalog();
+    let trace = build_trace(&catalog, 7);
+    let manager: Option<Box<dyn MemoryManager>> = match mode {
+        "desiccant" => Some(Box::new(Desiccant::new(DesiccantConfig::default()))),
+        _ => None,
+    };
+    let platform_config = PlatformConfig {
+        faults,
+        ..PlatformConfig::default()
+    };
+    let mut p = Platform::new(platform_config, catalog, GcMode::Vanilla, manager);
+    let config = ReplayConfig {
+        scale: 15.0,
+        warmup: SimDuration::from_secs(if quick { 10 } else { 30 }),
+        duration: SimDuration::from_secs(if quick { 40 } else { 120 }),
+        drain: SimDuration::from_secs(20),
+        ..ReplayConfig::default()
+    };
+    replay(&mut p, &trace, &config);
+    // Let every retry chain resolve: no retry is ever scheduled past
+    // its arrival plus the request deadline, so deadline-plus-slack of
+    // idle simulation guarantees quiescence.
+    let settle = p.config().request_deadline + p.config().retry_backoff_cap;
+    p.run_until(p.now() + settle);
+
+    let sys = p.system();
+    let (uss, pss, rss) = (total_uss(sys), total_pss(sys), total_rss(sys));
+    let metrics_ordered = uss as f64 <= pss + 1e-6 && pss <= rss as f64 + 1e-6;
+    let stats = p.stats().clone();
+    // Lifetime totals (warm-up included): the conservation invariant
+    // must hold over every request the platform ever accepted, not
+    // just the measured window.
+    let (submitted, completed, failed) = p.request_totals();
+    let in_flight = p.in_flight();
+    let clean_teardown = match p.shutdown() {
+        Ok(()) => true,
+        Err(e) => {
+            eprintln!("shutdown failed ({mode}): {e}");
+            false
+        }
+    };
+    let sys = p.system();
+    RunProbe {
+        submitted,
+        completed,
+        failed,
+        retries: stats.retries,
+        fault_events: stats.fault_events(),
+        breaker_trips: stats.breaker_trips,
+        oom_kills: stats.oom_kills,
+        in_flight,
+        metrics_ordered,
+        clean_teardown,
+        residual_rss: total_rss(sys),
+        residual_pss_bytes: total_pss(sys).round() as u64,
+    }
+}
+
+fn main() {
+    let flags = Flags::parse();
+    let rate: f64 = flags
+        .value_of("--fault-rate")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(0.01);
+    let seeds: Vec<u64> = match flags.value_of("--fault-seed").and_then(|v| v.parse().ok()) {
+        Some(seed) => vec![seed],
+        None => vec![11, 23, 47],
+    };
+    let modes = ["vanilla", "desiccant"];
+    report::caption(
+        "Chaos: seeded fault schedules over an Azure-trace replay",
+        &[
+            "seed",
+            "mode",
+            "rate",
+            "submitted",
+            "completed",
+            "failed",
+            "retries",
+            "fault_events",
+            "breaker_trips",
+            "oom_kills",
+        ],
+    );
+
+    // Fault-free baselines: both for the degradation bound and as a
+    // standing inertness check of the fault machinery.
+    let mut baseline = Vec::new();
+    for mode in modes {
+        let probe = run_one(mode, flags.quick, None);
+        report::row(&[
+            "-".into(),
+            mode.into(),
+            "0".into(),
+            format!("{}", probe.submitted),
+            format!("{}", probe.completed),
+            format!("{}", probe.failed),
+            format!("{}", probe.retries),
+            format!("{}", probe.fault_events),
+            format!("{}", probe.breaker_trips),
+            format!("{}", probe.oom_kills),
+        ]);
+        check(
+            &flags,
+            probe.failed == 0 && probe.retries == 0 && probe.fault_events == 0,
+            &format!("{mode}: fault-free run reports zero failures"),
+        );
+        check(
+            &flags,
+            probe.submitted == probe.completed && probe.in_flight == 0,
+            &format!("{mode}: fault-free run completes every request"),
+        );
+        check(
+            &flags,
+            probe.clean_teardown && probe.residual_rss == 0 && probe.residual_pss_bytes == 0,
+            &format!("{mode}: fault-free teardown leaves no residue"),
+        );
+        baseline.push((mode, probe));
+    }
+
+    let mut total_fault_events = 0u64;
+    for &seed in &seeds {
+        let plan = FaultPlan::uniform(seed, rate);
+        for (mode, base) in &baseline {
+            let probe = run_one(mode, flags.quick, Some(plan));
+            report::row(&[
+                format!("{seed}"),
+                (*mode).into(),
+                format!("{rate}"),
+                format!("{}", probe.submitted),
+                format!("{}", probe.completed),
+                format!("{}", probe.failed),
+                format!("{}", probe.retries),
+                format!("{}", probe.fault_events),
+                format!("{}", probe.breaker_trips),
+                format!("{}", probe.oom_kills),
+            ]);
+            total_fault_events += probe.fault_events;
+            check(
+                &flags,
+                probe.completed + probe.failed == probe.submitted && probe.in_flight == 0,
+                &format!("seed {seed} {mode}: every request terminates"),
+            );
+            check(
+                &flags,
+                probe.metrics_ordered,
+                &format!("seed {seed} {mode}: machine USS <= PSS <= RSS held"),
+            );
+            check(
+                &flags,
+                probe.clean_teardown,
+                &format!("seed {seed} {mode}: cache accounting returns to zero"),
+            );
+            check(
+                &flags,
+                probe.residual_rss == 0 && probe.residual_pss_bytes == 0,
+                &format!("seed {seed} {mode}: no resident memory survives teardown"),
+            );
+            if rate <= 0.011 {
+                // Bounded degradation at the default 1 % rate: a small
+                // fault rate may not halve throughput.
+                check(
+                    &flags,
+                    probe.completed as f64 >= 0.9 * base.completed as f64,
+                    &format!("seed {seed} {mode}: completions within 0.9x of fault-free"),
+                );
+            }
+            // Determinism: an identical plan must replay identically.
+            let again = run_one(mode, flags.quick, Some(plan));
+            check(
+                &flags,
+                again == probe,
+                &format!("seed {seed} {mode}: replay is deterministic"),
+            );
+        }
+    }
+    check(
+        &flags,
+        seeds.is_empty() || rate == 0.0 || total_fault_events > 0,
+        "seeded runs actually injected faults",
+    );
+}

@@ -48,8 +48,19 @@ fn main() {
     };
     report::caption(
         "Figure 9: performance on Azure traces",
-        &["scale", "mode", "cold_boots_per_s", "throughput_rps", "cpu_utilization", "reclaim_cpu"],
+        &[
+            "scale",
+            "mode",
+            "cold_boots_per_s",
+            "throughput_rps",
+            "cpu_utilization",
+            "reclaim_cpu",
+            "failed",
+            "retries",
+            "fault_events",
+        ],
     );
+    let mut residual_faults = 0u64;
     let mut at15: Vec<(String, azure_trace::ReplayOutcome)> = Vec::new();
     let mut at_hi: Vec<(String, azure_trace::ReplayOutcome)> = Vec::new();
     let mut eager_low_util = 0.0;
@@ -64,7 +75,11 @@ fn main() {
                 format!("{:.1}", out.throughput),
                 format!("{:.3}", out.cpu_utilization),
                 format!("{:.3}", out.reclaim_cpu_fraction),
+                format!("{}", out.failed),
+                format!("{}", out.retries),
+                format!("{}", out.fault_events),
             ]);
+            residual_faults += out.failed + out.retries + out.fault_events;
             if (scale - 15.0).abs() < 1e-9 {
                 at15.push((mode.into(), out.clone()));
             }
@@ -111,5 +126,12 @@ fn main() {
     );
     println!(
         "# sf5: cpu utilization vanilla {vanilla_low_util:.3} vs eager {eager_low_util:.3} (paper: eager higher at low scale)"
+    );
+    // Standing inertness regression: no fault plan is installed here,
+    // so every failure/retry/fault counter must be dead zero.
+    check(
+        &flags,
+        residual_faults == 0,
+        "fault-free runs report zero failures, retries, and fault events",
     );
 }

@@ -66,6 +66,21 @@ impl Flags {
         self.rest.iter().any(|a| a == flag)
     }
 
+    /// The value of a harness-specific `--flag value` or `--flag=value`
+    /// argument, if present.
+    pub fn value_of(&self, flag: &str) -> Option<&str> {
+        let eq = format!("{flag}=");
+        for (i, a) in self.rest.iter().enumerate() {
+            if a == flag {
+                return self.rest.get(i + 1).map(String::as_str);
+            }
+            if let Some(v) = a.strip_prefix(&eq) {
+                return Some(v);
+            }
+        }
+        None
+    }
+
     /// Effective worker-thread count: the `--jobs` value, or every
     /// available core.
     pub fn jobs(&self) -> usize {
@@ -100,6 +115,21 @@ mod tests {
         assert!(f.quick);
         assert!(f.has("--list"));
         assert!(!f.has("--nope"));
+    }
+
+    #[test]
+    fn value_of_supports_both_spellings() {
+        let f = Flags::from_args(
+            ["--fault-seed", "7", "--fault-rate=0.01"]
+                .iter()
+                .map(|s| s.to_string()),
+        );
+        assert_eq!(f.value_of("--fault-seed"), Some("7"));
+        assert_eq!(f.value_of("--fault-rate"), Some("0.01"));
+        assert_eq!(f.value_of("--missing"), None);
+        // A trailing flag with no value yields None.
+        let f = Flags::from_args(["--fault-seed"].iter().map(|s| s.to_string()));
+        assert_eq!(f.value_of("--fault-seed"), None);
     }
 
     #[test]

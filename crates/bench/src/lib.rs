@@ -17,6 +17,7 @@
 //!   serial run.
 
 pub mod cli;
+pub mod golden;
 pub mod parallel;
 pub mod report;
 pub mod singlefn;

@@ -30,6 +30,7 @@ mod tests {
     fn formatting_is_stable() {
         assert_eq!(mib(1 << 20), "1.00");
         assert_eq!(mib(3 << 19), "1.50");
-        assert_eq!(ratio(2.718), "2.72");
+        assert_eq!(ratio(1.25), "1.25");
+        assert_eq!(ratio(4.5), "4.50");
     }
 }

@@ -1,0 +1,23 @@
+//! Golden-replay regression: with no fault plan installed, the
+//! simulation's behaviour must be *identical* to the pre-fault-subsystem
+//! platform. The digest below was captured before the fault machinery
+//! existed; every enumerated replay outcome and post-drain platform
+//! quantity feeds it, so any behavioural drift — an extra RNG draw, a
+//! changed event order, a different charge — changes the value.
+
+use bench::golden::standard_digest;
+
+/// Captured from the pre-fault-injection platform (PR 1 head). Do not
+/// update this constant casually: a change means fault-off behaviour
+/// drifted, which the fault subsystem explicitly promises not to do.
+const GOLDEN: u64 = 0x2f61_fd99_85dd_fe2e;
+
+#[test]
+fn fault_off_replay_is_byte_identical() {
+    assert_eq!(
+        standard_digest(),
+        GOLDEN,
+        "fault-free replay diverged from the golden digest: the fault \
+         machinery is no longer inert when disabled"
+    );
+}

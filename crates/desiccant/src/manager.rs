@@ -18,6 +18,9 @@ pub struct DesiccantStats {
     pub reclaims_requested: u64,
     /// Evictions observed (what drives the threshold down).
     pub evictions_seen: u64,
+    /// Reclamation failures reported by the platform; the affected
+    /// instances are deprioritized until they reclaim successfully.
+    pub reclaim_failures_seen: u64,
 }
 
 /// The freeze-aware memory manager (see the crate docs).
@@ -87,11 +90,16 @@ impl MemoryManager for Desiccant {
         }
         self.stats.activations += 1;
 
-        // Candidates: frozen long enough and not already reclaimed
-        // since their last use.
+        // Candidates: frozen long enough, not already reclaimed since
+        // their last use, and not marked as reclaim-failed — those are
+        // left to the platform's LRU eviction (graceful degradation).
         let mut candidates: Vec<&FrozenView> = frozen
             .iter()
-            .filter(|f| !f.reclaimed && now.saturating_since(f.frozen_since) >= self.config.freeze_timeout)
+            .filter(|f| {
+                !f.reclaimed
+                    && !self.profiles.is_failed(f.id)
+                    && now.saturating_since(f.frozen_since) >= self.config.freeze_timeout
+            })
             .collect();
 
         match self.config.selection {
@@ -147,6 +155,11 @@ impl MemoryManager for Desiccant {
         profile: ReclaimProfile,
     ) {
         self.profiles.record(id, function, &profile);
+    }
+
+    fn note_reclaim_failed(&mut self, _now: SimTime, id: InstanceId, _function: &str) {
+        self.stats.reclaim_failures_seen += 1;
+        self.profiles.mark_failed(id);
     }
 
     fn keep_weak(&self) -> bool {
@@ -276,6 +289,29 @@ mod tests {
             .collect();
         let picks = d.select_reclaims(now, 2 * GIB, 1600 << 20, &frozen);
         assert_eq!(picks.len(), 2);
+    }
+
+    #[test]
+    fn reclaim_failed_instances_are_deprioritized_until_success() {
+        let mut d = Desiccant::new(DesiccantConfig::default());
+        let now = SimTime(10_000_000_000);
+        let frozen = vec![view(1, "fft", 0, 300 << 20, 1400 << 20)];
+        // Before any failure the instance is selectable.
+        assert_eq!(
+            d.select_reclaims(now, 2 * GIB, 1400 << 20, &frozen),
+            vec![InstanceId(1)]
+        );
+        // After a failed reclaim it is skipped: LRU eviction handles
+        // the pressure instead.
+        d.note_reclaim_failed(now, InstanceId(1), "fft");
+        assert_eq!(d.stats().reclaim_failures_seen, 1);
+        assert!(d.select_reclaims(now, 2 * GIB, 1400 << 20, &frozen).is_empty());
+        // A later successful reclaim rehabilitates it.
+        d.note_reclaimed(now, InstanceId(1), "fft", profile(10 << 20, 5));
+        assert_eq!(
+            d.select_reclaims(now, 2 * GIB, 1400 << 20, &frozen),
+            vec![InstanceId(1)]
+        );
     }
 
     #[test]

@@ -6,7 +6,7 @@
 //! and denominator of the throughput formula can be estimated from a
 //! few samples.
 
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 
 use faas::{InstanceId, ReclaimProfile};
 
@@ -72,6 +72,11 @@ pub struct ProfileStore {
     per_instance: HashMap<InstanceId, Profile>,
     per_function: HashMap<String, Profile>,
     global: Profile,
+    /// Instances whose last reclamation failed: selection skips them
+    /// until a successful reclaim (or destruction) clears the mark, so
+    /// a wedged runtime degrades to plain LRU eviction instead of
+    /// burning CPU on doomed retries.
+    failed: HashSet<InstanceId>,
 }
 
 impl ProfileStore {
@@ -80,7 +85,8 @@ impl ProfileStore {
         ProfileStore::default()
     }
 
-    /// Records a completed reclamation's profile.
+    /// Records a completed reclamation's profile. A success clears any
+    /// standing failure mark — the runtime evidently recovered.
     pub fn record(&mut self, id: InstanceId, function: &str, profile: &ReclaimProfile) {
         self.per_instance.entry(id).or_default().push(profile);
         self.per_function
@@ -88,11 +94,28 @@ impl ProfileStore {
             .or_default()
             .push(profile);
         self.global.push(profile);
+        self.failed.remove(&id);
+    }
+
+    /// Marks `id` as having failed its last reclamation.
+    pub fn mark_failed(&mut self, id: InstanceId) {
+        self.failed.insert(id);
+    }
+
+    /// Whether `id`'s last reclamation failed.
+    pub fn is_failed(&self, id: InstanceId) -> bool {
+        self.failed.contains(&id)
+    }
+
+    /// Number of instances currently marked failed.
+    pub fn failed_count(&self) -> usize {
+        self.failed.len()
     }
 
     /// Drops the per-instance profile of a destroyed instance.
     pub fn drop_instance(&mut self, id: InstanceId) {
         self.per_instance.remove(&id);
+        self.failed.remove(&id);
     }
 
     /// Number of distinct instances with profiles.
@@ -200,6 +223,25 @@ mod tests {
         let est = store.estimate(id, "f", 10 << 20);
         assert!(!est.unprofiled);
         assert!((est.expected_release - (8 << 20) as f64).abs() < 1.0);
+    }
+
+    #[test]
+    fn failure_marks_clear_on_success_or_destruction() {
+        let mut store = ProfileStore::new();
+        let a = InstanceId(8);
+        let b = InstanceId(9);
+        store.mark_failed(a);
+        store.mark_failed(b);
+        assert!(store.is_failed(a) && store.is_failed(b));
+        assert_eq!(store.failed_count(), 2);
+        // A later successful reclaim rehabilitates the instance.
+        store.record(a, "f", &profile(2, 10));
+        assert!(!store.is_failed(a));
+        // Destruction clears the mark too (ids are never reused, but
+        // the set must not grow without bound).
+        store.drop_instance(b);
+        assert!(!store.is_failed(b));
+        assert_eq!(store.failed_count(), 0);
     }
 
     #[test]

@@ -8,7 +8,7 @@
 use azure_trace::{build_trace, replay, ReplayConfig};
 use desiccant::{Desiccant, DesiccantConfig};
 use faas::platform::{GcMode, Platform};
-use faas::PlatformConfig;
+use faas::{FaultPlan, PlatformConfig};
 use simos::{SimDuration, SimTime};
 
 fn pressure_config() -> PlatformConfig {
@@ -136,4 +136,70 @@ fn frozen_instances_shrink_after_reclaim() {
         after < before,
         "reclamation did not shrink the instance: {before} -> {after}"
     );
+}
+
+/// Graceful degradation: when *every* reclamation fails, Desiccant
+/// marks the instances as failed and stops re-selecting them, and the
+/// platform's LRU eviction fallback keeps the cache inside its budget.
+/// No request is lost and teardown accounting still balances.
+#[test]
+fn failed_reclaims_fall_back_to_lru_eviction() {
+    let cache_budget = 256 << 20;
+    let config = PlatformConfig {
+        cache_budget,
+        cores: 3.0,
+        sweep_interval: SimDuration::from_millis(50),
+        faults: Some(FaultPlan {
+            seed: 13,
+            boot_fail: 0.0,
+            crash: 0.0,
+            thaw_fail: 0.0,
+            reclaim_fail: 1.0,
+            oom_kill: 0.0,
+        }),
+        ..PlatformConfig::default()
+    };
+    let manager = Desiccant::new(DesiccantConfig {
+        low_threshold: 0.05,
+        dynamic_threshold: false,
+        freeze_timeout: SimDuration::from_millis(200),
+        ..DesiccantConfig::default()
+    });
+    let mut p = Platform::new(
+        config,
+        workloads::catalog(),
+        GcMode::Vanilla,
+        Some(Box::new(manager)),
+    );
+    // Rotate functions so the tight cache constantly churns.
+    let names = ["file-hash", "sort", "fft", "matrix", "factor", "pi"];
+    let mut t = SimTime::ZERO;
+    let mut submitted = 0u64;
+    for _ in 0..20u64 {
+        for (i, name) in names.iter().enumerate() {
+            let idx = p.function_index(name).expect("catalog");
+            p.submit(t + SimDuration::from_millis(i as u64 * 60), idx);
+            submitted += 1;
+        }
+        t += SimDuration::from_millis(500);
+    }
+    p.run_until(t + SimDuration::from_secs(300));
+    let (total, completed, failed) = p.request_totals();
+    assert_eq!(total, submitted);
+    assert_eq!((completed, failed), (submitted, 0), "degraded mode lost requests");
+    let s = p.stats();
+    assert!(s.reclaim_failures > 0, "no reclamation was ever attempted");
+    assert_eq!(s.reclamations, 0, "a 100% failure rate must complete no reclamation");
+    assert!(s.evictions > 0, "LRU fallback never engaged under pressure");
+    // Freeze-time recharges may overcommit the budget by the
+    // instances' post-boot growth until the next admission evicts;
+    // anything beyond that bound would be an accounting leak.
+    let slack = p.instance_count() as u64 * (32 << 20);
+    assert!(
+        p.cache_used() <= cache_budget + slack,
+        "cache accounting drifted: {} vs budget {}",
+        p.cache_used(),
+        cache_budget
+    );
+    p.shutdown().expect("failed reclaims must not corrupt teardown");
 }

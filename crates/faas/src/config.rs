@@ -2,6 +2,8 @@
 
 use simos::SimDuration;
 
+use crate::fault::FaultPlan;
+
 /// Which commercial environment the platform imitates.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum EnvFlavor {
@@ -37,6 +39,29 @@ pub struct PlatformConfig {
     pub sweep_interval: SimDuration,
     /// RNG seed for instance state.
     pub seed: u64,
+    /// Maximum retries a failed request gets before it is reported
+    /// failed (capped exponential backoff between attempts).
+    pub max_retries: u32,
+    /// Base backoff before the first retry; doubles per attempt.
+    pub retry_backoff: SimDuration,
+    /// Upper bound on a single backoff interval.
+    pub retry_backoff_cap: SimDuration,
+    /// Per-request deadline: a retry is never scheduled past
+    /// `arrival + request_deadline` (the request fails instead).
+    pub request_deadline: SimDuration,
+    /// Consecutive failures of one function that trip its circuit
+    /// breaker (`0` disables the breaker entirely).
+    pub breaker_threshold: u32,
+    /// How long a tripped breaker stays open before the half-open
+    /// probe window.
+    pub breaker_cooldown: SimDuration,
+    /// Wall time a *failed* reclamation burns before it gives up (the
+    /// cgroup-probe timeout).
+    pub reclaim_timeout: SimDuration,
+    /// Optional deterministic fault schedule. `None` (the default)
+    /// means the fault machinery does not exist at runtime: no draw is
+    /// ever taken and output is byte-identical to a fault-free build.
+    pub faults: Option<FaultPlan>,
 }
 
 impl Default for PlatformConfig {
@@ -51,6 +76,14 @@ impl Default for PlatformConfig {
             env: EnvFlavor::OpenWhisk,
             sweep_interval: SimDuration::from_millis(200),
             seed: 42,
+            max_retries: 3,
+            retry_backoff: SimDuration::from_millis(200),
+            retry_backoff_cap: SimDuration::from_secs(5),
+            request_deadline: SimDuration::from_secs(120),
+            breaker_threshold: 5,
+            breaker_cooldown: SimDuration::from_secs(10),
+            reclaim_timeout: SimDuration::from_millis(100),
+            faults: None,
         }
     }
 }
@@ -65,6 +98,13 @@ impl PlatformConfig {
         assert!(self.cache_budget >= self.instance_budget);
         assert!(self.cpu_share > 0.0 && self.cpu_share <= self.cores);
         assert!(self.sweep_interval > SimDuration::ZERO);
+        assert!(self.retry_backoff > SimDuration::ZERO);
+        assert!(self.retry_backoff_cap >= self.retry_backoff);
+        assert!(self.request_deadline > SimDuration::ZERO);
+        assert!(self.reclaim_timeout > SimDuration::ZERO);
+        if let Some(plan) = &self.faults {
+            plan.validate();
+        }
     }
 }
 
@@ -86,6 +126,27 @@ mod tests {
     fn cache_smaller_than_instance_rejected() {
         let mut c = PlatformConfig::default();
         c.cache_budget = c.instance_budget - 1;
+        c.validate();
+    }
+
+    #[test]
+    fn failure_handling_defaults_are_inert() {
+        let c = PlatformConfig::default();
+        assert!(c.faults.is_none(), "faults must default off");
+        assert!(c.max_retries >= 1);
+        assert!(c.breaker_threshold > 0);
+    }
+
+    #[test]
+    #[should_panic]
+    fn invalid_fault_plan_rejected() {
+        let c = PlatformConfig {
+            faults: Some(FaultPlan {
+                crash: 2.0,
+                ..FaultPlan::disabled(1)
+            }),
+            ..PlatformConfig::default()
+        };
         c.validate();
     }
 }

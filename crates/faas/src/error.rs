@@ -1,0 +1,98 @@
+//! Typed platform errors.
+//!
+//! The event loop used to `expect()` its way through instance lookups:
+//! a stale event for a removed instance was an instant panic with no
+//! context. Every such path now surfaces a [`PlatformError`] naming
+//! the instance and the handler that tripped, so a corrupted schedule
+//! is diagnosable instead of fatal-by-unwrap. Lifecycle races the
+//! design *allows* (a `ReclaimDone` for an instance evicted mid-flight)
+//! are not errors at all — they are counted no-ops.
+
+use std::fmt;
+
+use simos::SimOsError;
+
+use crate::platform::InstanceId;
+
+/// Result alias for fallible platform operations.
+pub type PlatformResult<T> = Result<T, PlatformError>;
+
+/// Errors surfaced by the platform event loop and teardown paths.
+#[derive(Debug, Clone, PartialEq)]
+pub enum PlatformError {
+    /// An event referenced an instance that no longer exists in a
+    /// context where the schedule guarantees it must (e.g. a
+    /// `StageDone` for an instance nothing could have destroyed).
+    StaleInstance {
+        /// The missing instance.
+        id: InstanceId,
+        /// The handler that tripped.
+        context: &'static str,
+    },
+    /// Cache accounting did not return to zero when the last instance
+    /// was destroyed — a charge leak.
+    CacheResidue {
+        /// Bytes still charged after teardown.
+        bytes: u64,
+    },
+    /// Simulated processes survived a full teardown.
+    ProcessResidue {
+        /// Processes still alive.
+        count: usize,
+    },
+    /// A simulated OS call failed in a context with no recovery path.
+    Os(SimOsError),
+}
+
+impl fmt::Display for PlatformError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PlatformError::StaleInstance { id, context } => {
+                write!(f, "stale event in {context}: instance {} is gone", id.0)
+            }
+            PlatformError::CacheResidue { bytes } => {
+                write!(f, "cache accounting leaked {bytes} bytes past teardown")
+            }
+            PlatformError::ProcessResidue { count } => {
+                write!(f, "{count} simulated process(es) survived teardown")
+            }
+            PlatformError::Os(e) => write!(f, "simulated OS error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for PlatformError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            PlatformError::Os(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<SimOsError> for PlatformError {
+    fn from(e: SimOsError) -> PlatformError {
+        PlatformError::Os(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_names_the_context() {
+        let e = PlatformError::StaleInstance {
+            id: InstanceId(7),
+            context: "stage-done",
+        };
+        let s = e.to_string();
+        assert!(s.contains("stage-done") && s.contains('7'), "{s}");
+    }
+
+    #[test]
+    fn os_errors_chain_as_source() {
+        let e = PlatformError::from(SimOsError::NoSuchFile(3));
+        assert!(std::error::Error::source(&e).is_some());
+    }
+}

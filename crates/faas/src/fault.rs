@@ -1,0 +1,260 @@
+//! Deterministic fault injection.
+//!
+//! Real platforms operate under memory pressure where cold boots fail,
+//! instances are OOM-killed mid-stage, and reclamations race thaws and
+//! time out. The simulator models a fail-free world by default; this
+//! module adds a *seeded, virtual-clock-driven* fault schedule on top:
+//!
+//! * a [`FaultPlan`] gives each fault class an independent probability,
+//!   drawn at the corresponding lifecycle decision point (boot start,
+//!   stage start, thaw, reclaim start, cache-charge increase);
+//! * a [`FaultInjector`] owns a dedicated splitmix64 stream seeded from
+//!   the plan, advanced **only** at decision points — never by the
+//!   simulation itself — so a given `(plan, workload)` pair always
+//!   produces the same fault schedule;
+//! * when no plan is installed ([`crate::PlatformConfig::faults`] is
+//!   `None`) the injector does not exist and no draw ever happens:
+//!   the platform is byte-identical to a build without this module
+//!   (pinned by `bench`'s golden-replay checksum test).
+
+/// Per-decision-point fault probabilities, all in `[0, 1]`.
+///
+/// A probability of zero disables that fault class without disturbing
+/// the draw sequence of the others (each decision point consumes
+/// exactly one draw only when its class is enabled).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FaultPlan {
+    /// Seed of the injector's private random stream.
+    pub seed: u64,
+    /// A cold boot fails partway through container/runtime startup.
+    pub boot_fail: f64,
+    /// A running instance crashes mid-stage.
+    pub crash: f64,
+    /// Thawing (unpausing) a frozen instance fails; the instance is
+    /// lost and the request falls back to a cold boot.
+    pub thaw_fail: f64,
+    /// A reclamation fails (runtime wedged / cgroup probe timeout):
+    /// CPU is burned for the timeout but no memory is released.
+    pub reclaim_fail: f64,
+    /// Under cache overcommit, the cgroup OOM killer takes out the
+    /// largest frozen instance.
+    pub oom_kill: f64,
+}
+
+impl FaultPlan {
+    /// A plan injecting every fault class at the same `rate`.
+    pub fn uniform(seed: u64, rate: f64) -> FaultPlan {
+        FaultPlan {
+            seed,
+            boot_fail: rate,
+            crash: rate,
+            thaw_fail: rate,
+            reclaim_fail: rate,
+            oom_kill: rate,
+        }
+    }
+
+    /// A plan with every class disabled (useful to verify the fault
+    /// machinery is inert: it must behave identically to no plan).
+    pub fn disabled(seed: u64) -> FaultPlan {
+        FaultPlan::uniform(seed, 0.0)
+    }
+
+    /// True if every fault class has probability zero.
+    pub fn is_inert(&self) -> bool {
+        self.boot_fail == 0.0
+            && self.crash == 0.0
+            && self.thaw_fail == 0.0
+            && self.reclaim_fail == 0.0
+            && self.oom_kill == 0.0
+    }
+
+    /// Sanity checks.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any probability is outside `[0, 1]` or not finite.
+    pub fn validate(&self) {
+        for (name, p) in [
+            ("boot_fail", self.boot_fail),
+            ("crash", self.crash),
+            ("thaw_fail", self.thaw_fail),
+            ("reclaim_fail", self.reclaim_fail),
+            ("oom_kill", self.oom_kill),
+        ] {
+            assert!(
+                p.is_finite() && (0.0..=1.0).contains(&p),
+                "fault probability {name} = {p} outside [0, 1]"
+            );
+        }
+    }
+}
+
+/// The seeded fault stream: decides, at each lifecycle decision point,
+/// whether the planned fault fires.
+#[derive(Debug, Clone)]
+pub struct FaultInjector {
+    plan: FaultPlan,
+    state: u64,
+}
+
+impl FaultInjector {
+    /// Creates an injector over `plan` (validated).
+    pub fn new(plan: FaultPlan) -> FaultInjector {
+        plan.validate();
+        FaultInjector {
+            plan,
+            // splitmix64 tolerates any seed, including zero.
+            state: plan.seed,
+        }
+    }
+
+    /// The plan this injector executes.
+    pub fn plan(&self) -> &FaultPlan {
+        &self.plan
+    }
+
+    /// splitmix64: one step of the private stream.
+    fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E3779B97F4A7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+        z ^ (z >> 31)
+    }
+
+    /// A uniform draw in `[0, 1)`.
+    fn unit(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+    }
+
+    /// One Bernoulli draw with probability `p`. `p == 0` consumes no
+    /// randomness, so disabling one fault class does not shift the
+    /// schedule of the others.
+    fn roll(&mut self, p: f64) -> bool {
+        p > 0.0 && self.unit() < p
+    }
+
+    /// A uniform fraction in `[0.1, 0.9)` — the point within a boot or
+    /// stage at which an injected failure strikes.
+    fn strike_point(&mut self) -> f64 {
+        0.1 + 0.8 * self.unit()
+    }
+
+    /// Decides whether the cold boot starting now fails; `Some(frac)`
+    /// is the fraction of the boot time spent before the failure.
+    pub fn boot_fails(&mut self) -> Option<f64> {
+        if self.roll(self.plan.boot_fail) {
+            Some(self.strike_point())
+        } else {
+            None
+        }
+    }
+
+    /// Decides whether the stage starting now crashes; `Some(frac)` is
+    /// the fraction of the stage wall time before the crash.
+    pub fn stage_crashes(&mut self) -> Option<f64> {
+        if self.roll(self.plan.crash) {
+            Some(self.strike_point())
+        } else {
+            None
+        }
+    }
+
+    /// Decides whether this thaw fails (losing the instance).
+    pub fn thaw_fails(&mut self) -> bool {
+        self.roll(self.plan.thaw_fail)
+    }
+
+    /// Decides whether the reclamation starting now fails.
+    pub fn reclaim_fails(&mut self) -> bool {
+        self.roll(self.plan.reclaim_fail)
+    }
+
+    /// Decides whether the OOM killer fires for the current overcommit.
+    pub fn oom_strikes(&mut self) -> bool {
+        self.roll(self.plan.oom_kill)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_seed_same_schedule() {
+        let mut a = FaultInjector::new(FaultPlan::uniform(7, 0.3));
+        let mut b = FaultInjector::new(FaultPlan::uniform(7, 0.3));
+        for _ in 0..1000 {
+            assert_eq!(a.boot_fails(), b.boot_fails());
+            assert_eq!(a.stage_crashes(), b.stage_crashes());
+            assert_eq!(a.thaw_fails(), b.thaw_fails());
+        }
+    }
+
+    #[test]
+    fn different_seeds_diverge() {
+        let mut a = FaultInjector::new(FaultPlan::uniform(1, 0.5));
+        let mut b = FaultInjector::new(FaultPlan::uniform(2, 0.5));
+        let hits = |inj: &mut FaultInjector| -> Vec<bool> {
+            (0..256).map(|_| inj.thaw_fails()).collect()
+        };
+        assert_ne!(hits(&mut a), hits(&mut b));
+    }
+
+    #[test]
+    fn rates_are_roughly_honoured() {
+        let mut inj = FaultInjector::new(FaultPlan::uniform(42, 0.25));
+        let n = 100_000;
+        let hits = (0..n).filter(|_| inj.reclaim_fails()).count();
+        let rate = hits as f64 / n as f64;
+        assert!((rate - 0.25).abs() < 0.01, "observed rate {rate}");
+    }
+
+    #[test]
+    fn zero_rate_consumes_no_randomness() {
+        let mut a = FaultInjector::new(FaultPlan {
+            crash: 0.0,
+            ..FaultPlan::uniform(9, 0.5)
+        });
+        let mut b = FaultInjector::new(FaultPlan {
+            crash: 0.0,
+            ..FaultPlan::uniform(9, 0.5)
+        });
+        // Interleave disabled draws on `a` only; enabled draws must
+        // still agree, because disabled classes touch no state.
+        let mut seq_a = Vec::new();
+        let mut seq_b = Vec::new();
+        for _ in 0..100 {
+            assert!(a.stage_crashes().is_none());
+            seq_a.push(a.thaw_fails());
+            seq_b.push(b.thaw_fails());
+        }
+        assert_eq!(seq_a, seq_b);
+    }
+
+    #[test]
+    fn strike_points_stay_in_range() {
+        let mut inj = FaultInjector::new(FaultPlan::uniform(3, 1.0));
+        for _ in 0..1000 {
+            let f = inj.boot_fails().expect("rate 1.0 always fires");
+            assert!((0.1..0.9).contains(&f));
+        }
+    }
+
+    #[test]
+    #[should_panic]
+    fn out_of_range_probability_rejected() {
+        FaultPlan {
+            crash: 1.5,
+            ..FaultPlan::disabled(0)
+        }
+        .validate();
+    }
+
+    #[test]
+    fn inertness_predicate() {
+        assert!(FaultPlan::disabled(5).is_inert());
+        assert!(!FaultPlan::uniform(5, 0.1).is_inert());
+    }
+}

@@ -24,7 +24,13 @@
 //!   instances; Lambda does not);
 //! * [`stats::PlatformStats`] + [`histogram::LatencyHistogram`] — cold
 //!   boot counts, throughput, CPU utilization, and tail latency: the
-//!   Figure 9/10 metrics.
+//!   Figure 9/10 metrics;
+//! * [`fault::FaultPlan`] + [`fault::FaultInjector`] — a seeded,
+//!   virtual-clock-driven fault schedule (boot failures, crashes,
+//!   thaw/reclaim failures, OOM kills); off by default and
+//!   byte-identical to a fault-free build when disabled;
+//! * [`error::PlatformError`] — typed errors for event-loop and
+//!   teardown invariants (stale events, cache/process residue).
 //!
 //! # Examples
 //!
@@ -44,13 +50,17 @@
 //! ```
 
 pub mod config;
+pub mod error;
+pub mod fault;
 pub mod histogram;
 pub mod manager;
 pub mod platform;
 pub mod stats;
 
 pub use config::{EnvFlavor, PlatformConfig};
+pub use error::{PlatformError, PlatformResult};
+pub use fault::{FaultInjector, FaultPlan};
 pub use histogram::LatencyHistogram;
 pub use manager::{FrozenView, MemoryManager, ReclaimProfile};
-pub use platform::{GcMode, InstanceId, Platform};
+pub use platform::{FailReason, GcMode, InstanceId, Platform};
 pub use stats::PlatformStats;

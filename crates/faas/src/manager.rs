@@ -72,6 +72,15 @@ pub trait MemoryManager {
     /// Called after a reclamation completes, with the combined profile.
     fn note_reclaimed(&mut self, now: SimTime, id: InstanceId, function: &str, profile: ReclaimProfile);
 
+    /// Called when a reclamation *fails* (runtime wedged, probe
+    /// timeout, or an injected fault): CPU was burned but nothing was
+    /// released. Managers should deprioritize the instance so the
+    /// platform's LRU eviction handles the pressure instead of
+    /// retrying a broken reclaim. Default: ignore.
+    fn note_reclaim_failed(&mut self, now: SimTime, id: InstanceId, function: &str) {
+        let _ = (now, id, function);
+    }
+
     /// Whether reclamation GCs should preserve weakly referenced
     /// objects (§4.7). Desiccant: yes.
     fn keep_weak(&self) -> bool {

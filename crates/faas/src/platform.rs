@@ -10,6 +10,25 @@
 //! evicts the least-recently-used frozen instances. A plugged-in
 //! [`MemoryManager`] (Desiccant) watches the cache and reclaims frozen
 //! garbage with idle CPU instead.
+//!
+//! # Failure handling
+//!
+//! With a [`crate::FaultPlan`] installed (or when a genuine runtime
+//! error surfaces — heap exhaustion, an image that cannot fit its
+//! budget), the platform degrades instead of panicking:
+//!
+//! * failed boots, crashes and heap exhaustion destroy the instance,
+//!   release its cache charge, and retry the request with capped
+//!   exponential backoff under a per-request deadline;
+//! * consecutive failures of one function trip its circuit breaker —
+//!   requests fast-fail while it is open, and a timed half-open probe
+//!   decides whether to close it again;
+//! * failed reclamations burn the probe timeout's CPU, release
+//!   nothing, and tell the manager to deprioritize the instance so
+//!   plain LRU eviction handles the pressure;
+//! * a `ReclaimDone` for an instance evicted mid-reclaim is a counted
+//!   no-op, not a panic; other stale events surface as typed
+//!   [`PlatformError`]s.
 
 use std::collections::{BTreeMap, BinaryHeap, HashMap, VecDeque};
 
@@ -18,6 +37,8 @@ use simos::{SimDuration, SimTime, System};
 use workloads::{FunctionSpec, FunctionState};
 
 use crate::config::{EnvFlavor, PlatformConfig};
+use crate::error::{PlatformError, PlatformResult};
+use crate::fault::FaultInjector;
 use crate::manager::{FrozenView, MemoryManager, ReclaimProfile};
 use crate::stats::{CoreTimeKind, PlatformStats};
 
@@ -33,6 +54,25 @@ pub enum GcMode {
     /// Call the runtime's stock GC interface at every function exit
     /// (the paper's *eager* baseline, §3.2).
     Eager,
+}
+
+/// Why a request terminated unsuccessfully.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FailReason {
+    /// Every attempted cold boot failed (injected fault, or the
+    /// runtime image cannot fit the instance budget).
+    BootFailure,
+    /// The instance crashed mid-stage (injected fault).
+    Crash,
+    /// The managed heap exhausted its budget mid-stage.
+    HeapExhausted,
+    /// The function's circuit breaker was open.
+    BreakerOpen,
+    /// No retry could be scheduled within the request deadline.
+    DeadlineExceeded,
+    /// The estimated boot footprint exceeds the entire cache budget;
+    /// no amount of eviction could admit the instance.
+    TooLargeForCache,
 }
 
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -62,20 +102,31 @@ struct Slot {
     reclaimed_since_use: bool,
 }
 
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Outcome {
+    Pending,
+    Completed,
+    Failed(FailReason),
+}
+
 #[derive(Debug)]
 struct Request {
     fn_idx: usize,
     arrival: SimTime,
-    done: bool,
+    attempts: u32,
+    outcome: Outcome,
 }
 
 #[derive(Debug, Clone, Copy)]
 enum Event {
     Arrival { req: usize },
     BootDone { id: InstanceId, req: usize },
+    BootFailed { id: InstanceId, req: usize },
     StageDone { id: InstanceId, req: usize },
+    Crash { id: InstanceId, req: usize },
     GcDone { id: InstanceId },
-    ReclaimDone { id: InstanceId, cpus: f64 },
+    ReclaimDone { id: InstanceId, cpus: f64, ok: bool },
+    Retry { req: usize, stage: u8 },
     Sweep,
 }
 
@@ -111,6 +162,42 @@ struct PendingStage {
     stage: u8,
 }
 
+/// What [`Platform::try_start_stage`] did with one queued stage.
+enum StartOutcome {
+    /// Running (or booting) — leave the queue.
+    Started,
+    /// Resources unavailable — stay queued.
+    Queued,
+    /// The request terminated or a retry event was scheduled — leave
+    /// the queue.
+    Resolved,
+}
+
+/// Per-function circuit breaker state.
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum BreakerState {
+    Closed,
+    /// Quarantined until the given time, then half-open.
+    Open(SimTime),
+    /// One probe request is allowed through; its outcome decides.
+    HalfOpen,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Breaker {
+    consecutive: u32,
+    state: BreakerState,
+}
+
+impl Default for Breaker {
+    fn default() -> Breaker {
+        Breaker {
+            consecutive: 0,
+            state: BreakerState::Closed,
+        }
+    }
+}
+
 /// The FaaS platform.
 pub struct Platform {
     config: PlatformConfig,
@@ -137,6 +224,11 @@ pub struct Platform {
     /// Running estimate of a fresh instance's post-boot footprint,
     /// used for admission before the boot happens.
     boot_footprint: u64,
+    /// Seeded fault stream; `None` means the fault machinery does not
+    /// exist at runtime and no draw ever happens.
+    injector: Option<FaultInjector>,
+    /// One circuit breaker per catalog function.
+    breakers: Vec<Breaker>,
 }
 
 impl Platform {
@@ -157,6 +249,7 @@ impl Platform {
                 shared_libs.insert(lang, image.register_files(&mut sys));
             }
         }
+        let breakers = vec![Breaker::default(); catalog.len()];
         Platform {
             config,
             catalog,
@@ -178,6 +271,8 @@ impl Platform {
             sweep_scheduled: false,
             next_seed: config.seed,
             boot_footprint: 64 << 20,
+            injector: config.faults.map(FaultInjector::new),
+            breakers,
         }
     }
 
@@ -229,6 +324,45 @@ impl Platform {
             .count()
     }
 
+    /// Requests neither completed nor failed yet. Counted from the
+    /// request table, so it is immune to statistics-window resets.
+    pub fn in_flight(&self) -> u64 {
+        self.requests
+            .iter()
+            .filter(|r| r.outcome == Outcome::Pending)
+            .count() as u64
+    }
+
+    /// Lifetime request totals `(submitted, completed, failed)` over
+    /// the platform's whole run, immune to statistics-window resets.
+    pub fn request_totals(&self) -> (u64, u64, u64) {
+        let mut totals = (self.requests.len() as u64, 0, 0);
+        for r in &self.requests {
+            match r.outcome {
+                Outcome::Pending => {}
+                Outcome::Completed => totals.1 += 1,
+                Outcome::Failed(_) => totals.2 += 1,
+            }
+        }
+        totals
+    }
+
+    /// Failure reasons of every failed request, in submission order.
+    pub fn failure_reasons(&self) -> Vec<FailReason> {
+        self.requests
+            .iter()
+            .filter_map(|r| match r.outcome {
+                Outcome::Failed(why) => Some(why),
+                _ => None,
+            })
+            .collect()
+    }
+
+    /// Whether `fn_idx`'s circuit breaker is currently open.
+    pub fn breaker_open(&self, fn_idx: usize) -> bool {
+        matches!(self.breakers[fn_idx].state, BreakerState::Open(_))
+    }
+
     /// Direct access to the simulated OS (for measurements in tests
     /// and harnesses).
     pub fn system(&self) -> &System {
@@ -248,7 +382,8 @@ impl Platform {
         self.requests.push(Request {
             fn_idx,
             arrival: t,
-            done: false,
+            attempts: 0,
+            outcome: Outcome::Pending,
         });
         self.stats.submitted += 1;
         self.schedule(t, Event::Arrival { req });
@@ -264,7 +399,20 @@ impl Platform {
     }
 
     /// Runs the simulation until `t_end` (events after it stay queued).
+    ///
+    /// # Panics
+    ///
+    /// Panics on a [`PlatformError`]; use [`Platform::try_run_until`]
+    /// to handle it instead.
     pub fn run_until(&mut self, t_end: SimTime) {
+        if let Err(e) = self.try_run_until(t_end) {
+            panic!("platform invariant violated: {e}");
+        }
+    }
+
+    /// Like [`Platform::run_until`], but surfaces event-loop errors as
+    /// typed [`PlatformError`]s instead of panicking.
+    pub fn try_run_until(&mut self, t_end: SimTime) -> PlatformResult<()> {
         if self.manager.is_some() && !self.sweep_scheduled {
             self.sweep_scheduled = true;
             let at = self.now + self.config.sweep_interval;
@@ -277,39 +425,80 @@ impl Platform {
             let Scheduled { at, ev, .. } = self.events.pop().expect("peeked");
             debug_assert!(at >= self.now, "event from the past");
             self.now = at;
-            self.handle(ev);
+            self.handle(ev)?;
         }
         self.now = self.now.max(t_end);
+        Ok(())
     }
 
-    fn handle(&mut self, ev: Event) {
+    /// Destroys every instance and verifies the accounting returns to
+    /// zero: no cache charge and no simulated process may survive.
+    pub fn shutdown(&mut self) -> PlatformResult<()> {
+        let ids: Vec<InstanceId> = self.slots.keys().copied().collect();
+        for id in ids {
+            self.destroy_instance(id);
+        }
+        self.pools.clear();
+        if self.cache_used != 0 {
+            return Err(PlatformError::CacheResidue {
+                bytes: self.cache_used,
+            });
+        }
+        let count = self.sys.process_count();
+        if count != 0 {
+            return Err(PlatformError::ProcessResidue { count });
+        }
+        Ok(())
+    }
+
+    fn handle(&mut self, ev: Event) -> PlatformResult<()> {
         match ev {
             Event::Arrival { req } => {
                 self.pending.push_back(PendingStage { req, stage: 0 });
                 self.drain_pending();
+                Ok(())
             }
             Event::BootDone { id, req } => self.on_boot_done(id, req),
+            Event::BootFailed { id, req } => self.on_boot_failed(id, req),
             Event::StageDone { id, req } => self.on_stage_done(id, req),
+            Event::Crash { id, req } => self.on_crash(id, req),
             Event::GcDone { id } => {
                 self.release_cores(self.config.cpu_share);
-                self.finish_freeze(id);
+                self.finish_freeze(id)?;
                 self.drain_pending();
+                Ok(())
             }
-            Event::ReclaimDone { id, cpus } => {
+            Event::ReclaimDone { id, cpus, ok } => {
                 self.release_cores(cpus);
-                if let Some(slot) = self.slots.get_mut(&id) {
-                    if slot.status == Status::Reclaiming {
+                match self.slots.get_mut(&id) {
+                    Some(slot) if slot.status == Status::Reclaiming => {
                         slot.status = Status::Frozen;
-                        let new_charge = slot.inst.uss(&self.sys);
-                        self.update_charge(id, new_charge);
+                        if ok {
+                            let new_charge = slot.inst.uss(&self.sys);
+                            self.update_charge(id, new_charge)?;
+                            self.maybe_oom_kill();
+                        }
+                        // A failed reclamation released nothing; the
+                        // freeze-time charge stands.
                     }
+                    // Thawed mid-reclaim: execution owns the slot now.
+                    Some(_) => {}
+                    // Evicted mid-reclaim: a tolerated stale event.
+                    None => self.stats.stale_events += 1,
                 }
                 self.drain_pending();
+                Ok(())
+            }
+            Event::Retry { req, stage } => {
+                self.pending.push_back(PendingStage { req, stage });
+                self.drain_pending();
+                Ok(())
             }
             Event::Sweep => {
                 self.run_sweep();
                 let at = self.now + self.config.sweep_interval;
                 self.schedule(at, Event::Sweep);
+                Ok(())
             }
         }
     }
@@ -318,26 +507,40 @@ impl Platform {
         self.used_cores = (self.used_cores - cpus).max(0.0);
     }
 
-    fn update_charge(&mut self, id: InstanceId, new_charge: u64) {
-        let slot = self.slots.get_mut(&id).expect("charge of dead instance");
+    fn update_charge(&mut self, id: InstanceId, new_charge: u64) -> PlatformResult<()> {
+        let slot = self
+            .slots
+            .get_mut(&id)
+            .ok_or(PlatformError::StaleInstance {
+                id,
+                context: "update-charge",
+            })?;
         self.cache_used = self.cache_used - slot.charge + new_charge;
         slot.charge = new_charge;
+        Ok(())
     }
 
-    /// Tries to start every queued stage; removes those that started.
+    /// Tries to start every queued stage; removes those that started
+    /// or terminated.
     fn drain_pending(&mut self) {
         let mut remaining = VecDeque::new();
         while let Some(work) = self.pending.pop_front() {
-            if !self.try_start_stage(work) {
+            if let StartOutcome::Queued = self.try_start_stage(work) {
                 remaining.push_back(work);
             }
         }
         self.pending = remaining;
     }
 
-    /// Attempts to start `work` now. Returns true if it is underway.
-    fn try_start_stage(&mut self, work: PendingStage) -> bool {
-        let fn_idx = self.requests[work.req].fn_idx;
+    /// Attempts to start `work` now.
+    fn try_start_stage(&mut self, work: PendingStage) -> StartOutcome {
+        let req = work.req;
+        let fn_idx = self.requests[req].fn_idx;
+        if !self.breaker_allows(fn_idx) {
+            self.stats.breaker_fast_fails += 1;
+            self.fail_request(req, FailReason::BreakerOpen);
+            return StartOutcome::Resolved;
+        }
         let key = (fn_idx, work.stage);
         // Warm path: most recently used frozen instance of this stage.
         if let Some(pos) = self
@@ -346,27 +549,44 @@ impl Platform {
             .and_then(|p| if p.is_empty() { None } else { Some(p.len() - 1) })
         {
             if self.used_cores + self.config.cpu_share > self.config.cores {
-                return false;
+                return StartOutcome::Queued;
             }
             let id = self.pools.get_mut(&key).expect("pool exists").remove(pos);
-            // Instances are charged at measured USS; the thawed
-            // instance keeps its freeze-time charge and is re-measured
-            // when it freezes again.
-            self.used_cores += self.config.cpu_share;
-            self.stats.warm_starts += 1;
-            let slot = self.slots.get_mut(&id).expect("pooled instance exists");
-            slot.status = Status::Running;
-            slot.last_used = self.now;
-            self.start_execution(id, work.req, self.config.thaw);
-            return true;
+            let thaw_failed = self.injector.as_mut().is_some_and(|i| i.thaw_fails());
+            if thaw_failed {
+                // The frozen instance is lost; fall through to a cold
+                // boot. Transparent to the request (no retry burned).
+                self.stats.thaw_failures += 1;
+                self.destroy_instance(id);
+            } else {
+                // Instances are charged at measured USS; the thawed
+                // instance keeps its freeze-time charge and is
+                // re-measured when it freezes again.
+                self.used_cores += self.config.cpu_share;
+                self.stats.warm_starts += 1;
+                let slot = self.slots.get_mut(&id).expect("pooled instance exists");
+                slot.status = Status::Running;
+                slot.last_used = self.now;
+                if let Err(e) = self.start_execution(id, req, self.config.thaw) {
+                    panic!("warm start of a live instance: {e}");
+                }
+                return StartOutcome::Started;
+            }
         }
         // Cold path: boot a new instance (needs a full core plus room
         // for the estimated post-boot footprint).
+        if self.boot_footprint > self.config.cache_budget {
+            // Evicting the whole cache still could not admit this
+            // boot; reject outright instead of evict-all-and-loop.
+            self.stats.rejected_too_large += 1;
+            self.fail_request(req, FailReason::TooLargeForCache);
+            return StartOutcome::Resolved;
+        }
         if self.used_cores + 1.0 > self.config.cores {
-            return false;
+            return StartOutcome::Queued;
         }
         if !self.make_room(self.boot_footprint, None) {
-            return false;
+            return StartOutcome::Queued;
         }
         let spec = self.catalog[fn_idx];
         let image = match self.config.env {
@@ -377,14 +597,24 @@ impl Platform {
             EnvFlavor::OpenWhisk => self.shared_libs[&spec.language].clone(),
             EnvFlavor::Lambda => image.register_files(&mut self.sys),
         };
-        let inst = Instance::launch(
+        let inst = match Instance::launch(
             &mut self.sys,
             &image,
             &libs,
             self.config.instance_budget,
             self.config.cpu_share,
-        )
-        .expect("instance budget accommodates the runtime image");
+        ) {
+            Ok(inst) => inst,
+            Err(_) => {
+                // The runtime image does not fit the instance budget:
+                // a boot failure (every retry will fail the same way,
+                // so the breaker quarantines the function quickly).
+                self.stats.boot_failures += 1;
+                self.record_breaker_failure(fn_idx);
+                self.fail_or_retry(req, work.stage, FailReason::BootFailure);
+                return StartOutcome::Resolved;
+            }
+        };
         let boot_time = self.config.container_create + inst.startup_time();
         self.next_seed = self.next_seed.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
         let state = FunctionState::new(work.stage, self.next_seed);
@@ -411,11 +641,21 @@ impl Platform {
         self.cache_used += footprint;
         self.slots.get_mut(&id).expect("just inserted").charge = footprint;
         self.used_cores += 1.0;
-        self.stats.cold_boots += 1;
-        self.stats
-            .record_core_time(CoreTimeKind::Boot, boot_time, 1.0);
-        self.schedule(self.now + boot_time, Event::BootDone { id, req: work.req });
-        true
+        match self.injector.as_mut().and_then(|i| i.boot_fails()) {
+            Some(frac) => {
+                let fail_at = boot_time.mul_f64(frac);
+                self.stats
+                    .record_core_time(CoreTimeKind::Boot, fail_at, 1.0);
+                self.schedule(self.now + fail_at, Event::BootFailed { id, req });
+            }
+            None => {
+                self.stats.cold_boots += 1;
+                self.stats
+                    .record_core_time(CoreTimeKind::Boot, boot_time, 1.0);
+                self.schedule(self.now + boot_time, Event::BootDone { id, req });
+            }
+        }
+        StartOutcome::Started
     }
 
     /// Frees at least `needed` bytes of cache headroom by evicting LRU
@@ -429,8 +669,6 @@ impl Platform {
         if self.cache_used + needed <= budget {
             return true;
         }
-        // Reclaimable headroom check first: can evicting every frozen
-        // instance make room at all?
         loop {
             if self.cache_used + needed <= budget {
                 return true;
@@ -451,69 +689,192 @@ impl Platform {
         }
     }
 
+    /// Evicts `id` under memory pressure (counts and notifies, then
+    /// destroys).
     fn evict(&mut self, id: InstanceId) {
-        let slot = self.slots.remove(&id).expect("evicting a dead instance");
-        self.cache_used -= slot.charge;
-        let key = (slot.fn_idx, slot.stage);
-        if let Some(pool) = self.pools.get_mut(&key) {
-            pool.retain(|p| *p != id);
-        }
         self.stats.evictions += 1;
-        let name = self.catalog[slot.fn_idx].name;
-        if let Some(m) = self.manager.as_mut() {
-            m.note_eviction(self.now, name);
-            m.note_destroyed(id);
+        if let Some(slot) = self.slots.get(&id) {
+            let name = self.catalog[slot.fn_idx].name;
+            if let Some(m) = self.manager.as_mut() {
+                m.note_eviction(self.now, name);
+            }
         }
-        slot.inst.kill(&mut self.sys);
+        self.destroy_instance(id);
         // Note: a pending ReclaimDone event for this id becomes stale;
         // its core release still happens when it fires.
     }
 
-    fn on_boot_done(&mut self, id: InstanceId, req: usize) {
+    /// Destroys `id` unconditionally: removes it from its pool,
+    /// releases its cache charge, tells the manager, and kills the
+    /// simulated process. Returns the USS the kill freed.
+    fn destroy_instance(&mut self, id: InstanceId) -> u64 {
+        let Some(slot) = self.slots.remove(&id) else {
+            return 0;
+        };
+        self.cache_used -= slot.charge;
+        if let Some(pool) = self.pools.get_mut(&(slot.fn_idx, slot.stage)) {
+            pool.retain(|p| *p != id);
+        }
+        if let Some(m) = self.manager.as_mut() {
+            m.note_destroyed(id);
+        }
+        slot.inst.kill(&mut self.sys)
+    }
+
+    /// Under cache overcommit, the injected cgroup OOM killer may take
+    /// out the largest frozen instance (mirroring the kernel's badness
+    /// pick inside a memory cgroup).
+    fn maybe_oom_kill(&mut self) {
+        if self.cache_used <= self.config.cache_budget {
+            return;
+        }
+        let Some(inj) = self.injector.as_mut() else {
+            return;
+        };
+        if !inj.oom_strikes() {
+            return;
+        }
+        let victim = self
+            .slots
+            .iter()
+            .filter(|(_, s)| s.status == Status::Frozen)
+            .max_by_key(|(vid, s)| (s.charge, **vid))
+            .map(|(vid, _)| *vid);
+        if let Some(vid) = victim {
+            self.stats.oom_kills += 1;
+            if let Some(slot) = self.slots.get(&vid) {
+                let name = self.catalog[slot.fn_idx].name;
+                if let Some(m) = self.manager.as_mut() {
+                    m.note_eviction(self.now, name);
+                }
+            }
+            self.destroy_instance(vid);
+        }
+    }
+
+    fn on_boot_done(&mut self, id: InstanceId, req: usize) -> PlatformResult<()> {
         // The boot held a full core; execution holds only the share.
         self.release_cores(1.0);
         if self.used_cores + self.config.cpu_share <= self.config.cores {
             self.used_cores += self.config.cpu_share;
-            let slot = self.slots.get_mut(&id).expect("booting instance exists");
+            let slot = self.slots.get_mut(&id).ok_or(PlatformError::StaleInstance {
+                id,
+                context: "boot-done",
+            })?;
             slot.status = Status::Running;
             slot.last_used = self.now;
-            self.start_execution(id, req, SimDuration::ZERO);
+            self.start_execution(id, req, SimDuration::ZERO)?;
         } else {
             // Extremely rare: the share does not fit right after the
             // boot released a whole core. Retry via the queue by
             // freezing the fresh instance unused.
-            self.finish_freeze(id);
-            let slot = self.slots.get(&id).expect("frozen instance exists");
-            let stage = slot.stage;
+            let stage = self
+                .slots
+                .get(&id)
+                .ok_or(PlatformError::StaleInstance {
+                    id,
+                    context: "boot-done",
+                })?
+                .stage;
+            self.finish_freeze(id)?;
             self.pending.push_front(PendingStage { req, stage });
         }
         self.drain_pending();
+        Ok(())
     }
 
-    /// Invokes the stage kernel on `id` and schedules its completion.
-    fn start_execution(&mut self, id: InstanceId, req: usize, extra: SimDuration) {
-        let slot = self.slots.get_mut(&id).expect("running instance exists");
-        let spec = self.catalog[slot.fn_idx];
+    /// An injected cold-boot failure struck partway through startup.
+    fn on_boot_failed(&mut self, id: InstanceId, req: usize) -> PlatformResult<()> {
+        self.release_cores(1.0);
+        let fn_idx = self
+            .slots
+            .get(&id)
+            .ok_or(PlatformError::StaleInstance {
+                id,
+                context: "boot-failed",
+            })?
+            .fn_idx;
+        let stage = self.slots[&id].stage;
+        self.destroy_instance(id);
+        self.stats.boot_failures += 1;
+        self.record_breaker_failure(fn_idx);
+        self.fail_or_retry(req, stage, FailReason::BootFailure);
+        self.drain_pending();
+        Ok(())
+    }
+
+    /// An injected crash struck partway through a stage.
+    fn on_crash(&mut self, id: InstanceId, req: usize) -> PlatformResult<()> {
+        self.release_cores(self.config.cpu_share);
+        let slot = self.slots.get(&id).ok_or(PlatformError::StaleInstance {
+            id,
+            context: "crash",
+        })?;
+        let (fn_idx, stage) = (slot.fn_idx, slot.stage);
+        self.destroy_instance(id);
+        self.stats.crashes += 1;
+        self.record_breaker_failure(fn_idx);
+        self.fail_or_retry(req, stage, FailReason::Crash);
+        self.drain_pending();
+        Ok(())
+    }
+
+    /// Invokes the stage kernel on `id` and schedules its completion
+    /// (or its crash, injected or genuine).
+    fn start_execution(&mut self, id: InstanceId, req: usize, extra: SimDuration) -> PlatformResult<()> {
+        let slot = self.slots.get_mut(&id).ok_or(PlatformError::StaleInstance {
+            id,
+            context: "start-execution",
+        })?;
+        let (fn_idx, stage) = (slot.fn_idx, slot.stage);
+        let spec = self.catalog[fn_idx];
         // Intermediates from the previous request were transferred.
         slot.state.complete_transfer(slot.inst.heap_mut().graph_mut());
         let state = &mut slot.state;
-        let report = slot
-            .inst
-            .invoke(&mut self.sys, self.now, &spec.exec, |ctx| {
-                state.invoke(&spec, ctx);
-            })
-            .expect("calibrated workload fits its instance");
-        let wall = report.wall_time + extra + state.io_wait(&spec);
-        self.stats
-            .record_core_time(CoreTimeKind::Exec, wall, self.config.cpu_share);
-        self.schedule(self.now + wall, Event::StageDone { id, req });
+        let result = slot.inst.invoke(&mut self.sys, self.now, &spec.exec, |ctx| {
+            state.invoke(&spec, ctx);
+        });
+        match result {
+            Ok(report) => {
+                let wall = report.wall_time + extra + slot.state.io_wait(&spec);
+                match self.injector.as_mut().and_then(|i| i.stage_crashes()) {
+                    Some(frac) => {
+                        let crash_at = wall.mul_f64(frac);
+                        self.stats
+                            .record_core_time(CoreTimeKind::Exec, crash_at, self.config.cpu_share);
+                        self.schedule(self.now + crash_at, Event::Crash { id, req });
+                    }
+                    None => {
+                        self.stats
+                            .record_core_time(CoreTimeKind::Exec, wall, self.config.cpu_share);
+                        self.schedule(self.now + wall, Event::StageDone { id, req });
+                    }
+                }
+            }
+            Err(_) => {
+                // The managed heap exhausted its budget mid-invoke:
+                // the runtime dies (an OOM crash), the request
+                // retries elsewhere.
+                self.release_cores(self.config.cpu_share);
+                self.destroy_instance(id);
+                self.stats.crashes += 1;
+                self.stats.heap_exhaustions += 1;
+                self.record_breaker_failure(fn_idx);
+                self.fail_or_retry(req, stage, FailReason::HeapExhausted);
+            }
+        }
+        Ok(())
     }
 
-    fn on_stage_done(&mut self, id: InstanceId, req: usize) {
+    fn on_stage_done(&mut self, id: InstanceId, req: usize) -> PlatformResult<()> {
         let (fn_idx, stage) = {
-            let slot = self.slots.get(&id).expect("running instance exists");
+            let slot = self.slots.get(&id).ok_or(PlatformError::StaleInstance {
+                id,
+                context: "stage-done",
+            })?;
             (slot.fn_idx, slot.stage)
         };
+        self.record_breaker_success(fn_idx);
         let chain_len = self.catalog[fn_idx].chain_len;
         // Advance the request.
         if stage + 1 < chain_len {
@@ -523,8 +884,8 @@ impl Platform {
             });
         } else {
             let r = &mut self.requests[req];
-            debug_assert!(!r.done);
-            r.done = true;
+            debug_assert!(r.outcome == Outcome::Pending);
+            r.outcome = Outcome::Completed;
             let latency = self.now.since(r.arrival);
             self.stats.latency.record(latency);
             self.stats.completed += 1;
@@ -533,34 +894,127 @@ impl Platform {
         match self.mode {
             GcMode::Vanilla => {
                 self.release_cores(self.config.cpu_share);
-                self.finish_freeze(id);
+                self.finish_freeze(id)?;
             }
             GcMode::Eager => {
-                let slot = self.slots.get_mut(&id).expect("running instance exists");
+                let slot = self.slots.get_mut(&id).ok_or(PlatformError::StaleInstance {
+                    id,
+                    context: "stage-done",
+                })?;
                 slot.status = Status::GcAfterExit;
-                let g = slot
-                    .inst
-                    .eager_gc(&mut self.sys)
-                    .expect("eager GC cannot fail on a healthy heap");
-                self.stats
-                    .record_core_time(CoreTimeKind::Gc, g, self.config.cpu_share);
-                self.schedule(self.now + g, Event::GcDone { id });
+                match slot.inst.eager_gc(&mut self.sys) {
+                    Ok(g) => {
+                        self.stats
+                            .record_core_time(CoreTimeKind::Gc, g, self.config.cpu_share);
+                        self.schedule(self.now + g, Event::GcDone { id });
+                    }
+                    Err(_) => {
+                        // Exit-time GC wedged the runtime. The request
+                        // already advanced; only the instance is lost.
+                        self.release_cores(self.config.cpu_share);
+                        self.stats.crashes += 1;
+                        self.stats.heap_exhaustions += 1;
+                        self.destroy_instance(id);
+                    }
+                }
             }
         }
         self.drain_pending();
+        Ok(())
     }
 
     /// Freezes `id`: completes intermediate transfer semantics, returns
     /// it to its warm pool, and re-charges it at measured USS.
-    fn finish_freeze(&mut self, id: InstanceId) {
-        let slot = self.slots.get_mut(&id).expect("freezing a dead instance");
+    fn finish_freeze(&mut self, id: InstanceId) -> PlatformResult<()> {
+        let slot = self.slots.get_mut(&id).ok_or(PlatformError::StaleInstance {
+            id,
+            context: "finish-freeze",
+        })?;
         slot.status = Status::Frozen;
         slot.frozen_since = self.now;
         slot.reclaimed_since_use = false;
         let key = (slot.fn_idx, slot.stage);
         let uss = slot.inst.uss(&self.sys);
-        self.update_charge(id, uss);
+        self.update_charge(id, uss)?;
         self.pools.entry(key).or_default().push(id);
+        self.maybe_oom_kill();
+        Ok(())
+    }
+
+    /// Terminally fails `req`.
+    fn fail_request(&mut self, req: usize, why: FailReason) {
+        let r = &mut self.requests[req];
+        debug_assert!(r.outcome == Outcome::Pending);
+        r.outcome = Outcome::Failed(why);
+        self.stats.failed += 1;
+    }
+
+    /// Retries `req` at `stage` with capped exponential backoff, or
+    /// fails it if the retry budget or deadline is exhausted.
+    fn fail_or_retry(&mut self, req: usize, stage: u8, why: FailReason) {
+        let attempts = self.requests[req].attempts;
+        if attempts >= self.config.max_retries {
+            self.stats.retry_gave_up += 1;
+            self.fail_request(req, why);
+            return;
+        }
+        let shift = attempts.min(20);
+        let backoff = (self.config.retry_backoff * (1u64 << shift))
+            .min(self.config.retry_backoff_cap);
+        let at = self.now + backoff;
+        if at > self.requests[req].arrival + self.config.request_deadline {
+            self.fail_request(req, FailReason::DeadlineExceeded);
+            return;
+        }
+        self.requests[req].attempts += 1;
+        self.stats.retries += 1;
+        self.schedule(at, Event::Retry { req, stage });
+    }
+
+    /// True if `fn_idx` may run a request now; flips an expired open
+    /// breaker into its half-open probe window.
+    fn breaker_allows(&mut self, fn_idx: usize) -> bool {
+        if self.config.breaker_threshold == 0 {
+            return true;
+        }
+        let b = &mut self.breakers[fn_idx];
+        match b.state {
+            BreakerState::Closed | BreakerState::HalfOpen => true,
+            BreakerState::Open(until) if self.now >= until => {
+                b.state = BreakerState::HalfOpen;
+                true
+            }
+            BreakerState::Open(_) => false,
+        }
+    }
+
+    fn record_breaker_failure(&mut self, fn_idx: usize) {
+        let threshold = self.config.breaker_threshold;
+        if threshold == 0 {
+            return;
+        }
+        let until = self.now + self.config.breaker_cooldown;
+        let b = &mut self.breakers[fn_idx];
+        b.consecutive += 1;
+        let trips = match b.state {
+            // A failed half-open probe re-opens immediately.
+            BreakerState::HalfOpen => true,
+            BreakerState::Closed => b.consecutive >= threshold,
+            BreakerState::Open(_) => false,
+        };
+        if trips {
+            b.state = BreakerState::Open(until);
+            self.stats.breaker_trips += 1;
+        }
+    }
+
+    fn record_breaker_success(&mut self, fn_idx: usize) {
+        if self.config.breaker_threshold == 0 {
+            return;
+        }
+        let b = &mut self.breakers[fn_idx];
+        b.consecutive = 0;
+        b.state = BreakerState::Closed;
     }
 
     /// One memory-manager sweep: collect frozen views, ask the manager,
@@ -598,24 +1052,30 @@ impl Platform {
                 break;
             }
             let cpus = idle.min(1.0);
-            let Some(slot) = self.slots.get_mut(&id) else {
-                continue;
-            };
-            if slot.status != Status::Frozen {
+            if self.slots.get(&id).map(|s| s.status) != Some(Status::Frozen) {
                 continue;
             }
+            let injected_failure = self.injector.as_mut().is_some_and(|i| i.reclaim_fails());
+            let slot = self.slots.get_mut(&id).expect("checked above");
             slot.status = Status::Reclaiming;
             slot.reclaimed_since_use = true;
-            let report: ReclaimReport = slot
-                .inst
-                .reclaim(&mut self.sys, self.now, keep_weak)
-                .expect("reclaim cannot fail on a healthy heap");
+            let fn_idx = slot.fn_idx;
+            if injected_failure {
+                self.fail_reclaim(id, fn_idx, cpus);
+                continue;
+            }
+            let report: ReclaimReport = match slot.inst.reclaim(&mut self.sys, self.now, keep_weak)
+            {
+                Ok(r) => r,
+                Err(_) => {
+                    self.fail_reclaim(id, fn_idx, cpus);
+                    continue;
+                }
+            };
             let mut released = report.released_bytes;
             if unmap {
-                released += slot
-                    .inst
-                    .unmap_private_libs(&mut self.sys)
-                    .expect("unmap cannot fail on a live process");
+                // A failed unmap degrades to "nothing extra released".
+                released += slot.inst.unmap_private_libs(&mut self.sys).unwrap_or(0);
             }
             let wall = report.wall_time.mul_f64(1.0 / cpus);
             self.used_cores += cpus;
@@ -623,7 +1083,7 @@ impl Platform {
             self.stats.reclaimed_bytes += released;
             self.stats
                 .record_core_time(CoreTimeKind::Reclaim, wall, cpus);
-            let name = self.catalog[slot.fn_idx].name;
+            let name = self.catalog[fn_idx].name;
             let profile = ReclaimProfile {
                 live_bytes: report.live_bytes,
                 released_bytes: released,
@@ -635,8 +1095,22 @@ impl Platform {
                 .as_mut()
                 .expect("manager checked above")
                 .note_reclaimed(self.now, id, name, profile);
-            self.schedule(self.now + wall, Event::ReclaimDone { id, cpus });
+            self.schedule(self.now + wall, Event::ReclaimDone { id, cpus, ok: true });
         }
+    }
+
+    /// A failed reclamation: burn the probe timeout's CPU, release
+    /// nothing, and tell the manager to deprioritize the instance.
+    fn fail_reclaim(&mut self, id: InstanceId, fn_idx: usize, cpus: f64) {
+        let wall = self.config.reclaim_timeout;
+        self.used_cores += cpus;
+        self.stats.reclaim_failures += 1;
+        self.stats.record_core_time(CoreTimeKind::Reclaim, wall, cpus);
+        let name = self.catalog[fn_idx].name;
+        if let Some(m) = self.manager.as_mut() {
+            m.note_reclaim_failed(self.now, id, name);
+        }
+        self.schedule(self.now + wall, Event::ReclaimDone { id, cpus, ok: false });
     }
 
     /// USS of every live instance, for harness measurements.
@@ -651,6 +1125,7 @@ impl Platform {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::fault::FaultPlan;
 
     fn small_config() -> PlatformConfig {
         PlatformConfig {
@@ -782,5 +1257,64 @@ mod tests {
         assert!(p.stats().completed >= done_early);
         assert_eq!(p.stats().completed, 5);
         assert_eq!(p.now(), SimTime(30_000_000_000));
+    }
+
+    #[test]
+    fn shutdown_returns_accounting_to_zero() {
+        let mut p = Platform::new(small_config(), workloads::catalog(), GcMode::Vanilla, None);
+        submit_n(&mut p, "mapreduce", 2, 2000);
+        p.run_until(SimTime(60_000_000_000));
+        assert!(p.cache_used() > 0);
+        p.shutdown().expect("clean teardown");
+        assert_eq!(p.cache_used(), 0);
+        assert_eq!(p.instance_count(), 0);
+        assert_eq!(p.system().process_count(), 0);
+    }
+
+    #[test]
+    fn disabled_fault_plan_changes_nothing() {
+        // A plan with every probability at zero must behave exactly
+        // like no plan at all: zero-rate draws consume no randomness.
+        let run = |faults: Option<FaultPlan>| {
+            let config = PlatformConfig {
+                faults,
+                ..small_config()
+            };
+            let mut p = Platform::new(config, workloads::catalog(), GcMode::Vanilla, None);
+            submit_n(&mut p, "mapreduce", 4, 1500);
+            p.run_until(SimTime(60_000_000_000));
+            (
+                p.stats().completed,
+                p.stats().cold_boots,
+                p.stats().warm_starts,
+                p.cache_used(),
+                p.stats().exec_core_ns.to_bits(),
+            )
+        };
+        assert_eq!(run(None), run(Some(FaultPlan::disabled(123))));
+    }
+
+    #[test]
+    fn faulty_run_is_deterministic() {
+        let run = |seed: u64| {
+            let config = PlatformConfig {
+                faults: Some(FaultPlan::uniform(seed, 0.2)),
+                ..small_config()
+            };
+            let mut p = Platform::new(config, workloads::catalog(), GcMode::Vanilla, None);
+            submit_n(&mut p, "mapreduce", 20, 700);
+            p.run_until(SimTime(300_000_000_000));
+            (
+                p.stats().completed,
+                p.stats().failed,
+                p.stats().fault_events(),
+                p.stats().retries,
+                p.cache_used(),
+            )
+        };
+        let a = run(7);
+        assert_eq!(a, run(7), "same fault seed must replay identically");
+        assert!(a.2 > 0, "20% fault rate produced no fault events");
+        assert_eq!(a.0 + a.1, 20, "every request must terminate");
     }
 }

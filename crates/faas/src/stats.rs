@@ -11,6 +11,39 @@ pub struct PlatformStats {
     pub submitted: u64,
     /// Requests fully completed (all chain stages).
     pub completed: u64,
+    /// Requests that terminated with a failure (retries exhausted,
+    /// deadline exceeded, breaker open, or rejected outright).
+    pub failed: u64,
+    /// Cold boots that failed partway through startup.
+    pub boot_failures: u64,
+    /// Instances that crashed mid-stage (injected faults plus genuine
+    /// runtime heap exhaustion).
+    pub crashes: u64,
+    /// Crashes caused by the managed heap exhausting its budget.
+    pub heap_exhaustions: u64,
+    /// Frozen instances killed by the cgroup OOM killer under cache
+    /// overcommit.
+    pub oom_kills: u64,
+    /// Thaws that failed, losing the frozen instance (the request
+    /// falls back to a cold boot transparently).
+    pub thaw_failures: u64,
+    /// Retry attempts scheduled after a failure.
+    pub retries: u64,
+    /// Requests that exhausted their retry budget.
+    pub retry_gave_up: u64,
+    /// Circuit-breaker trips (a function quarantined).
+    pub breaker_trips: u64,
+    /// Requests fast-failed by an open breaker.
+    pub breaker_fast_fails: u64,
+    /// Reclamations that failed (injected or genuine runtime errors);
+    /// they burn the timeout's CPU but release nothing.
+    pub reclaim_failures: u64,
+    /// Cold boots rejected because the estimated footprint exceeds the
+    /// entire cache budget (see `Platform::try_start_stage`).
+    pub rejected_too_large: u64,
+    /// Tolerated stale events (e.g. `ReclaimDone` for an instance
+    /// evicted mid-reclaim).
+    pub stale_events: u64,
     /// Instance acquisitions served by a frozen (warm) instance.
     pub warm_starts: u64,
     /// Instance acquisitions that required a cold boot.
@@ -36,6 +69,22 @@ pub struct PlatformStats {
 }
 
 impl PlatformStats {
+    /// Total injected-or-genuine fault events of every class. Zero in
+    /// any fault-free run — the standing regression check that the
+    /// fault machinery stays inert by default.
+    pub fn fault_events(&self) -> u64 {
+        self.boot_failures
+            + self.crashes
+            + self.oom_kills
+            + self.thaw_failures
+            + self.reclaim_failures
+    }
+
+    /// Requests that have terminated, successfully or not.
+    pub fn terminated(&self) -> u64 {
+        self.completed + self.failed
+    }
+
     /// Cold-boot fraction of all instance acquisitions.
     pub fn cold_boot_fraction(&self) -> f64 {
         let total = self.cold_boots + self.warm_starts;
@@ -121,10 +170,12 @@ mod tests {
 
     #[test]
     fn rates_divide_by_window() {
-        let mut s = PlatformStats::default();
-        s.cold_boots = 10;
-        s.warm_starts = 30;
-        s.completed = 40;
+        let s = PlatformStats {
+            cold_boots: 10,
+            warm_starts: 30,
+            completed: 40,
+            ..PlatformStats::default()
+        };
         let now = SimTime(20_000_000_000);
         assert!((s.cold_boot_rate(now) - 0.5).abs() < 1e-9);
         assert!((s.throughput(now) - 2.0).abs() < 1e-9);
@@ -145,12 +196,29 @@ mod tests {
 
     #[test]
     fn reset_moves_window() {
-        let mut s = PlatformStats::default();
-        s.completed = 100;
+        let mut s = PlatformStats {
+            completed: 100,
+            ..PlatformStats::default()
+        };
         s.reset(SimTime(5_000_000_000));
         assert_eq!(s.completed, 0);
         assert_eq!(s.window_start, SimTime(5_000_000_000));
         assert_eq!(s.throughput(SimTime(5_000_000_000)), 0.0);
+    }
+
+    #[test]
+    fn fault_events_sum_every_class() {
+        let mut s = PlatformStats::default();
+        assert_eq!(s.fault_events(), 0);
+        s.boot_failures = 1;
+        s.crashes = 2;
+        s.oom_kills = 3;
+        s.thaw_failures = 4;
+        s.reclaim_failures = 5;
+        assert_eq!(s.fault_events(), 15);
+        s.completed = 7;
+        s.failed = 2;
+        assert_eq!(s.terminated(), 9);
     }
 
     #[test]

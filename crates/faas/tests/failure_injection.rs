@@ -6,6 +6,7 @@
 use faas::config::PlatformConfig;
 use faas::manager::{FrozenView, MemoryManager, ReclaimProfile};
 use faas::platform::{GcMode, InstanceId, Platform};
+use faas::{FailReason, FaultPlan};
 use simos::{SimDuration, SimTime};
 
 /// A manager that reclaims everything it sees, every sweep, remembering
@@ -176,4 +177,209 @@ fn reclaimed_instances_keep_serving() {
     assert!(p.stats().reclamations >= 5, "instances were reclaimed between uses");
     // The warm instance survived throughout: exactly one cold boot.
     assert_eq!(p.stats().cold_boots, 1, "reclamation must not force cold boots");
+}
+
+/// A function whose estimated boot footprint exceeds the *entire*
+/// cache budget must be rejected with a typed failure, not spun
+/// through an evict-everything-and-retry loop.
+#[test]
+fn oversized_boot_is_rejected_not_evict_looped() {
+    let config = PlatformConfig {
+        // Smaller than the 64 MiB initial boot-footprint estimate:
+        // no amount of eviction can admit a cold boot.
+        cache_budget: 32 << 20,
+        instance_budget: 32 << 20,
+        ..PlatformConfig::default()
+    };
+    let mut p = Platform::new(config, workloads::catalog(), GcMode::Vanilla, None);
+    let idx = p.function_index("file-hash").expect("catalog");
+    p.submit(SimTime::ZERO, idx);
+    p.run_until(SimTime(300_000_000_000));
+    let (submitted, completed, failed) = p.request_totals();
+    assert_eq!((submitted, completed, failed), (1, 0, 1));
+    assert_eq!(p.stats().rejected_too_large, 1);
+    assert_eq!(p.stats().evictions, 0, "rejection must not churn the cache");
+    assert_eq!(p.stats().retries, 0, "a structural rejection is not retryable");
+    assert_eq!(p.failure_reasons(), vec![FailReason::TooLargeForCache]);
+    assert_eq!(p.instance_count(), 0);
+    assert_eq!(p.in_flight(), 0);
+    p.shutdown().expect("clean teardown after rejection");
+}
+
+fn always_boot_fail() -> FaultPlan {
+    FaultPlan {
+        seed: 1,
+        boot_fail: 1.0,
+        crash: 0.0,
+        thaw_fail: 0.0,
+        reclaim_fail: 0.0,
+        oom_kill: 0.0,
+    }
+}
+
+/// A single request whose every boot attempt dies walks the whole
+/// retry ladder, then fails with a typed reason once the budget is
+/// spent. One request alone cannot reach the breaker threshold, so
+/// the counts are exact.
+#[test]
+fn boot_failure_exhausts_retry_budget() {
+    let config = PlatformConfig {
+        faults: Some(always_boot_fail()),
+        ..PlatformConfig::default()
+    };
+    let max_retries = config.max_retries as u64;
+    let mut p = Platform::new(config, workloads::catalog(), GcMode::Vanilla, None);
+    let idx = p.function_index("file-hash").expect("catalog");
+    p.submit(SimTime::ZERO, idx);
+    p.run_until(SimTime(300_000_000_000));
+    let (submitted, completed, failed) = p.request_totals();
+    assert_eq!((submitted, completed, failed), (1, 0, 1));
+    let s = p.stats();
+    assert_eq!(s.boot_failures, max_retries + 1, "initial attempt plus every retry");
+    assert_eq!(s.retries, max_retries);
+    assert_eq!(s.retry_gave_up, 1, "retry budget exhaustion must be recorded");
+    assert_eq!(s.breaker_trips, 0, "one request stays under the breaker threshold");
+    assert_eq!(p.failure_reasons(), vec![FailReason::BootFailure]);
+    assert_eq!(p.in_flight(), 0);
+    p.shutdown().expect("clean teardown after failures");
+}
+
+/// Sustained boot failure across requests trips the per-function
+/// circuit breaker, which then fast-fails follow-up requests instead
+/// of burning boot attempts.
+#[test]
+fn sustained_boot_failure_trips_breaker() {
+    let config = PlatformConfig {
+        faults: Some(always_boot_fail()),
+        ..PlatformConfig::default()
+    };
+    let mut p = Platform::new(config, workloads::catalog(), GcMode::Vanilla, None);
+    let idx = p.function_index("file-hash").expect("catalog");
+    for i in 0..5u64 {
+        p.submit(SimTime(i * 1_000_000_000), idx);
+    }
+    // Probe mid-run: sustained failure must leave the breaker open.
+    p.run_until(SimTime(6_000_000_000));
+    assert!(p.breaker_open(idx), "breaker should be open under sustained failure");
+    p.run_until(SimTime(300_000_000_000));
+    let (submitted, completed, failed) = p.request_totals();
+    assert_eq!((submitted, completed, failed), (5, 0, 5));
+    let s = p.stats();
+    assert!(s.boot_failures >= 5, "the breaker needs 5 real failures to trip");
+    assert!(s.retries >= 1, "boot failures must be retried before the trip");
+    assert!(s.breaker_trips >= 1, "5 consecutive failures must trip the breaker");
+    assert!(s.breaker_fast_fails >= 1, "requests under an open breaker fast-fail");
+    let reasons = p.failure_reasons();
+    assert!(reasons.contains(&FailReason::BreakerOpen), "reasons: {reasons:?}");
+    assert_eq!(p.in_flight(), 0);
+    p.shutdown().expect("clean teardown after failures");
+}
+
+/// With a flaky (seeded, probabilistic) boot the breaker trips, waits
+/// out its cooldown, and recovers through a half-open probe: requests
+/// complete *after* a trip, and the run still terminates cleanly.
+#[test]
+fn breaker_recovers_after_cooldown() {
+    let config = PlatformConfig {
+        breaker_threshold: 2,
+        breaker_cooldown: SimDuration::from_millis(500),
+        faults: Some(FaultPlan {
+            seed: 5,
+            boot_fail: 0.5,
+            crash: 0.0,
+            thaw_fail: 0.0,
+            reclaim_fail: 0.0,
+            oom_kill: 0.0,
+        }),
+        ..PlatformConfig::default()
+    };
+    let mut p = Platform::new(config, workloads::catalog(), GcMode::Vanilla, None);
+    let idx = p.function_index("file-hash").expect("catalog");
+    for i in 0..40u64 {
+        p.submit(SimTime(i * 2_000_000_000), idx);
+    }
+    p.run_until(SimTime(400_000_000_000));
+    let (submitted, completed, failed) = p.request_totals();
+    assert_eq!(completed + failed, submitted, "requests leaked");
+    assert_eq!(p.in_flight(), 0);
+    let s = p.stats();
+    assert!(s.breaker_trips >= 1, "a 50% boot-failure rate must trip threshold 2");
+    assert!(
+        completed > 0,
+        "the breaker must recover via half-open probes, not stay latched"
+    );
+    assert!(s.boot_failures > 0, "the fault plan injected nothing");
+    p.shutdown().expect("clean teardown");
+}
+
+/// Thaw failures degrade a warm start into a cold boot (destroy the
+/// corrupt instance, fall through to the cold path) — they must never
+/// lose the request.
+#[test]
+fn thaw_failures_degrade_to_cold_boots() {
+    let config = PlatformConfig {
+        faults: Some(FaultPlan {
+            seed: 3,
+            boot_fail: 0.0,
+            crash: 0.0,
+            thaw_fail: 1.0,
+            reclaim_fail: 0.0,
+            oom_kill: 0.0,
+        }),
+        ..PlatformConfig::default()
+    };
+    let mut p = Platform::new(config, workloads::catalog(), GcMode::Vanilla, None);
+    let idx = p.function_index("file-hash").expect("catalog");
+    for i in 0..10u64 {
+        p.submit(SimTime(i * 3_000_000_000), idx);
+    }
+    p.run_until(SimTime(300_000_000_000));
+    let (submitted, completed, failed) = p.request_totals();
+    assert_eq!((submitted, completed, failed), (10, 10, 0), "thaw failure lost a request");
+    let s = p.stats();
+    assert!(s.thaw_failures > 0, "no thaw ever failed at rate 1.0");
+    assert_eq!(
+        s.cold_boots,
+        s.thaw_failures + 1,
+        "every thaw failure must fall through to exactly one cold boot"
+    );
+    assert_eq!(s.warm_starts, 0, "a 100% thaw-failure rate leaves no warm path");
+    p.shutdown().expect("clean teardown");
+}
+
+/// Reclaim failures leave the charge standing and the instance frozen;
+/// requests keep completing and accounting stays balanced even when
+/// *every* reclamation fails.
+#[test]
+fn reclaim_failures_never_lose_requests() {
+    let config = PlatformConfig {
+        cache_budget: 256 << 20,
+        sweep_interval: SimDuration::from_millis(50),
+        faults: Some(FaultPlan {
+            seed: 9,
+            boot_fail: 0.0,
+            crash: 0.0,
+            thaw_fail: 0.0,
+            reclaim_fail: 1.0,
+            oom_kill: 0.0,
+        }),
+        ..PlatformConfig::default()
+    };
+    let mut p = Platform::new(
+        config,
+        workloads::catalog(),
+        GcMode::Vanilla,
+        Some(Box::new(GreedyManager::new())),
+    );
+    let idx = p.function_index("file-hash").expect("catalog");
+    for i in 0..15u64 {
+        p.submit(SimTime(i * 2_000_000_000), idx);
+    }
+    p.run_until(SimTime(300_000_000_000));
+    let (submitted, completed, failed) = p.request_totals();
+    assert_eq!((submitted, completed, failed), (15, 15, 0));
+    let s = p.stats();
+    assert!(s.reclaim_failures > 0, "the greedy manager never drew a reclaim failure");
+    assert_eq!(s.reclamations, 0, "a 100% failure rate must complete no reclamation");
+    p.shutdown().expect("failed reclaims must not corrupt teardown accounting");
 }

@@ -4,6 +4,7 @@
 
 use faas::config::PlatformConfig;
 use faas::platform::{GcMode, Platform};
+use faas::FaultPlan;
 use proptest::prelude::*;
 use simos::{SimDuration, SimTime};
 
@@ -86,6 +87,51 @@ proptest! {
             p.cache_used(),
             measured
         );
+    }
+
+    /// Under an arbitrary seeded fault schedule every request still
+    /// terminates exactly once (arrivals == completions + failures),
+    /// and after the drain the platform tears down to zero cache
+    /// occupancy and an empty process table.
+    #[test]
+    fn faults_conserve_requests_and_drain_to_zero(
+        l in load(),
+        fault_seed in any::<u64>(),
+        rate_pct in 0u32..=25,
+    ) {
+        let config = PlatformConfig {
+            cache_budget: l.cache_mib << 20,
+            cores: l.cores as f64,
+            faults: Some(FaultPlan::uniform(fault_seed, rate_pct as f64 / 100.0)),
+            ..PlatformConfig::default()
+        };
+        let mode = if l.eager { GcMode::Eager } else { GcMode::Vanilla };
+        let mut p = Platform::new(config, workloads::catalog(), mode, None);
+        let mut sorted = l.arrivals.clone();
+        sorted.sort_by_key(|(_, t)| *t);
+        for &(f, t_ms) in &sorted {
+            p.submit(SimTime(t_ms * 1_000_000), f);
+        }
+        // Horizon past the last possible retry: no retry is scheduled
+        // beyond its arrival plus the request deadline, so last-arrival
+        // + deadline + backoff-cap + queue slack guarantees quiescence.
+        p.run_until(SimTime(60_000_000_000) + SimDuration::from_secs(600));
+        let (submitted, completed, failed) = p.request_totals();
+        prop_assert_eq!(submitted, sorted.len() as u64);
+        prop_assert_eq!(
+            completed + failed,
+            submitted,
+            "request conservation violated: {} + {} != {}",
+            completed,
+            failed,
+            submitted
+        );
+        prop_assert_eq!(p.in_flight(), 0, "requests still in flight after the drain");
+        // Teardown: shutdown() destroys every instance and errors if
+        // the cache charge or the process table is nonzero.
+        prop_assert!(p.shutdown().is_ok(), "teardown accounting did not balance");
+        prop_assert_eq!(p.cache_used(), 0, "cache occupancy nonzero after drain");
+        prop_assert_eq!(p.instance_count(), 0);
     }
 
     /// Determinism: the same load on the same configuration produces

@@ -446,6 +446,6 @@ mod tests {
         // Dropping it frees the whole span at the next GC.
         heap.graph_mut().remove_global(id);
         heap.gc(&mut sys).unwrap();
-        assert!(heap.free_spans.iter().any(|s| *s == sid));
+        assert!(heap.free_spans.contains(&sid));
     }
 }

@@ -72,9 +72,9 @@ impl HotSpotConfig {
             "free ratios must satisfy 0 <= min < max < 1"
         );
         assert!(self.commit_granule.is_power_of_two());
-        assert!(self.commit_granule % simos::PAGE_SIZE == 0);
+        assert!(self.commit_granule.is_multiple_of(simos::PAGE_SIZE));
         assert!(
-            self.max_heap % self.commit_granule == 0,
+            self.max_heap.is_multiple_of(self.commit_granule),
             "max_heap must be granule-aligned"
         );
     }

@@ -82,7 +82,7 @@ impl RuntimeImage {
         for (_, size) in &mut image.libs {
             *size += *size / 4;
         }
-        image.startup = image.startup + SimDuration::from_millis(80);
+        image.startup += SimDuration::from_millis(80);
         image
     }
 

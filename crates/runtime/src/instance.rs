@@ -344,10 +344,15 @@ impl Instance {
         uss - heap_resident.min(uss) + live.min(heap_resident)
     }
 
-    /// Destroys the instance's process.
-    pub fn kill(self, sys: &mut System) {
+    /// Destroys the instance's process and returns the USS it freed —
+    /// the bytes that leave physical memory with the kill (shared
+    /// page-cache pages survive for other mappers). Crash and teardown
+    /// paths use the return value for conservation checks.
+    pub fn kill(self, sys: &mut System) -> u64 {
+        let freed = sys.uss(self.pid);
         // The process may already be gone in teardown paths; ignore.
         let _ = sys.kill_process(self.pid);
+        freed
     }
 }
 

@@ -176,8 +176,14 @@ macro_rules! int_strategies {
             fn generate(&self, rng: &mut TestRng) -> $ty {
                 let (lo, hi) = (*self.start(), *self.end());
                 assert!(lo <= hi, "empty range strategy");
-                let span = (hi as i128 - lo as i128 + 1) as u64;
-                (lo as i128 + rng.below(span) as i128) as $ty
+                let span = (hi as i128 - lo as i128 + 1) as u128;
+                if span > u64::MAX as u128 {
+                    // Full-width 64-bit range (`any::<u64>()` et al.):
+                    // the span overflows u64, but every bit pattern is
+                    // a valid draw.
+                    return rng.bits() as $ty;
+                }
+                (lo as i128 + rng.below(span as u64) as i128) as $ty
             }
         }
     )+};
@@ -481,5 +487,19 @@ mod tests {
         let mut rng1 = crate::TestRng::for_case("t", 5);
         let mut rng2 = crate::TestRng::for_case("t", 5);
         assert_eq!(s.generate(&mut rng1), s.generate(&mut rng2));
+    }
+
+    /// Regression: full-width integer ranges (`any::<u64>()`) used to
+    /// overflow the span computation to zero and panic.
+    #[test]
+    fn full_width_ranges_generate() {
+        let mut rng = crate::TestRng::for_case("full-width", 0);
+        let mut distinct = std::collections::HashSet::new();
+        for _ in 0..16 {
+            distinct.insert(any::<u64>().generate(&mut rng));
+            let _ = any::<i64>().generate(&mut rng);
+            let _ = any::<usize>().generate(&mut rng);
+        }
+        assert!(distinct.len() > 1, "full-width draws are not varying");
     }
 }

@@ -332,7 +332,7 @@ impl VirtAddr {
 
     /// True if this address is page-aligned.
     pub fn is_page_aligned(self) -> bool {
-        self.0 % PAGE_SIZE == 0
+        self.0.is_multiple_of(PAGE_SIZE)
     }
 }
 
@@ -796,7 +796,7 @@ impl AddressSpace {
     }
 
     fn validate_range(addr: VirtAddr, len: u64) -> SimOsResult<()> {
-        if len == 0 || !addr.is_page_aligned() || len % PAGE_SIZE != 0 {
+        if len == 0 || !addr.is_page_aligned() || !len.is_multiple_of(PAGE_SIZE) {
             return Err(SimOsError::BadAlignment { addr: addr.0, len });
         }
         Ok(())

@@ -146,6 +146,26 @@ pub fn swap_bytes(sys: &System, pid: Pid) -> u64 {
     smaps(sys, pid).iter().map(|e| e.swap).sum()
 }
 
+/// Machine-wide RSS: the sum over all live processes. Shared pages are
+/// counted once *per mapper*, so this overstates physical memory.
+pub fn total_rss(sys: &System) -> u64 {
+    sys.pids().map(|pid| rss(sys, pid)).sum()
+}
+
+/// Machine-wide USS: the sum over all live processes. Shared pages are
+/// not counted at all, so this understates physical memory.
+pub fn total_uss(sys: &System) -> u64 {
+    sys.pids().map(|pid| uss(sys, pid)).sum()
+}
+
+/// Machine-wide PSS: the sum over all live processes. Each shared page
+/// contributes exactly 1.0 across its mappers, so this *is* the
+/// process-attributable physical memory — the quantity conserved when
+/// instances are killed (the chaos harness's conservation invariant).
+pub fn total_pss(sys: &System) -> f64 {
+    sys.pids().map(|pid| pss(sys, pid)).sum()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -224,6 +244,53 @@ mod tests {
         let (u, p, r) = (uss(&sys, p1) as f64, pss(&sys, p1), rss(&sys, p1) as f64);
         assert!(u <= p + 1e-9);
         assert!(p <= r + 1e-9);
+    }
+
+    #[test]
+    fn machine_totals_sum_over_processes() {
+        let mut sys = System::new();
+        let lib = sys.register_file("libjvm.so", 8 * PAGE_SIZE);
+        let p1 = sys.spawn_process();
+        let p2 = sys.spawn_process();
+        sys.map_library(p1, lib).unwrap();
+        sys.map_library(p2, lib).unwrap();
+        let a = sys
+            .mmap(p1, 4 * PAGE_SIZE, MappingKind::Anonymous, Prot::ReadWrite)
+            .unwrap();
+        sys.touch(p1, a, 4 * PAGE_SIZE, true).unwrap();
+        // The shared library is double-counted in RSS, absent from USS,
+        // and counted exactly once in PSS.
+        assert_eq!(total_rss(&sys), 16 * PAGE_SIZE + 4 * PAGE_SIZE);
+        assert_eq!(total_uss(&sys), 4 * PAGE_SIZE);
+        assert!((total_pss(&sys) - (12 * PAGE_SIZE) as f64).abs() < 1e-6);
+    }
+
+    #[test]
+    fn kill_conserves_machine_pss() {
+        // Killing one mapper of a shared library hands its PSS share to
+        // the survivor: machine PSS drops by exactly the victim's
+        // private bytes. The crash/OOM-kill paths lean on this.
+        let mut sys = System::new();
+        let lib = sys.register_file("libjvm.so", 8 * PAGE_SIZE);
+        let p1 = sys.spawn_process();
+        let p2 = sys.spawn_process();
+        sys.map_library(p1, lib).unwrap();
+        sys.map_library(p2, lib).unwrap();
+        let a = sys
+            .mmap(p2, 6 * PAGE_SIZE, MappingKind::Anonymous, Prot::ReadWrite)
+            .unwrap();
+        sys.touch(p2, a, 6 * PAGE_SIZE, true).unwrap();
+        let before = total_pss(&sys);
+        let victim_private = uss(&sys, p2);
+        assert_eq!(victim_private, 6 * PAGE_SIZE);
+        sys.kill_process(p2).unwrap();
+        let after = total_pss(&sys);
+        assert!(
+            (before - after - victim_private as f64).abs() < 1e-6,
+            "PSS not conserved: {before} -> {after}, victim USS {victim_private}"
+        );
+        // The survivor now owns the whole library.
+        assert_eq!(uss(&sys, p1), 8 * PAGE_SIZE);
     }
 
     #[test]

@@ -158,6 +158,11 @@ impl System {
         self.spaces.len()
     }
 
+    /// All live pids, in creation order (pids are never reused).
+    pub fn pids(&self) -> impl Iterator<Item = Pid> + '_ {
+        self.spaces.keys().copied()
+    }
+
     /// `mmap` in process `pid`.
     pub fn mmap(
         &mut self,

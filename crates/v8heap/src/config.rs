@@ -55,7 +55,7 @@ impl V8Config {
         assert!(self.young_initial >= 2 * CHUNK_SIZE, "young too small");
         assert!(self.young_max >= self.young_initial);
         assert!(self.max_heap > self.young_max);
-        assert!(self.young_initial % (2 * CHUNK_SIZE) == 0);
+        assert!(self.young_initial.is_multiple_of(2 * CHUNK_SIZE));
         assert!((self.large_object_threshold as u64) < CHUNK_SIZE);
     }
 }

@@ -96,7 +96,7 @@ proptest! {
             run_invocation(&mut sys, &mut heap, &mut now_ms, inv);
             prop_assert!(heap.young_size() <= config.young_max);
             prop_assert!(heap.committed() <= config.max_heap);
-            prop_assert!(heap.committed() % simos::PAGE_SIZE == 0);
+            prop_assert!(heap.committed().is_multiple_of(simos::PAGE_SIZE));
         }
     }
 

@@ -80,7 +80,7 @@ pub fn catalog() -> Vec<FunctionSpec> {
             language: Java,
             chain_len: 1,
             kernel: K::Sort,
-            mem: mem(6 * MIB, 96 * KIB, 0.5, 1 * MIB, 0, 0, 0),
+            mem: mem(6 * MIB, 96 * KIB, 0.5, MIB, 0, 0, 0),
             compute: ms(18),
             exec: java_exec(),
         },
@@ -125,7 +125,7 @@ pub fn catalog() -> Vec<FunctionSpec> {
             language: Java,
             chain_len: 2,
             kernel: K::WordCount,
-            mem: mem(1 * MIB, 64 * KIB, 0.10, 1 * MIB, 0, 0, 3 * MIB),
+            mem: mem(MIB, 64 * KIB, 0.10, MIB, 0, 0, 3 * MIB),
             compute: ms(18),
             exec: java_exec(),
         },
@@ -134,7 +134,7 @@ pub fn catalog() -> Vec<FunctionSpec> {
             language: Java,
             chain_len: 3,
             kernel: K::Transaction,
-            mem: mem(8 * MIB, 48 * KIB, 0.4, 3 * MIB, 64 * KIB, 6 * MIB, 1 * MIB),
+            mem: mem(8 * MIB, 48 * KIB, 0.4, 3 * MIB, 64 * KIB, 6 * MIB, MIB),
             compute: ms(30),
             exec: java_exec(),
         },
@@ -198,7 +198,7 @@ pub fn catalog() -> Vec<FunctionSpec> {
             language: Js,
             chain_len: 1,
             kernel: K::Matrix,
-            mem: mem(10 * MIB, 64 * KIB, 0.6, 1 * MIB, 0, 0, 0),
+            mem: mem(10 * MIB, 64 * KIB, 0.6, MIB, 0, 0, 0),
             compute: ms(28),
             exec: js_exec(0.5),
         },
@@ -235,7 +235,7 @@ pub fn catalog() -> Vec<FunctionSpec> {
             language: Js,
             chain_len: 6,
             kernel: K::Aggregate,
-            mem: mem(6 * MIB, 48 * KIB, 0.5, 1 * MIB, 0, 0, 2 * MIB),
+            mem: mem(6 * MIB, 48 * KIB, 0.5, MIB, 0, 0, 2 * MIB),
             compute: ms(12),
             // §5.6: 2.14× slowdown when its JIT code is collected.
             exec: js_exec(1.14),

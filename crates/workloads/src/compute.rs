@@ -206,7 +206,7 @@ fn factorize(mut n: u64) -> u64 {
     let mut sum = 0u64;
     let mut d = 2u64;
     while d * d <= n {
-        while n % d == 0 {
+        while n.is_multiple_of(d) {
             sum = sum.wrapping_add(d);
             n /= d;
         }
@@ -317,7 +317,7 @@ mod tests {
         // With thousands of random unions over 4096 nodes, far fewer
         // components than nodes remain, and at least one.
         let c = union_find(7);
-        assert!(c >= 1 && c < 4096);
+        assert!((1..4096).contains(&c));
     }
 
     #[test]

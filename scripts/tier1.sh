@@ -11,6 +11,9 @@ cd "$(dirname "$0")/.."
 echo "== build =="
 cargo build --release --workspace
 
+echo "== lint =="
+cargo clippy --workspace --all-targets -q -- -D warnings
+
 echo "== tests =="
 cargo test -q --workspace
 
@@ -22,5 +25,13 @@ for bin in "${bins[@]}"; do
     cargo run --release -q -p bench --bin "$bin" -- --quick --check --jobs 2 \
         >/dev/null
 done
+
+echo "== chaos (fault-free + seeded fault schedules) =="
+# Default sweep: fault-free baselines plus seeds 11/23/47 at a 1 %
+# fault rate, with termination/accounting/determinism checks on.
+cargo run --release -q -p bench --bin chaos -- --quick --check >/dev/null
+# A harsher schedule: different seed, 5 % rate.
+cargo run --release -q -p bench --bin chaos -- --quick --check \
+    --fault-seed 99 --fault-rate 0.05 >/dev/null
 
 echo "tier1 OK"
