@@ -40,6 +40,8 @@
 //! assert!(arrivals.windows(2).all(|w| w[0].0 <= w[1].0));
 //! ```
 
+#![forbid(unsafe_code)]
+
 pub mod generate;
 pub mod replay;
 

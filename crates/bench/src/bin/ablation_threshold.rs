@@ -14,6 +14,8 @@
 //!
 //! Flags: `--quick`, `--check`.
 
+#![forbid(unsafe_code)]
+
 use azure_trace::{build_trace, generate_arrivals};
 use bench::cli::{check, Flags};
 use bench::report;

@@ -6,6 +6,8 @@
 //!
 //! Flags: `--quick`, `--check`.
 
+#![forbid(unsafe_code)]
+
 use bench::cli::{check, Flags};
 use bench::report;
 use bench::{run_overhead_study, run_study, Mode, StudyConfig};

@@ -7,6 +7,8 @@
 //!
 //! Flags: `--jobs N`.
 
+#![forbid(unsafe_code)]
+
 use bench::cli::Flags;
 use bench::{run_studies_parallel, Mode, StudyConfig};
 

@@ -21,6 +21,8 @@
 //! Flags: `--quick`, `--check`, `--fault-seed N` (single seed instead
 //! of the default sweep), `--fault-rate R`.
 
+#![forbid(unsafe_code)]
+
 use azure_trace::{build_trace, replay, ReplayConfig};
 use bench::cli::{check, Flags};
 use bench::report;

@@ -12,6 +12,8 @@
 //! the per-language means land near the paper's 2.72 (Java) / 2.15
 //! (JavaScript).
 
+#![forbid(unsafe_code)]
+
 use bench::cli::{check, Flags};
 use bench::report;
 use bench::{run_studies_parallel, Mode, StudyConfig};

@@ -7,6 +7,8 @@
 //!
 //! Flags: `--quick`, `--check`.
 
+#![forbid(unsafe_code)]
+
 use azure_trace::{build_trace, replay, ReplayConfig};
 use bench::cli::{check, Flags};
 use bench::report;

@@ -8,6 +8,8 @@
 //!
 //! Flags: `--quick`, `--check`, `--jobs N`.
 
+#![forbid(unsafe_code)]
+
 use bench::cli::{check, Flags};
 use bench::report;
 use bench::{run_study_jobs, Mode, StudyConfig};

@@ -10,6 +10,8 @@
 //! `--ablate-weak` (adds the keep-weak vs. aggressive comparison),
 //! `--jobs N`.
 
+#![forbid(unsafe_code)]
+
 use bench::cli::{check, Flags};
 use bench::report;
 use bench::{run_jobs, run_overhead_study, Mode, StudyConfig};

@@ -9,6 +9,8 @@
 //!
 //! Flags: `--quick` (30 iterations), `--check`, `--jobs N`.
 
+#![forbid(unsafe_code)]
+
 use bench::cli::{check, Flags};
 use bench::report;
 use bench::{run_studies_parallel, Mode, StudyConfig};

@@ -10,6 +10,8 @@
 //! Flags: `--quick`, `--check`, `--jobs N` (output is identical at any
 //! job count).
 
+#![forbid(unsafe_code)]
+
 use bench::cli::{check, Flags};
 use bench::report;
 use bench::{run_studies_parallel, Mode, StudyConfig};

@@ -9,6 +9,8 @@
 //!
 //! Flags: `--quick`, `--check`.
 
+#![forbid(unsafe_code)]
+
 use bench::cli::{check, Flags};
 use bench::report;
 use faas_runtime::{Instance, RuntimeImage};

@@ -10,6 +10,8 @@
 //!
 //! Flags: `--quick` (smaller sweep, shorter replay), `--check`.
 
+#![forbid(unsafe_code)]
+
 use azure_trace::{build_trace, replay, ReplayConfig};
 use bench::cli::{check, Flags};
 use bench::report;

@@ -16,6 +16,8 @@
 //!   results in stable input order so output stays byte-identical to a
 //!   serial run.
 
+#![forbid(unsafe_code)]
+
 pub mod cli;
 pub mod golden;
 pub mod parallel;

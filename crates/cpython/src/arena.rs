@@ -14,6 +14,7 @@
 
 use std::collections::BTreeMap;
 
+use simos::cast;
 use simos::mem::{page_align_up, MappingKind, Prot};
 use simos::{Pid, SimOsResult, System, VirtAddr, PAGE_SIZE};
 
@@ -24,11 +25,13 @@ pub const ARENA_SIZE: u64 = 256 << 10;
 pub const POOL_SIZE: u64 = PAGE_SIZE;
 
 /// Pools per arena.
+// tidy:allow(lossy-casts) -- const context; both operands are compile-time constants
 pub const POOLS_PER_ARENA: usize = (ARENA_SIZE / POOL_SIZE) as usize;
 
 /// Largest size served from pools; bigger allocations get their own
 /// mapping. (CPython's threshold is 512 B; the model raises it to half
 /// a pool so the workloads' object sizes exercise the arena path.)
+// tidy:allow(lossy-casts) -- const context; half a 4 KiB pool fits in u32
 pub const SMALL_THRESHOLD: u32 = (POOL_SIZE / 2) as u32;
 
 /// Rounds a request up to its size class (powers of two from 16 bytes).
@@ -46,7 +49,7 @@ struct Pool {
 
 impl Pool {
     fn new(class: u32) -> Pool {
-        let capacity = (POOL_SIZE / class as u64) as u16;
+        let capacity = cast::to_u16(POOL_SIZE / u64::from(class));
         Pool {
             class,
             free_slots: (0..capacity).rev().collect(),
@@ -116,7 +119,7 @@ impl ArenaAllocator {
 
     /// Total mapped bytes (arenas + large mappings).
     pub fn committed(&self) -> u64 {
-        self.arenas.iter().flatten().count() as u64 * ARENA_SIZE
+        cast::to_u64(self.arenas.iter().flatten().count()) * ARENA_SIZE
             + self.large.values().sum::<u64>()
     }
 
@@ -128,7 +131,7 @@ impl ArenaAllocator {
         size: u32,
     ) -> SimOsResult<VirtAddr> {
         if size > SMALL_THRESHOLD {
-            let len = page_align_up(size as u64);
+            let len = page_align_up(u64::from(size));
             let addr = sys.mmap_named(pid, len, MappingKind::Anonymous, Prot::ReadWrite, "[pymalloc:large]")?;
             sys.touch(pid, addr, len, true)?;
             self.large.insert(addr.0, len);
@@ -147,7 +150,7 @@ impl ArenaAllocator {
                 }
                 let addr = arena
                     .addr
-                    .offset(pi as u64 * POOL_SIZE + slot as u64 * class as u64);
+                    .offset(cast::to_u64(pi) * POOL_SIZE + u64::from(slot) * u64::from(class));
                 let page = VirtAddr(addr.0 / PAGE_SIZE * PAGE_SIZE);
                 sys.touch(pid, page, PAGE_SIZE, true)?;
                 return Ok(addr);
@@ -170,7 +173,7 @@ impl ArenaAllocator {
         let has_more = !pool.free_slots.is_empty();
         let addr = arena
             .addr
-            .offset(pi as u64 * POOL_SIZE + slot as u64 * class as u64);
+            .offset(cast::to_u64(pi) * POOL_SIZE + u64::from(slot) * u64::from(class));
         if has_more {
             self.partial.entry(class).or_default().push((ai, pi));
         }
@@ -244,10 +247,10 @@ impl ArenaAllocator {
         );
         let arena = self.arenas[ai].as_mut().expect("freeing into dead arena");
         let offset = addr.0 - base;
-        let pi = (offset / POOL_SIZE) as usize;
+        let pi = cast::to_usize(offset / POOL_SIZE);
         let pool = arena.pools[pi].as_mut().expect("freeing into free pool");
         assert_eq!(pool.class, class, "size class mismatch on free");
-        let slot = ((offset % POOL_SIZE) / class as u64) as u16;
+        let slot = cast::to_u16((offset % POOL_SIZE) / u64::from(class));
         debug_assert!(!pool.free_slots.contains(&slot), "double free");
         pool.free_slots.push(slot);
         pool.used -= 1;
@@ -280,7 +283,7 @@ impl ArenaAllocator {
         for arena in self.arenas.iter().flatten() {
             for (pi, pool) in arena.pools.iter().enumerate() {
                 if pool.is_none() {
-                    released += sys.release(pid, arena.addr.offset(pi as u64 * POOL_SIZE), POOL_SIZE)?;
+                    released += sys.release(pid, arena.addr.offset(cast::to_u64(pi) * POOL_SIZE), POOL_SIZE)?;
                 }
             }
         }

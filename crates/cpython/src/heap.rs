@@ -117,7 +117,7 @@ impl CPythonHeap {
 
     /// Allocates a data object of `size` bytes.
     pub fn alloc(&mut self, sys: &mut System, size: u32) -> Result<ObjectId, simos::SimOsError> {
-        if self.committed() + size as u64 > self.config.max_heap {
+        if self.committed() + u64::from(size) > self.config.max_heap {
             // Like CPython under memory pressure: collect cycles, then
             // retry; a real MemoryError is out of model scope because
             // the drivers are calibrated to fit.
@@ -158,27 +158,27 @@ impl CPythonHeap {
             }
             for r in &obj.refs {
                 if !live.is_live(*r) {
-                    indeg[r.0 as usize] += 1;
+                    indeg[r.index()] += 1;
                 }
             }
         }
         let mut queue: VecDeque<ObjectId> = self
             .graph
             .iter()
-            .filter(|(id, _)| !live.is_live(*id) && indeg[id.0 as usize] == 0)
+            .filter(|(id, _)| !live.is_live(*id) && indeg[id.index()] == 0)
             .map(|(id, _)| id)
             .collect();
         let mut freed_ids = Vec::new();
         let mut freed_flag = vec![false; cap];
         while let Some(id) = queue.pop_front() {
-            freed_flag[id.0 as usize] = true;
+            freed_flag[id.index()] = true;
             freed_ids.push(id);
             for r in self.graph.get(id).refs.clone() {
-                if live.is_live(r) || freed_flag[r.0 as usize] {
+                if live.is_live(r) || freed_flag[r.index()] {
                     continue;
                 }
-                indeg[r.0 as usize] -= 1;
-                if indeg[r.0 as usize] == 0 {
+                indeg[r.index()] -= 1;
+                if indeg[r.index()] == 0 {
                     queue.push_back(r);
                 }
             }
@@ -190,11 +190,11 @@ impl CPythonHeap {
             let obj = self.graph.get(id);
             let (addr, size) = (VirtAddr(obj.addr), obj.size);
             self.allocator.free(sys, self.pid, addr, size)?;
-            freed_bytes += size as u64;
+            freed_bytes += u64::from(size);
         }
         let mut keep = vec![true; cap];
         for &id in &freed_ids {
-            keep[id.0 as usize] = false;
+            keep[id.index()] = false;
         }
         self.graph.sweep(&keep);
         self.last_live_bytes = live.live_bytes;
@@ -215,7 +215,7 @@ impl CPythonHeap {
         let mut freed_bytes = 0;
         for &(_, addr, size) in &dead {
             self.allocator.free(sys, self.pid, VirtAddr(addr), size)?;
-            freed_bytes += size as u64;
+            freed_bytes += u64::from(size);
         }
         self.graph.sweep(&live.marks);
         let pause = self.gc_cost.full_pause(live.live_objects, 0);

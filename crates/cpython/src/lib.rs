@@ -59,6 +59,8 @@
 //! assert_eq!(out.live_bytes, 0);
 //! ```
 
+#![forbid(unsafe_code)]
+
 pub mod arena;
 pub mod heap;
 

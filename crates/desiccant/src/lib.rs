@@ -54,6 +54,8 @@
 //! assert_eq!(p.stats().completed, 1);
 //! ```
 
+#![forbid(unsafe_code)]
+
 pub mod config;
 pub mod manager;
 pub mod profile;

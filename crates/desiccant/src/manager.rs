@@ -113,9 +113,7 @@ impl MemoryManager for Desiccant {
                     .filter(|(thr, _)| *thr > 0.0)
                     .collect();
                 scored.sort_by(|a, b| {
-                    b.0.partial_cmp(&a.0)
-                        .expect("throughputs are finite")
-                        .then(a.1.id.cmp(&b.1.id))
+                    b.0.total_cmp(&a.0).then(a.1.id.cmp(&b.1.id))
                 });
                 candidates = scored.into_iter().map(|(_, f)| f).collect();
             }

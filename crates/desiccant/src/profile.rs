@@ -6,7 +6,7 @@
 //! and denominator of the throughput formula can be estimated from a
 //! few samples.
 
-use std::collections::{HashMap, HashSet};
+use std::collections::{BTreeMap, BTreeSet};
 
 use faas::{InstanceId, ReclaimProfile};
 
@@ -69,14 +69,14 @@ pub struct ThroughputEstimate {
 /// consulted in that order (§4.5.2's "handling new instances").
 #[derive(Debug, Clone, Default)]
 pub struct ProfileStore {
-    per_instance: HashMap<InstanceId, Profile>,
-    per_function: HashMap<String, Profile>,
+    per_instance: BTreeMap<InstanceId, Profile>,
+    per_function: BTreeMap<String, Profile>,
     global: Profile,
     /// Instances whose last reclamation failed: selection skips them
     /// until a successful reclaim (or destruction) clears the mark, so
     /// a wedged runtime degrades to plain LRU eviction instead of
     /// burning CPU on doomed retries.
-    failed: HashSet<InstanceId>,
+    failed: BTreeSet<InstanceId>,
 }
 
 impl ProfileStore {

@@ -49,6 +49,8 @@
 //! assert!(p.stats().cold_boots >= 1);
 //! ```
 
+#![forbid(unsafe_code)]
+
 pub mod config;
 pub mod error;
 pub mod fault;

@@ -30,7 +30,7 @@
 //!   no-op, not a panic; other stale events surface as typed
 //!   [`PlatformError`]s.
 
-use std::collections::{BTreeMap, BinaryHeap, HashMap, VecDeque};
+use std::collections::{BTreeMap, BinaryHeap, VecDeque};
 
 use faas_runtime::{Instance, Language, ReclaimReport, RuntimeImage, SharedLibs};
 use simos::{SimDuration, SimTime, System};
@@ -207,9 +207,9 @@ pub struct Platform {
     sys: System,
     slots: BTreeMap<InstanceId, Slot>,
     /// Warm pools: most-recently-frozen last.
-    pools: HashMap<(usize, u8), Vec<InstanceId>>,
+    pools: BTreeMap<(usize, u8), Vec<InstanceId>>,
     /// Shared library registrations per language (OpenWhisk only).
-    shared_libs: HashMap<Language, SharedLibs>,
+    shared_libs: BTreeMap<Language, SharedLibs>,
     requests: Vec<Request>,
     events: BinaryHeap<Scheduled>,
     pending: VecDeque<PendingStage>,
@@ -242,7 +242,7 @@ impl Platform {
     ) -> Platform {
         config.validate();
         let mut sys = System::new();
-        let mut shared_libs = HashMap::new();
+        let mut shared_libs = BTreeMap::new();
         if config.env == EnvFlavor::OpenWhisk {
             for lang in [Language::Java, Language::JavaScript] {
                 let image = RuntimeImage::openwhisk(lang);
@@ -257,7 +257,7 @@ impl Platform {
             manager,
             sys,
             slots: BTreeMap::new(),
-            pools: HashMap::new(),
+            pools: BTreeMap::new(),
             shared_libs,
             requests: Vec::new(),
             events: BinaryHeap::new(),
@@ -406,6 +406,7 @@ impl Platform {
     /// to handle it instead.
     pub fn run_until(&mut self, t_end: SimTime) {
         if let Err(e) = self.try_run_until(t_end) {
+            // tidy:allow(no-panic) -- documented panicking wrapper over try_run_until
             panic!("platform invariant violated: {e}");
         }
     }
@@ -422,7 +423,9 @@ impl Platform {
             if next.at > t_end {
                 break;
             }
-            let Scheduled { at, ev, .. } = self.events.pop().expect("peeked");
+            let Some(Scheduled { at, ev, .. }) = self.events.pop() else {
+                break;
+            };
             debug_assert!(at >= self.now, "event from the past");
             self.now = at;
             self.handle(ev)?;
@@ -543,34 +546,41 @@ impl Platform {
         }
         let key = (fn_idx, work.stage);
         // Warm path: most recently used frozen instance of this stage.
-        if let Some(pos) = self
-            .pools
-            .get(&key)
-            .and_then(|p| if p.is_empty() { None } else { Some(p.len() - 1) })
-        {
+        if self.pools.get(&key).is_some_and(|p| !p.is_empty()) {
             if self.used_cores + self.config.cpu_share > self.config.cores {
                 return StartOutcome::Queued;
             }
-            let id = self.pools.get_mut(&key).expect("pool exists").remove(pos);
-            let thaw_failed = self.injector.as_mut().is_some_and(|i| i.thaw_fails());
-            if thaw_failed {
-                // The frozen instance is lost; fall through to a cold
-                // boot. Transparent to the request (no retry burned).
-                self.stats.thaw_failures += 1;
-                self.destroy_instance(id);
-            } else {
-                // Instances are charged at measured USS; the thawed
-                // instance keeps its freeze-time charge and is
-                // re-measured when it freezes again.
-                self.used_cores += self.config.cpu_share;
-                self.stats.warm_starts += 1;
-                let slot = self.slots.get_mut(&id).expect("pooled instance exists");
-                slot.status = Status::Running;
-                slot.last_used = self.now;
-                if let Err(e) = self.start_execution(id, req, self.config.thaw) {
-                    panic!("warm start of a live instance: {e}");
+            if let Some(id) = self.pools.get_mut(&key).and_then(Vec::pop) {
+                let thaw_failed = self.injector.as_mut().is_some_and(|i| i.thaw_fails());
+                if thaw_failed {
+                    // The frozen instance is lost; fall through to a
+                    // cold boot. Transparent to the request (no retry
+                    // burned).
+                    self.stats.thaw_failures += 1;
+                    self.destroy_instance(id);
+                } else if let Some(slot) = self.slots.get_mut(&id) {
+                    // Instances are charged at measured USS; the thawed
+                    // instance keeps its freeze-time charge and is
+                    // re-measured when it freezes again.
+                    slot.status = Status::Running;
+                    slot.last_used = self.now;
+                    self.used_cores += self.config.cpu_share;
+                    self.stats.warm_starts += 1;
+                    if self.start_execution(id, req, self.config.thaw).is_err() {
+                        // A pooled instance that cannot start is lost
+                        // capacity, not a crash: give the share back,
+                        // drop the instance, and let the request retry
+                        // from the queue.
+                        self.used_cores -= self.config.cpu_share;
+                        self.stats.warm_starts -= 1;
+                        self.stats.stale_events += 1;
+                        self.destroy_instance(id);
+                        return StartOutcome::Queued;
+                    }
+                    return StartOutcome::Started;
                 }
-                return StartOutcome::Started;
+                // A pooled id without a slot is an upstream accounting
+                // bug, but a recoverable one: cold-boot instead.
             }
         }
         // Cold path: boot a new instance (needs a full core plus room
@@ -634,12 +644,11 @@ impl Platform {
                 status: Status::Starting,
                 frozen_since: self.now,
                 last_used: self.now,
-                charge: 0,
+                charge: footprint,
                 reclaimed_since_use: false,
             },
         );
         self.cache_used += footprint;
-        self.slots.get_mut(&id).expect("just inserted").charge = footprint;
         self.used_cores += 1.0;
         match self.injector.as_mut().and_then(|i| i.boot_fails()) {
             Some(frac) => {
@@ -786,15 +795,14 @@ impl Platform {
     /// An injected cold-boot failure struck partway through startup.
     fn on_boot_failed(&mut self, id: InstanceId, req: usize) -> PlatformResult<()> {
         self.release_cores(1.0);
-        let fn_idx = self
+        let (fn_idx, stage) = self
             .slots
             .get(&id)
+            .map(|s| (s.fn_idx, s.stage))
             .ok_or(PlatformError::StaleInstance {
                 id,
                 context: "boot-failed",
-            })?
-            .fn_idx;
-        let stage = self.slots[&id].stage;
+            })?;
         self.destroy_instance(id);
         self.stats.boot_failures += 1;
         self.record_breaker_failure(fn_idx);
@@ -1056,7 +1064,9 @@ impl Platform {
                 continue;
             }
             let injected_failure = self.injector.as_mut().is_some_and(|i| i.reclaim_fails());
-            let slot = self.slots.get_mut(&id).expect("checked above");
+            let Some(slot) = self.slots.get_mut(&id) else {
+                continue;
+            };
             slot.status = Status::Reclaiming;
             slot.reclaimed_since_use = true;
             let fn_idx = slot.fn_idx;
@@ -1091,10 +1101,9 @@ impl Platform {
                 // work of the reclamation.
                 cpu_time: report.wall_time,
             };
-            self.manager
-                .as_mut()
-                .expect("manager checked above")
-                .note_reclaimed(self.now, id, name, profile);
+            if let Some(m) = self.manager.as_mut() {
+                m.note_reclaimed(self.now, id, name, profile);
+            }
             self.schedule(self.now + wall, Event::ReclaimDone { id, cpus, ok: true });
         }
     }

@@ -40,6 +40,8 @@
 //! assert_eq!(live.live_bytes, 0);
 //! ```
 
+#![forbid(unsafe_code)]
+
 pub mod object;
 pub mod stats;
 pub mod trace;

@@ -12,11 +12,19 @@
 //! ever runs to find out. Those dead-but-uncollected objects are the
 //! *frozen garbage* this whole reproduction is about.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// An object identifier: a slot index in the arena.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct ObjectId(pub u32);
+
+impl ObjectId {
+    /// The slot index this id names (`u32` → `usize` is lossless on
+    /// every supported target).
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
 
 /// What an object is, for the JIT/deoptimization model.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -326,7 +334,7 @@ impl HeapGraph {
 
     /// Builds a map from old slot addresses, useful in tests that check
     /// compaction relocated objects.
-    pub fn addresses(&self) -> HashMap<ObjectId, u64> {
+    pub fn addresses(&self) -> BTreeMap<ObjectId, u64> {
         self.iter().map(|(id, o)| (id, o.addr)).collect()
     }
 }

@@ -5,6 +5,7 @@ use std::collections::BTreeMap;
 use gc_core::object::{HeapGraph, ObjectId, ObjectKind};
 use gc_core::stats::{GcCostModel, GcCounters, GcKind};
 use gc_core::trace::mark;
+use simos::cast;
 use simos::cost::CostModel;
 use simos::mem::{page_align_up, MappingKind, Prot};
 use simos::{Pid, SimDuration, SimOsError, System, VirtAddr};
@@ -121,7 +122,7 @@ impl GoHeap {
 
     /// Mapped bytes (arenas).
     pub fn committed(&self) -> u64 {
-        self.arenas.len() as u64 * GO_ARENA_SIZE
+        cast::to_u64(self.arenas.len()) * GO_ARENA_SIZE
     }
 
     /// Resident heap bytes.
@@ -138,19 +139,19 @@ impl GoHeap {
     }
 
     fn span(&self, id: SpanId) -> &Span {
-        self.spans[id.0 as usize].as_ref().expect("stale span id")
+        self.spans[id.index()].as_ref().expect("stale span id")
     }
 
     fn span_mut(&mut self, id: SpanId) -> &mut Span {
-        self.spans[id.0 as usize].as_mut().expect("stale span id")
+        self.spans[id.index()].as_mut().expect("stale span id")
     }
 
     /// Carves `pages` Go pages from the arena bump (mapping a new arena
     /// as needed).
     fn carve(&mut self, sys: &mut System, pages: u32) -> Result<VirtAddr, SimOsError> {
-        let need = pages as u64 * GO_PAGE_SIZE;
+        let need = u64::from(pages) * GO_PAGE_SIZE;
         let arena_pages = GO_ARENA_SIZE / GO_PAGE_SIZE;
-        if self.arenas.is_empty() || self.bump_page + pages as u64 > arena_pages {
+        if self.arenas.is_empty() || self.bump_page + u64::from(pages) > arena_pages {
             let addr = sys.mmap_named(
                 self.pid,
                 GO_ARENA_SIZE,
@@ -163,13 +164,13 @@ impl GoHeap {
         }
         let base = self.arenas.last().expect("just ensured");
         let addr = base.offset(self.bump_page * GO_PAGE_SIZE);
-        self.bump_page += pages as u64;
+        self.bump_page += u64::from(pages);
         let _ = need;
         Ok(addr)
     }
 
     fn install_span(&mut self, span: Span) -> SpanId {
-        let id = SpanId(self.spans.len() as u32);
+        let id = SpanId(cast::to_u32(self.spans.len()));
         self.by_addr.insert(span.start.0, id);
         self.spans.push(Some(span));
         id
@@ -178,11 +179,11 @@ impl GoHeap {
     /// Allocates an object of `size` bytes, running the pacer first.
     pub fn alloc(&mut self, sys: &mut System, size: u32) -> Result<ObjectId, SimOsError> {
         // GOGC pacer: collect when the live-ish heap crosses the goal.
-        if self.heap_live + size as u64 > self.heap_goal {
+        if self.heap_live + u64::from(size) > self.heap_goal {
             self.gc(sys)?;
         }
         let addr = if size > MAX_SMALL_SIZE {
-            let pages = page_align_up(size as u64).div_ceil(GO_PAGE_SIZE) as u32;
+            let pages = cast::to_u32(page_align_up(u64::from(size)).div_ceil(GO_PAGE_SIZE));
             let start = self.carve(sys, pages)?;
             self.install_span(Span::large(start, pages));
             start
@@ -192,11 +193,11 @@ impl GoHeap {
         let out = sys.touch(
             self.pid,
             VirtAddr(addr.0 / simos::PAGE_SIZE * simos::PAGE_SIZE),
-            page_align_up(size as u64).max(simos::PAGE_SIZE),
+            page_align_up(u64::from(size)).max(simos::PAGE_SIZE),
             true,
         )?;
         self.pending += self.os_cost.touch_cost(out);
-        self.heap_live += size as u64;
+        self.heap_live += u64::from(size);
         let id = self.graph.alloc(size, ObjectKind::Data);
         self.graph.set_addr(id, addr.0);
         Ok(id)
@@ -205,7 +206,7 @@ impl GoHeap {
     fn small_alloc(&mut self, sys: &mut System, class: u32) -> Result<VirtAddr, SimOsError> {
         if let Some(list) = self.partial.get_mut(&class) {
             if let Some(&sid) = list.last() {
-                let span = self.spans[sid.0 as usize].as_mut().expect("partial span");
+                let span = self.spans[sid.index()].as_mut().expect("partial span");
                 let slot = span.free_slots.pop().expect("partial span has slots");
                 span.used += 1;
                 let addr = span.slot_addr(slot);
@@ -269,9 +270,9 @@ impl GoHeap {
             .collect();
         let mut freed_bytes = 0u64;
         for &(_, addr, size) in &dead {
-            freed_bytes += size as u64;
+            freed_bytes += u64::from(size);
             let sid = self.span_of_addr(addr);
-            let span = self.spans[sid.0 as usize].as_mut().expect("span exists");
+            let span = self.spans[sid.index()].as_mut().expect("span exists");
             if span.class == 0 {
                 span.used = 0;
             } else {

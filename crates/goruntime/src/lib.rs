@@ -49,6 +49,8 @@
 //! assert!(heap.resident_heap_bytes(&sys) < before);
 //! ```
 
+#![forbid(unsafe_code)]
+
 pub mod heap;
 pub mod span;
 

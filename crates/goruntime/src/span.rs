@@ -1,5 +1,6 @@
 //! Spans: the unit of Go's heap bookkeeping.
 
+use simos::cast;
 use simos::VirtAddr;
 
 /// Go's runtime page size (8 KiB).
@@ -17,6 +18,13 @@ pub const MAX_SMALL_SIZE: u32 = 32 << 10;
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct SpanId(pub u32);
 
+impl SpanId {
+    /// The span-arena index this id names.
+    pub fn index(self) -> usize {
+        cast::to_usize(self.0)
+    }
+}
+
 /// Rounds a request up to its size class (powers of two from 16 bytes,
 /// standing in for Go's 67-entry sizeclass table).
 pub fn size_class(size: u32) -> u32 {
@@ -26,8 +34,8 @@ pub fn size_class(size: u32) -> u32 {
 /// Pages a size-class span occupies: enough for at least four objects,
 /// at least one Go page.
 pub fn span_pages(class: u32) -> u32 {
-    let want = 4 * class as u64;
-    want.div_ceil(GO_PAGE_SIZE).max(1) as u32
+    let want = 4 * u64::from(class);
+    cast::to_u32(want.div_ceil(GO_PAGE_SIZE).max(1))
 }
 
 /// One span.
@@ -49,7 +57,7 @@ impl Span {
     /// Creates a size-class span with all slots free.
     pub fn for_class(start: VirtAddr, class: u32) -> Span {
         let pages = span_pages(class);
-        let capacity = (pages as u64 * GO_PAGE_SIZE / class as u64) as u16;
+        let capacity = cast::to_u16(u64::from(pages) * GO_PAGE_SIZE / u64::from(class));
         Span {
             start,
             pages,
@@ -72,7 +80,7 @@ impl Span {
 
     /// Span length in bytes.
     pub fn len(&self) -> u64 {
-        self.pages as u64 * GO_PAGE_SIZE
+        u64::from(self.pages) * GO_PAGE_SIZE
     }
 
     /// True for zero-length spans (never constructed).
@@ -87,7 +95,7 @@ impl Span {
 
     /// Address of slot `i`.
     pub fn slot_addr(&self, slot: u16) -> VirtAddr {
-        self.start.offset(slot as u64 * self.class as u64)
+        self.start.offset(u64::from(slot) * u64::from(self.class))
     }
 
     /// Slot index of `addr`.
@@ -98,7 +106,7 @@ impl Span {
     pub fn slot_of(&self, addr: VirtAddr) -> u16 {
         assert!(self.class > 0, "large spans have no slots");
         assert!(addr >= self.start && addr.0 < self.start.0 + self.len());
-        ((addr.0 - self.start.0) / self.class as u64) as u16
+        cast::to_u16((addr.0 - self.start.0) / u64::from(self.class))
     }
 }
 

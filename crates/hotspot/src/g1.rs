@@ -29,6 +29,7 @@
 use gc_core::object::{HeapGraph, ObjectId, ObjectKind};
 use gc_core::stats::{GcCostModel, GcCounters, GcKind};
 use gc_core::trace::{mark, mark_with_extra_roots};
+use simos::cast;
 use simos::cost::CostModel;
 use simos::mem::{page_align_up, MappingKind, Prot};
 use simos::{Pid, SimDuration, System, VirtAddr};
@@ -160,7 +161,7 @@ impl G1Heap {
             Prot::None,
             "[heap:g1]",
         )?;
-        let nregions = (config.max_heap / REGION_SIZE) as usize;
+        let nregions = cast::to_usize(config.max_heap / REGION_SIZE);
         Ok(G1Heap {
             pid,
             config,
@@ -216,7 +217,7 @@ impl G1Heap {
     /// Committed bytes: every region that has ever been used (JDK 8 G1
     /// does not uncommit outside full-GC resizes).
     pub fn committed(&self) -> u64 {
-        self.regions.iter().filter(|r| r.committed).count() as u64 * REGION_SIZE
+        cast::to_u64(self.regions.iter().filter(|r| r.committed).count()) * REGION_SIZE
     }
 
     /// Resident heap bytes.
@@ -225,11 +226,11 @@ impl G1Heap {
     }
 
     fn region_addr(&self, idx: usize) -> VirtAddr {
-        self.base.offset(idx as u64 * REGION_SIZE)
+        self.base.offset(cast::to_u64(idx) * REGION_SIZE)
     }
 
     fn region_of_addr(&self, addr: u64) -> usize {
-        ((addr - self.base.0) / REGION_SIZE) as usize
+        cast::to_usize((addr - self.base.0) / REGION_SIZE)
     }
 
     /// Takes a free region for `kind`, committing it if needed.
@@ -254,7 +255,7 @@ impl G1Heap {
     /// `total_bytes`; the last region's `top` records the object's true
     /// end so its free tail can be released.
     fn take_contiguous(&mut self, sys: &mut System, total_bytes: u64) -> Result<usize, HeapError> {
-        let n = total_bytes.div_ceil(REGION_SIZE) as usize;
+        let n = cast::to_usize(total_bytes.div_ceil(REGION_SIZE));
         let mut run = 0;
         let mut start = 0;
         for (i, r) in self.regions.iter().enumerate() {
@@ -276,7 +277,7 @@ impl G1Heap {
                         }
                         self.regions[idx].kind = RegionKind::Humongous;
                         self.regions[idx].top = if idx == start + n - 1 {
-                            total_bytes - (n as u64 - 1) * REGION_SIZE
+                            total_bytes - (cast::to_u64(n) - 1) * REGION_SIZE
                         } else {
                             REGION_SIZE
                         };
@@ -288,7 +289,7 @@ impl G1Heap {
             }
         }
         Err(HeapError::OutOfMemory {
-            requested: n as u64 * REGION_SIZE,
+            requested: cast::to_u64(n) * REGION_SIZE,
         })
     }
 
@@ -305,12 +306,12 @@ impl G1Heap {
 
     /// Number of eden regions the young target allows.
     fn young_target(&self) -> usize {
-        ((self.regions.len() as f64 * self.config.young_fraction) as usize).max(1)
+        cast::usize_from_f64(self.regions.len() as f64 * self.config.young_fraction).max(1)
     }
 
     /// Allocates an object.
     pub fn alloc(&mut self, sys: &mut System, size: u32, kind: ObjectKind) -> Result<ObjectId, HeapError> {
-        let asize = align_obj(size as u64);
+        let asize = align_obj(u64::from(size));
         if asize > REGION_SIZE / 2 {
             // Humongous: whole contiguous regions.
             let start = match self.take_contiguous(sys, asize) {
@@ -372,7 +373,7 @@ impl G1Heap {
         let mut current: Option<usize> = None;
         let mut copied = 0;
         for &(id, size) in survivors {
-            let asize = align_obj(size as u64);
+            let asize = align_obj(u64::from(size));
             let idx = match current {
                 Some(i) if self.regions[i].top + asize <= REGION_SIZE => i,
                 _ => {
@@ -415,7 +416,7 @@ impl G1Heap {
                 }
             }
         }
-        let young_live_objects = (tenured.len() + surviving.len()) as u64;
+        let young_live_objects = cast::to_u64(tenured.len() + surviving.len());
         // Emptied young regions return to the free list *before*
         // evacuation so their space is reusable as destination.
         for r in &mut self.regions {
@@ -464,7 +465,7 @@ impl G1Heap {
             }
             let r = self.region_of_addr(o.addr);
             if live.is_live(id) {
-                live_in_region[r] += align_obj(o.size as u64);
+                live_in_region[r] += align_obj(u64::from(o.size));
                 region_objects[r].push((id, o.size));
             }
         }
@@ -473,7 +474,7 @@ impl G1Heap {
         for (id, o) in self.graph.iter() {
             if o.space_tag == tag::HUMONGOUS && !live.is_live(id) {
                 let start = self.region_of_addr(o.addr);
-                let n = align_obj(o.size as u64).div_ceil(REGION_SIZE) as usize;
+                let n = cast::to_usize(align_obj(u64::from(o.size)).div_ceil(REGION_SIZE));
                 for r in &mut self.regions[start..start + n] {
                     r.kind = RegionKind::Free;
                     r.top = 0;
@@ -536,7 +537,7 @@ impl G1Heap {
         self.eden_current = None;
         let copied = self.evacuate(sys, &small, RegionKind::Old, tag::OLD)?;
         for (id, size) in humongous {
-            let asize = align_obj(size as u64);
+            let asize = align_obj(u64::from(size));
             let start = self.take_contiguous(sys, asize)?;
             let addr = self.region_addr(start);
             // The evacuation copies the object: its destination pages

@@ -3,6 +3,7 @@
 use gc_core::object::{HeapGraph, ObjectId, ObjectKind};
 use gc_core::stats::{GcCostModel, GcCounters, GcKind};
 use gc_core::trace::{mark, mark_with_extra_roots};
+use simos::cast;
 use simos::cost::CostModel;
 use simos::mem::{page_align_up, MappingKind, Prot};
 use simos::{Pid, SimDuration, System, VirtAddr, PAGE_SIZE};
@@ -198,7 +199,7 @@ impl HotSpotHeap {
         size: u32,
         kind: ObjectKind,
     ) -> Result<ObjectId, HeapError> {
-        let asize = align_obj(size as u64);
+        let asize = align_obj(u64::from(size));
         // Humongous objects go straight to the old generation, like
         // HotSpot's large-object path.
         if asize > self.layout.eden_size() / 2 {
@@ -321,7 +322,7 @@ impl HotSpotHeap {
         let mut young_live_objects = 0u64;
         for (id, size, age) in survivors {
             young_live_objects += 1;
-            let asize = align_obj(size as u64);
+            let asize = align_obj(u64::from(size));
             let tenured = age + 1 >= self.config.tenure_threshold;
             let fits = to_top.0 + asize <= to_base.0 + to_len;
             if tenured || !fits {
@@ -404,7 +405,7 @@ impl HotSpotHeap {
             .map(|(id, o)| (id, o.size))
             .collect();
         for (_, size) in &ids {
-            compact_bytes += align_obj(*size as u64);
+            compact_bytes += align_obj(u64::from(*size));
         }
         if !self.expand_old_to(sys, compact_bytes)? {
             return Err(HeapError::OutOfMemory {
@@ -415,7 +416,7 @@ impl HotSpotHeap {
         let old_base = self.layout.old_base();
         let mut top = old_base;
         for (id, size) in ids {
-            let asize = align_obj(size as u64);
+            let asize = align_obj(u64::from(size));
             let obj = self.graph.get_mut(id);
             obj.addr = top.0;
             obj.space_tag = tag::OLD;
@@ -447,11 +448,11 @@ impl HotSpotHeap {
         let committed = self.layout.old_committed;
         let min_committed = self
             .config
-            .granule_up(((used as f64) / (1.0 - self.config.min_heap_free_ratio)).ceil() as u64)
+            .granule_up(cast::u64_from_f64(((used as f64) / (1.0 - self.config.min_heap_free_ratio)).ceil()))
             .max(self.config.min_gen_committed);
         let max_committed = self
             .config
-            .granule_up(((used as f64) / (1.0 - self.config.max_heap_free_ratio)).ceil() as u64)
+            .granule_up(cast::u64_from_f64(((used as f64) / (1.0 - self.config.max_heap_free_ratio)).ceil()))
             .max(self.config.min_gen_committed);
         let target = if committed < min_committed {
             min_committed.min(self.layout.old_reserved)

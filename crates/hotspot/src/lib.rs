@@ -50,6 +50,8 @@
 //! assert!(sys.uss(pid) < before);
 //! ```
 
+#![forbid(unsafe_code)]
+
 pub mod config;
 pub mod g1;
 pub mod heap;

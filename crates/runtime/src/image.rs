@@ -11,7 +11,7 @@
 use simos::{FileId, SimDuration, System};
 
 /// The two managed languages the paper evaluates.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub enum Language {
     /// Java on the HotSpot serial collector.
     Java,

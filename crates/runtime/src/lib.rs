@@ -46,6 +46,8 @@
 //! assert!(report.wall_time > simos::SimDuration::from_millis(5));
 //! ```
 
+#![forbid(unsafe_code)]
+
 pub mod heap;
 pub mod image;
 pub mod instance;

@@ -48,6 +48,9 @@
 //!
 //! [EuroSys '24]: https://doi.org/10.1145/3627703.3629579
 
+#![forbid(unsafe_code)]
+
+pub mod cast;
 pub mod clock;
 pub mod cost;
 pub mod cpu;

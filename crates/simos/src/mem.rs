@@ -93,7 +93,7 @@ pub mod pagebits {
     /// `bits` came from word `w` of a bitmap.
     pub fn for_each_bit(w: usize, mut bits: u64, mut f: impl FnMut(usize)) {
         while bits != 0 {
-            f(w * 64 + bits.trailing_zeros() as usize);
+            f(w * 64 + crate::cast::to_usize(bits.trailing_zeros()));
             bits &= bits - 1;
         }
     }
@@ -284,21 +284,22 @@ pub mod reference {
 
         /// Sets `flag` over `[first, last)`; returns the newly-set count.
         pub fn set_flag_range(&mut self, flag: u8, first: usize, last: usize) -> u64 {
-            (first..last).filter(|&idx| self.set_flag(idx, flag)).count() as u64
+            crate::cast::to_u64((first..last).filter(|&idx| self.set_flag(idx, flag)).count())
         }
 
         /// Clears `flag` over `[first, last)`; returns the
         /// previously-set count.
         pub fn clear_flag_range(&mut self, flag: u8, first: usize, last: usize) -> u64 {
-            (first..last).filter(|&idx| self.clear_flag(idx, flag)).count() as u64
+            crate::cast::to_u64((first..last).filter(|&idx| self.clear_flag(idx, flag)).count())
         }
 
         /// Pages in `[first, last)` with `flag` set.
         pub fn count_flag_range(&self, flag: u8, first: usize, last: usize) -> u64 {
-            self.flags[first..last]
+            let n = self.flags[first..last]
                 .iter()
                 .filter(|&&f| f & flag != 0)
-                .count() as u64
+                .count();
+            crate::cast::to_u64(n)
         }
 
         /// Pages with `flag` set anywhere in the store.
@@ -450,7 +451,7 @@ impl Mapping {
 
     /// Length of the mapping in bytes.
     pub fn len(&self) -> u64 {
-        self.page_count() as u64 * PAGE_SIZE
+        crate::cast::to_u64(self.page_count()) * PAGE_SIZE
     }
 
     /// True if the mapping has zero pages (never constructed this way).
@@ -504,7 +505,7 @@ impl Mapping {
     /// Converts an address inside the mapping to a page index.
     fn page_index(&self, addr: VirtAddr) -> usize {
         debug_assert!(addr >= self.start && addr < self.end());
-        ((addr.0 - self.start.0) / PAGE_SIZE) as usize
+        crate::cast::to_usize((addr.0 - self.start.0) / PAGE_SIZE)
     }
 
     fn set_flag_range(&mut self, flag: u8, first: usize, last: usize) -> u64 {
@@ -588,7 +589,7 @@ impl Mapping {
             return self.resident_bytes();
         }
         let first = self.page_index(addr);
-        let last = (first + len.div_ceil(PAGE_SIZE) as usize).min(self.page_count());
+        let last = (first + crate::cast::to_usize(len.div_ceil(PAGE_SIZE))).min(self.page_count());
         self.resident.count_range(first, last) * PAGE_SIZE
     }
 
@@ -633,9 +634,9 @@ impl Mapping {
         for (w, mask) in masked_words(first, last) {
             let bad = self.noaccess.word(w) & mask;
             if bad != 0 {
-                let idx = w * 64 + bad.trailing_zeros() as usize;
+                let idx = w * 64 + crate::cast::to_usize(bad.trailing_zeros());
                 return Err(SimOsError::ProtectionViolation {
-                    addr: VirtAddr(self.start.0 + idx as u64 * PAGE_SIZE),
+                    addr: VirtAddr(self.start.0 + crate::cast::to_u64(idx) * PAGE_SIZE),
                 });
             }
         }
@@ -817,7 +818,7 @@ impl AddressSpace {
             return Err(SimOsError::UnmappedRange { addr, len });
         }
         let first = m.page_index(addr);
-        let last = first + (len / PAGE_SIZE) as usize;
+        let last = first + crate::cast::to_usize(len / PAGE_SIZE);
         Ok((m, first, last))
     }
 
@@ -875,7 +876,7 @@ impl AddressSpace {
         if self.mappings.range(addr.0..end).next().is_some() {
             return Err(SimOsError::MappingOverlap { addr });
         }
-        let npages = (len / PAGE_SIZE) as usize;
+        let npages = crate::cast::to_usize(len / PAGE_SIZE);
         self.mappings
             .insert(addr.0, Mapping::new(addr, npages, kind, prot, name));
         Ok(())

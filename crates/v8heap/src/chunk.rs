@@ -5,6 +5,7 @@
 //! chunk still returns 98.4 % of it (§4.4). Old-space chunks carry a
 //! free list of byte runs rebuilt by each sweep.
 
+use simos::cast;
 use simos::{VirtAddr, PAGE_SIZE};
 
 /// Size of a V8 memory chunk.
@@ -19,6 +20,13 @@ pub const CHUNK_PAYLOAD: u64 = CHUNK_SIZE - CHUNK_HEADER;
 /// Identifies a chunk in the heap's chunk arena.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct ChunkId(pub u32);
+
+impl ChunkId {
+    /// The chunk-arena index this id names.
+    pub fn index(self) -> usize {
+        cast::to_usize(self.0)
+    }
+}
 
 /// Which space a chunk belongs to.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -55,7 +63,7 @@ impl Chunk {
             addr,
             size,
             space,
-            free_runs: vec![(CHUNK_HEADER as u32, (size - CHUNK_HEADER) as u32)],
+            free_runs: vec![(cast::to_u32(CHUNK_HEADER), cast::to_u32(size - CHUNK_HEADER))],
         }
     }
 
@@ -66,7 +74,7 @@ impl Chunk {
 
     /// Total free bytes in the chunk.
     pub fn free_bytes(&self) -> u64 {
-        self.free_runs.iter().map(|(_, l)| *l as u64).sum()
+        self.free_runs.iter().map(|(_, l)| u64::from(*l)).sum()
     }
 
     /// True if nothing is allocated in the chunk.
@@ -85,7 +93,7 @@ impl Chunk {
                 } else {
                     self.free_runs[i] = (off + len, run - len);
                 }
-                return Some(self.addr.offset(off as u64));
+                return Some(self.addr.offset(u64::from(off)));
             }
         }
         None
@@ -96,7 +104,7 @@ impl Chunk {
     pub fn rebuild_free_runs(&mut self, mut live: Vec<(u32, u32)>) {
         live.sort_unstable();
         let mut runs = Vec::new();
-        let mut cursor = CHUNK_HEADER as u32;
+        let mut cursor = cast::to_u32(CHUNK_HEADER);
         for (off, len) in live {
             debug_assert!(off >= cursor, "overlapping live ranges");
             if off > cursor {
@@ -104,7 +112,7 @@ impl Chunk {
             }
             cursor = off + len;
         }
-        let end = self.size as u32;
+        let end = cast::to_u32(self.size);
         if end > cursor {
             runs.push((cursor, end - cursor));
         }
@@ -118,8 +126,8 @@ impl Chunk {
     pub fn releasable_pages(&self) -> Vec<(VirtAddr, u64)> {
         let mut out = Vec::new();
         for &(off, len) in &self.free_runs {
-            let start = (self.addr.0 + off as u64).div_ceil(PAGE_SIZE) * PAGE_SIZE;
-            let end = (self.addr.0 + off as u64 + len as u64) / PAGE_SIZE * PAGE_SIZE;
+            let start = (self.addr.0 + u64::from(off)).div_ceil(PAGE_SIZE) * PAGE_SIZE;
+            let end = (self.addr.0 + u64::from(off) + u64::from(len)) / PAGE_SIZE * PAGE_SIZE;
             if end > start {
                 out.push((VirtAddr(start), end - start));
             }

@@ -1,5 +1,6 @@
 //! V8 heap configuration.
 
+use simos::cast;
 use simos::SimDuration;
 
 use crate::chunk::CHUNK_SIZE;
@@ -35,7 +36,7 @@ impl V8Config {
             young_max: (budget / 8).max(2 * CHUNK_SIZE),
             young_initial: (2 * CHUNK_SIZE).max(1 << 20),
             shrink_alloc_rate: 8.0 * (1 << 20) as f64,
-            large_object_threshold: (CHUNK_SIZE - simos::PAGE_SIZE) as u32 / 2,
+            large_object_threshold: cast::to_u32(CHUNK_SIZE - simos::PAGE_SIZE) / 2,
             min_rate_window: SimDuration::from_millis(10),
         }
     }
@@ -56,7 +57,7 @@ impl V8Config {
         assert!(self.young_max >= self.young_initial);
         assert!(self.max_heap > self.young_max);
         assert!(self.young_initial.is_multiple_of(2 * CHUNK_SIZE));
-        assert!((self.large_object_threshold as u64) < CHUNK_SIZE);
+        assert!(u64::from(self.large_object_threshold) < CHUNK_SIZE);
     }
 }
 

@@ -5,6 +5,7 @@ use std::collections::BTreeMap;
 use gc_core::object::{HeapGraph, ObjectId, ObjectKind};
 use gc_core::stats::{GcCostModel, GcCounters, GcKind};
 use gc_core::trace::{mark, mark_with_extra_roots};
+use simos::cast;
 use simos::cost::CostModel;
 use simos::mem::{page_align_up, MappingKind, Prot};
 use simos::{Pid, SimDuration, SimTime, System, VirtAddr};
@@ -122,7 +123,7 @@ impl V8Heap {
             to: Vec::new(),
             from_cursor: 0,
             from_offset: CHUNK_HEADER,
-            semispace_chunks: (config.young_initial / 2 / CHUNK_SIZE) as usize,
+            semispace_chunks: cast::to_usize(config.young_initial / 2 / CHUNK_SIZE),
             accumulated_survived: 0,
             old: Vec::new(),
             large: Vec::new(),
@@ -174,7 +175,7 @@ impl V8Heap {
     /// Young-generation size (both semispaces), the quantity the §3.2.2
     /// doubling policy controls.
     pub fn young_size(&self) -> u64 {
-        2 * self.semispace_chunks as u64 * CHUNK_SIZE
+        2 * cast::to_u64(self.semispace_chunks) * CHUNK_SIZE
     }
 
     /// Total mapped heap bytes (all chunks).
@@ -213,11 +214,11 @@ impl V8Heap {
     }
 
     fn chunk(&self, id: ChunkId) -> &Chunk {
-        self.chunks[id.0 as usize].as_ref().expect("stale chunk id")
+        self.chunks[id.index()].as_ref().expect("stale chunk id")
     }
 
     fn chunk_mut(&mut self, id: ChunkId) -> &mut Chunk {
-        self.chunks[id.0 as usize].as_mut().expect("stale chunk id")
+        self.chunks[id.index()].as_mut().expect("stale chunk id")
     }
 
     fn map_chunk(
@@ -261,14 +262,14 @@ impl V8Heap {
         let out = sys.touch(self.pid, addr, CHUNK_HEADER, true)?;
         self.pending += self.os_cost.touch_cost(out);
         let chunk = Chunk::new(addr, size, space);
-        let id = ChunkId(self.chunks.len() as u32);
+        let id = ChunkId(cast::to_u32(self.chunks.len()));
         self.chunks.push(Some(chunk));
         self.addr_to_chunk.insert(addr.0, id);
         Ok(id)
     }
 
     fn unmap_chunk(&mut self, sys: &mut System, id: ChunkId) -> Result<(), V8HeapError> {
-        let chunk = self.chunks[id.0 as usize]
+        let chunk = self.chunks[id.index()]
             .take()
             .expect("double unmap of chunk");
         self.addr_to_chunk.remove(&chunk.addr.0);
@@ -306,11 +307,11 @@ impl V8Heap {
         size: u32,
         kind: ObjectKind,
     ) -> Result<ObjectId, V8HeapError> {
-        self.allocated_since_mark += size as u64;
+        self.allocated_since_mark += u64::from(size);
         if size >= self.config.large_object_threshold {
             return self.alloc_large(sys, size, kind);
         }
-        let asize = (size as u64).div_ceil(8) * 8;
+        let asize = u64::from(size).div_ceil(8) * 8;
         for attempt in 0..3 {
             // A young bump may hit the heap limit while growing the
             // semispace; treat that like a full semispace and collect.
@@ -333,7 +334,7 @@ impl V8Heap {
         }
         // The young generation cannot host it even when empty (tiny
         // semispace); put it in old space, as V8's pretenuring would.
-        let addr = self.old_alloc(sys, asize as u32, true)?;
+        let addr = self.old_alloc(sys, cast::to_u32(asize), true)?;
         let id = self.graph.alloc(size, kind);
         self.graph.set_addr(id, addr.0);
         self.graph.get_mut(id).space_tag = tag::OLD;
@@ -375,7 +376,7 @@ impl V8Heap {
         size: u32,
         kind: ObjectKind,
     ) -> Result<ObjectId, V8HeapError> {
-        let mapped = page_align_up(CHUNK_HEADER + size as u64);
+        let mapped = page_align_up(CHUNK_HEADER + u64::from(size));
         let cid = match self.map_chunk(sys, mapped, ChunkSpace::Large) {
             Ok(c) => c,
             Err(V8HeapError::OutOfMemory { .. }) => {
@@ -386,7 +387,7 @@ impl V8Heap {
         };
         self.large.push(cid);
         let addr = self.chunk(cid).addr.offset(CHUNK_HEADER);
-        self.charge_touch(sys, addr, size as u64)?;
+        self.charge_touch(sys, addr, u64::from(size))?;
         let id = self.graph.alloc(size, kind);
         self.graph.set_addr(id, addr.0);
         self.graph.get_mut(id).space_tag = tag::LARGE;
@@ -454,7 +455,7 @@ impl V8Heap {
         // Expansion check (before GC): double the young generation if
         // the live bytes accumulated since the last expansion exceed
         // its current size.
-        let max_semispace_chunks = (self.config.young_max / 2 / CHUNK_SIZE) as usize;
+        let max_semispace_chunks = cast::to_usize(self.config.young_max / 2 / CHUNK_SIZE);
         if self.accumulated_survived > self.young_size() && self.semispace_chunks < max_semispace_chunks
         {
             self.semispace_chunks = (self.semispace_chunks * 2).min(max_semispace_chunks);
@@ -476,9 +477,9 @@ impl V8Heap {
         let mut to_offset = CHUNK_HEADER;
         let mut copied = 0u64;
         let mut promoted = 0u64;
-        let young_live_objects = survivors.len() as u64;
+        let young_live_objects = cast::to_u64(survivors.len());
         for (id, size, age) in survivors {
-            let asize = (size as u64).div_ceil(8) * 8;
+            let asize = u64::from(size).div_ceil(8) * 8;
             // V8 promotes objects surviving their second scavenge.
             let tenured = age + 1 >= 2;
             let mut dest = None;
@@ -513,7 +514,7 @@ impl V8Heap {
                     obj.age = age + 1;
                 }
                 None => {
-                    let addr = self.old_alloc(sys, asize as u32, false)?;
+                    let addr = self.old_alloc(sys, cast::to_u32(asize), false)?;
                     self.charge_touch(sys, addr, asize)?;
                     promoted += asize;
                     let obj = self.graph.get_mut(id);
@@ -583,9 +584,9 @@ impl V8Heap {
         if rate >= self.config.shrink_alloc_rate {
             return Ok(());
         }
-        let min_chunks = (self.config.young_initial / 2 / CHUNK_SIZE) as usize;
+        let min_chunks = cast::to_usize(self.config.young_initial / 2 / CHUNK_SIZE);
         let target_bytes = 2 * young_live;
-        let target = (target_bytes.div_ceil(CHUNK_SIZE) as usize).max(min_chunks);
+        let target = cast::to_usize(target_bytes.div_ceil(CHUNK_SIZE)).max(min_chunks);
         if target >= self.semispace_chunks {
             return Ok(());
         }
@@ -635,8 +636,8 @@ impl V8Heap {
             .collect();
         let mut evacuated = 0u64;
         for (id, size) in survivors {
-            let asize = (size as u64).div_ceil(8) * 8;
-            let addr = self.old_alloc(sys, asize as u32, false)?;
+            let asize = u64::from(size).div_ceil(8) * 8;
+            let addr = self.old_alloc(sys, cast::to_u32(asize), false)?;
             self.charge_touch(sys, addr, asize)?;
             evacuated += asize;
             let obj = self.graph.get_mut(id);
@@ -656,11 +657,11 @@ impl V8Heap {
             if obj.space_tag == tag::OLD {
                 let cid = self.chunk_of_addr(obj.addr);
                 let chunk_base = self.chunk(cid).addr.0;
-                let asize = (obj.size as u64).div_ceil(8) * 8;
+                let asize = u64::from(obj.size).div_ceil(8) * 8;
                 per_chunk
                     .get_mut(&cid)
                     .expect("old object in unknown chunk")
-                    .push(((obj.addr - chunk_base) as u32, asize as u32));
+                    .push((cast::to_u32(obj.addr - chunk_base), cast::to_u32(asize)));
             }
         }
         for (cid, livelist) in per_chunk {
@@ -714,7 +715,7 @@ impl V8Heap {
 
         // Reset the allocation-limit schedule relative to the post-GC
         // footprint.
-        self.next_major_threshold = ((self.committed() as f64 * MAJOR_GC_GROWTH_FACTOR) as u64)
+        self.next_major_threshold = cast::u64_from_f64(self.committed() as f64 * MAJOR_GC_GROWTH_FACTOR)
             .max(MAJOR_GC_INITIAL_THRESHOLD);
 
         self.maybe_shrink_young(sys, 0)?;

@@ -48,6 +48,8 @@
 //! assert!(sys.uss(pid) < before);
 //! ```
 
+#![forbid(unsafe_code)]
+
 pub mod chunk;
 pub mod config;
 pub mod heap;

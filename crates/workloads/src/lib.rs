@@ -28,6 +28,8 @@
 //! assert_eq!(fft.language, faas_runtime::Language::JavaScript);
 //! ```
 
+#![forbid(unsafe_code)]
+
 pub mod catalog;
 pub mod compute;
 pub mod spec;

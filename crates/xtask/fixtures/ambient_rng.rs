@@ -1,0 +1,8 @@
+//! Seeded violation: ambient, unseeded randomness.
+//! Scanned by the self-test as `crates/workloads/src/fake.rs`.
+
+pub fn roll() -> u64 {
+    // thread_rng in this comment must not count.
+    let mut rng = rand::thread_rng();
+    rng.gen()
+}

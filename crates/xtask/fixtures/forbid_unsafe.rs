@@ -1,0 +1,6 @@
+//! Seeded violation: a crate root missing `#![forbid(unsafe_code)]`.
+//! Scanned by the self-test as `crates/fake/src/lib.rs`.
+
+pub fn answer() -> u64 {
+    42
+}

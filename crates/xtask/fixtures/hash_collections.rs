@@ -1,0 +1,12 @@
+//! Seeded violation: a hash collection in a sim-state crate.
+//! Scanned by the self-test as `crates/simos/src/fake.rs`.
+
+use std::collections::BTreeMap;
+
+/// The commented-out `HashMap` below must NOT count; only the real
+/// token in `Table` may be flagged.
+// type Shadow = HashMap<u64, u64>;
+pub struct Table {
+    by_id: std::collections::HashMap<u64, u64>,
+    ordered: BTreeMap<u64, u64>,
+}

@@ -1,0 +1,8 @@
+//! Seeded violation: a bare `as` integer cast in accounting code.
+//! Scanned by the self-test as `crates/v8heap/src/fake.rs`.
+
+pub fn charge(bytes: u64, share: f64) -> u32 {
+    // `as f64` is allowed (derived reporting); the `as u32` is not.
+    let scaled = bytes as f64 * share;
+    scaled.round() as u32
+}

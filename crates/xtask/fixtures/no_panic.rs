@@ -1,0 +1,17 @@
+//! Seeded violation: an `.unwrap()` in a must-degrade hot path.
+//! Scanned by the self-test as `crates/desiccant/src/fake.rs`.
+
+pub fn pick(xs: &[u64]) -> u64 {
+    // An unwrap inside #[cfg(test)] code is fine; only this one in
+    // non-test code may be flagged.
+    *xs.first().unwrap()
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn test_unwrap_is_exempt() {
+        let v: Option<u8> = Some(1);
+        assert_eq!(v.unwrap(), 1);
+    }
+}

@@ -1,0 +1,7 @@
+//! Seeded violation: a raw thread spawn outside bench::parallel.
+//! Scanned by the self-test as `crates/bench/src/fake.rs`.
+
+pub fn fan_out() {
+    let handle = std::thread::spawn(|| 42);
+    let _ = handle.join();
+}

@@ -1,0 +1,11 @@
+//! Seeded violation: a shim export nothing references. Fed to the
+//! shim-surface pass as `crates/shims/fake/src/lib.rs` against a tiny
+//! pretend workspace that uses `used_helper` but not `dead_helper`.
+
+pub fn used_helper() -> u64 {
+    7
+}
+
+pub fn dead_helper() -> u64 {
+    13
+}

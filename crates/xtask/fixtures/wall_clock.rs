@@ -1,0 +1,9 @@
+//! Seeded violation: a wall-clock read in a simulation path.
+//! Scanned by the self-test as `crates/faas/src/fake.rs`.
+
+/// The string literal and the doc text mentioning Instant::now must
+/// not count; only the real call does.
+pub fn stamp() -> std::time::Instant {
+    let _label = "Instant::now";
+    std::time::Instant::now()
+}

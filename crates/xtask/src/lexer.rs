@@ -1,0 +1,450 @@
+//! A minimal Rust lexer for the tidy passes.
+//!
+//! The environment has no crates.io access, so this is modelled on
+//! rustc's `tidy` rather than `syn`: instead of parsing, it *blanks*
+//! everything that is not code — comments (line, doc, and nested block
+//! comments), string literals (plain, raw `r#"…"#`, byte, and raw
+//! byte), and char/byte-char literals — replacing each such byte with a
+//! space while preserving newlines. Rule passes then scan the blanked
+//! text knowing that every identifier they see is a real token, and
+//! that byte offsets map 1:1 onto the original source for line
+//! reporting.
+//!
+//! Comments are not discarded before blanking: they are first searched
+//! for `// tidy:allow(<rule>) -- <justification>` markers, which feed
+//! the allowlist machinery in [`crate::rules`].
+
+/// One `tidy:allow(...)` marker occurrence.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AllowSite {
+    /// 1-based line the marker starts on.
+    pub line: usize,
+    /// The rule name inside the parentheses (one site per name when a
+    /// marker lists several).
+    pub rule: String,
+    /// Whether the marker carries a `-- justification` tail.
+    pub justified: bool,
+}
+
+/// The blanked view of one source file.
+#[derive(Debug)]
+pub struct Blanked {
+    /// Same byte length as the input; comment and literal bytes are
+    /// spaces, newlines are preserved everywhere.
+    pub text: String,
+    /// Every `tidy:allow` marker found in comments, in source order.
+    pub allows: Vec<AllowSite>,
+}
+
+/// Blanks `source`, returning code-only text plus the allow markers.
+pub fn blank(source: &str) -> Blanked {
+    let bytes = source.as_bytes();
+    let mut out = Vec::with_capacity(bytes.len());
+    let mut allows = Vec::new();
+    let mut line = 1usize;
+    let mut i = 0usize;
+    while i < bytes.len() {
+        let b = bytes[i];
+        if b == b'/' && bytes.get(i + 1) == Some(&b'/') {
+            let start = i;
+            while i < bytes.len() && bytes[i] != b'\n' {
+                i += 1;
+            }
+            parse_markers(&source[start..i], line, &mut allows);
+            out.resize(out.len() + (i - start), b' ');
+        } else if b == b'/' && bytes.get(i + 1) == Some(&b'*') {
+            let start = i;
+            let start_line = line;
+            let mut depth = 1u32;
+            i += 2;
+            while i < bytes.len() && depth > 0 {
+                if bytes[i] == b'/' && bytes.get(i + 1) == Some(&b'*') {
+                    depth += 1;
+                    i += 2;
+                } else if bytes[i] == b'*' && bytes.get(i + 1) == Some(&b'/') {
+                    depth -= 1;
+                    i += 2;
+                } else {
+                    if bytes[i] == b'\n' {
+                        line += 1;
+                    }
+                    i += 1;
+                }
+            }
+            parse_markers(&source[start..i], start_line, &mut allows);
+            blank_span(&bytes[start..i], &mut out);
+        } else if b == b'"' {
+            i = blank_plain_string(source, i, &mut out, &mut line);
+        } else if (b == b'r' || b == b'b') && !prev_is_ident(bytes, i) {
+            match literal_prefix(bytes, i) {
+                Some(Prefix::Raw { hashes, body }) => {
+                    i = blank_raw_string(source, i, body, hashes, &mut out, &mut line);
+                }
+                Some(Prefix::Plain { body }) => {
+                    blank_span(&bytes[i..body], &mut out);
+                    i = blank_plain_string(source, body, &mut out, &mut line);
+                }
+                Some(Prefix::Byte { body }) => {
+                    blank_span(&bytes[i..body], &mut out);
+                    i = blank_char(source, body, &mut out, &mut line);
+                }
+                None => {
+                    out.push(b);
+                    i += 1;
+                }
+            }
+        } else if b == b'\'' {
+            i = blank_char_or_lifetime(source, i, &mut out, &mut line);
+        } else {
+            if b == b'\n' {
+                line += 1;
+            }
+            out.push(b);
+            i += 1;
+        }
+    }
+    let text = String::from_utf8(out).expect("blanking preserves or spaces out every byte");
+    Blanked { text, allows }
+}
+
+/// What a `r`/`b` sighting introduces.
+enum Prefix {
+    /// `r"`, `r#"`, `br##"` …: raw string; `body` is the index of the
+    /// opening quote, `hashes` the number of `#`s.
+    Raw { hashes: usize, body: usize },
+    /// `b"`: byte string; `body` is the index of the quote.
+    Plain { body: usize },
+    /// `b'`: byte char; `body` is the index of the quote.
+    Byte { body: usize },
+}
+
+fn literal_prefix(bytes: &[u8], i: usize) -> Option<Prefix> {
+    let mut j = i;
+    let mut saw_b = false;
+    if bytes[j] == b'b' {
+        saw_b = true;
+        j += 1;
+    }
+    let saw_r = bytes.get(j) == Some(&b'r');
+    if saw_r {
+        j += 1;
+        let mut hashes = 0;
+        while bytes.get(j) == Some(&b'#') {
+            hashes += 1;
+            j += 1;
+        }
+        if bytes.get(j) == Some(&b'"') {
+            return Some(Prefix::Raw { hashes, body: j });
+        }
+        return None; // `r#ident` raw identifier, or plain ident
+    }
+    if saw_b {
+        match bytes.get(j) {
+            Some(&b'"') => return Some(Prefix::Plain { body: j }),
+            Some(&b'\'') => return Some(Prefix::Byte { body: j }),
+            _ => return None,
+        }
+    }
+    None
+}
+
+fn prev_is_ident(bytes: &[u8], i: usize) -> bool {
+    i > 0 && (bytes[i - 1].is_ascii_alphanumeric() || bytes[i - 1] == b'_')
+}
+
+/// Pushes spaces for every byte of `span`, keeping newlines.
+fn blank_span(span: &[u8], out: &mut Vec<u8>) {
+    for &c in span {
+        out.push(if c == b'\n' { b'\n' } else { b' ' });
+    }
+}
+
+/// Blanks a `"…"` string starting at the opening quote; returns the
+/// index just past the closing quote.
+fn blank_plain_string(source: &str, start: usize, out: &mut Vec<u8>, line: &mut usize) -> usize {
+    let bytes = source.as_bytes();
+    let mut i = start + 1;
+    while i < bytes.len() {
+        match bytes[i] {
+            b'\\' => i += 2,
+            b'"' => {
+                i += 1;
+                break;
+            }
+            b'\n' => {
+                *line += 1;
+                i += 1;
+            }
+            _ => i += 1,
+        }
+    }
+    let end = i.min(bytes.len());
+    blank_span(&bytes[start..end], out);
+    end
+}
+
+/// Blanks a raw string whose opening quote sits at `quote` with
+/// `hashes` leading `#`s (the prefix `start..quote` is blanked too).
+fn blank_raw_string(
+    source: &str,
+    start: usize,
+    quote: usize,
+    hashes: usize,
+    out: &mut Vec<u8>,
+    line: &mut usize,
+) -> usize {
+    let bytes = source.as_bytes();
+    let mut i = quote + 1;
+    while i < bytes.len() {
+        if bytes[i] == b'\n' {
+            *line += 1;
+            i += 1;
+            continue;
+        }
+        if bytes[i] == b'"' && bytes[i + 1..].iter().take(hashes).filter(|&&c| c == b'#').count() == hashes {
+            i += 1 + hashes;
+            break;
+        }
+        i += 1;
+    }
+    let end = i.min(bytes.len());
+    blank_span(&bytes[start..end], out);
+    end
+}
+
+/// Blanks a char (or byte-char) literal starting at the quote; returns
+/// the index just past the closing quote.
+fn blank_char(source: &str, start: usize, out: &mut Vec<u8>, line: &mut usize) -> usize {
+    let bytes = source.as_bytes();
+    let mut i = start + 1;
+    if bytes.get(i) == Some(&b'\\') {
+        i += 2; // skip the escape introducer and the escaped byte
+        while i < bytes.len() && bytes[i] != b'\'' {
+            i += 1; // \u{…} and friends
+        }
+        i += 1;
+    } else {
+        let w = source[i..].chars().next().map_or(1, char::len_utf8);
+        i += w + 1;
+    }
+    let end = i.min(bytes.len());
+    for &c in &bytes[start..end] {
+        if c == b'\n' {
+            *line += 1;
+        }
+    }
+    blank_span(&bytes[start..end], out);
+    end
+}
+
+/// At a `'` in code position: blanks a char literal, or passes a
+/// lifetime/label through untouched.
+fn blank_char_or_lifetime(source: &str, start: usize, out: &mut Vec<u8>, line: &mut usize) -> usize {
+    let bytes = source.as_bytes();
+    if bytes.get(start + 1) == Some(&b'\\') {
+        return blank_char(source, start, out, line);
+    }
+    if let Some(ch) = source[start + 1..].chars().next() {
+        let w = ch.len_utf8();
+        if bytes.get(start + 1 + w) == Some(&b'\'') {
+            return blank_char(source, start, out, line);
+        }
+    }
+    // A lifetime (`'a`) or loop label: real code, keep it.
+    out.push(b'\'');
+    start + 1
+}
+
+/// Extracts `tidy:allow(<rule>) -- <why>` markers from one comment's
+/// text. Rule names must be lowercase-kebab (`[a-z][a-z0-9-]*`);
+/// anything else — like the `<rule>` placeholder in prose describing
+/// the syntax — is not a marker.
+fn parse_markers(comment: &str, line: usize, allows: &mut Vec<AllowSite>) {
+    const NEEDLE: &str = "tidy:allow(";
+    let mut rest = comment;
+    while let Some(pos) = rest.find(NEEDLE) {
+        let after = &rest[pos + NEEDLE.len()..];
+        let Some(close) = after.find(')') else { break };
+        let tail = after[close + 1..].trim_start();
+        let justified = tail
+            .strip_prefix("--")
+            .is_some_and(|j| j.trim().chars().filter(|c| c.is_alphanumeric()).count() >= 3);
+        for rule in after[..close].split(',') {
+            let rule = rule.trim();
+            if is_rule_name(rule) {
+                allows.push(AllowSite {
+                    line,
+                    rule: rule.to_string(),
+                    justified,
+                });
+            }
+        }
+        rest = &after[close + 1..];
+    }
+}
+
+fn is_rule_name(s: &str) -> bool {
+    let mut chars = s.chars();
+    chars.next().is_some_and(|c| c.is_ascii_lowercase())
+        && chars.all(|c| c.is_ascii_lowercase() || c.is_ascii_digit() || c == '-')
+}
+
+/// Byte offsets of each line start, for offset→line lookups.
+pub fn line_starts(text: &str) -> Vec<usize> {
+    let mut starts = vec![0];
+    for (i, b) in text.bytes().enumerate() {
+        if b == b'\n' {
+            starts.push(i + 1);
+        }
+    }
+    starts
+}
+
+/// 1-based line containing byte `pos`.
+pub fn line_of(starts: &[usize], pos: usize) -> usize {
+    starts.partition_point(|&s| s <= pos)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn blanked(src: &str) -> String {
+        blank(src).text
+    }
+
+    #[test]
+    fn line_comments_are_blanked() {
+        let out = blanked("let x = 1; // HashMap here\nlet y = 2;");
+        assert!(!out.contains("HashMap"));
+        assert!(out.contains("let y = 2;"));
+        assert_eq!(out.len(), "let x = 1; // HashMap here\nlet y = 2;".len());
+    }
+
+    #[test]
+    fn nested_block_comments() {
+        let src = "a /* outer /* inner */ still comment */ b";
+        let out = blanked(src);
+        assert!(!out.contains("inner"));
+        assert!(!out.contains("still"));
+        assert!(out.starts_with('a'));
+        assert!(out.ends_with('b'));
+    }
+
+    #[test]
+    fn block_comment_preserves_line_numbers() {
+        let src = "a\n/* one\ntwo\nthree */\nunwrap";
+        let out = blanked(src);
+        let starts = line_starts(&out);
+        let pos = out.find("unwrap").unwrap();
+        assert_eq!(line_of(&starts, pos), 5);
+    }
+
+    #[test]
+    fn strings_are_blanked_including_escapes() {
+        let out = blanked(r#"let s = "say \"HashMap\""; use_it(s);"#);
+        assert!(!out.contains("HashMap"));
+        assert!(out.contains("use_it(s);"));
+    }
+
+    #[test]
+    fn raw_strings_with_hashes() {
+        let src = r###"let s = r#"contains "quotes" and // HashMap"#; after();"###;
+        let out = blanked(src);
+        assert!(!out.contains("HashMap"));
+        assert!(!out.contains("quotes"));
+        assert!(out.contains("after();"));
+    }
+
+    #[test]
+    fn raw_string_terminator_needs_matching_hashes() {
+        // `"#` inside an `r##"…"##` literal must not close it.
+        let src = r####"let s = r##"inner "# still in"##; done();"####;
+        let out = blanked(src);
+        assert!(!out.contains("still"));
+        assert!(out.contains("done();"));
+    }
+
+    #[test]
+    fn byte_and_raw_byte_strings() {
+        let out = blanked(r##"let a = b"HashMap"; let b2 = br#"HashSet"#; keep();"##);
+        assert!(!out.contains("HashMap"));
+        assert!(!out.contains("HashSet"));
+        assert!(out.contains("keep();"));
+    }
+
+    #[test]
+    fn char_literals_with_quote_and_comment_chars() {
+        let out = blanked("let a = '\"'; let b = '/'; let c = '\\''; let d = '*'; end()");
+        assert!(out.contains("end()"));
+        // None of the literal contents survive.
+        assert!(!out.contains('"'));
+        assert!(!out.contains('/'));
+        assert!(!out.contains('*'));
+    }
+
+    #[test]
+    fn char_literal_slash_does_not_open_comment() {
+        let out = blanked("let a = '/'; real_code()");
+        assert!(out.contains("real_code()"));
+    }
+
+    #[test]
+    fn lifetimes_survive() {
+        let src = "fn f<'a>(x: &'a str) -> &'a str { x }";
+        let out = blanked(src);
+        assert_eq!(out, src);
+    }
+
+    #[test]
+    fn unicode_char_literal() {
+        let out = blanked("let arrow = '→'; tail()");
+        assert!(out.contains("tail()"));
+        assert!(!out.contains('→'));
+    }
+
+    #[test]
+    fn raw_identifier_is_not_a_raw_string() {
+        let src = "let r#type = 1; let x = r#type;";
+        let out = blanked(src);
+        assert_eq!(out, src);
+    }
+
+    #[test]
+    fn ident_ending_in_r_before_string() {
+        let out = blanked(r#"var"HashMap""#);
+        assert!(out.starts_with("var"));
+        assert!(!out.contains("HashMap"));
+    }
+
+    #[test]
+    fn marker_parsing_single_rule() {
+        let b = blank("foo(); // tidy:allow(no-panic) -- documented invariant\n");
+        assert_eq!(b.allows.len(), 1);
+        assert_eq!(b.allows[0].rule, "no-panic");
+        assert_eq!(b.allows[0].line, 1);
+        assert!(b.allows[0].justified);
+    }
+
+    #[test]
+    fn marker_parsing_multiple_rules_and_missing_justification() {
+        let b = blank("// tidy:allow(no-panic, lossy-casts)\nx();\n");
+        assert_eq!(b.allows.len(), 2);
+        assert_eq!(b.allows[0].rule, "no-panic");
+        assert_eq!(b.allows[1].rule, "lossy-casts");
+        assert!(!b.allows[0].justified);
+        assert!(!b.allows[1].justified);
+    }
+
+    #[test]
+    fn marker_justification_requires_substance() {
+        let b = blank("// tidy:allow(no-panic) -- x\n");
+        assert!(!b.allows[0].justified, "a bare `-- x` is not a justification");
+    }
+
+    #[test]
+    fn marker_line_is_recorded() {
+        let b = blank("line1();\nline2(); // tidy:allow(wall-clock) -- bench timing only\n");
+        assert_eq!(b.allows[0].line, 2);
+    }
+}

@@ -1,0 +1,30 @@
+//! `cargo xtask tidy`: a workspace determinism-and-invariant auditor.
+//!
+//! Everything this repro produces — the figure harnesses, the chaos
+//! runs, the golden-replay digest — rests on the simulation being
+//! bit-deterministic and panic-free under injected faults. Nothing
+//! *statically* prevented a PR from reintroducing nondeterminism
+//! (HashMap iteration order leaking into selection, `Instant::now` in
+//! a sim path) or panics in platform event handling; this crate is
+//! that static gate. See `EXPERIMENTS.md` § "Static analysis gates"
+//! for the rule catalogue and the exception workflow.
+//!
+//! The crate is std-only by necessity (no crates.io access), so it is
+//! modelled on rustc's `tidy`: a small lexer blanks comments and
+//! literals, then rule passes scan real tokens. Run it with
+//! `cargo run -p xtask -- tidy` (tier1.sh does, before the tests).
+
+#![forbid(unsafe_code)]
+
+pub mod lexer;
+pub mod rules;
+pub mod walk;
+
+pub use rules::{check_manifest, check_source, Finding, Rule, RULES};
+
+use std::path::Path;
+
+/// Runs the full audit over `root`; findings come back sorted.
+pub fn tidy(root: &Path) -> Result<Vec<Finding>, String> {
+    walk::run(root)
+}

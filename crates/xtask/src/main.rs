@@ -1,0 +1,89 @@
+//! CLI driver: `cargo run -p xtask -- tidy [--fix-hints] [--root DIR]`.
+
+#![forbid(unsafe_code)]
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use xtask::RULES;
+
+const USAGE: &str = "usage: cargo run -p xtask -- <command>
+
+commands:
+  tidy [--fix-hints] [--root DIR]   audit the workspace; exit 1 on any violation
+  rules                             list every rule with its family and rationale
+
+tidy flags:
+  --fix-hints   print the suggested replacement under each finding
+  --root DIR    audit DIR instead of this workspace";
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("tidy") => tidy(&args[1..]),
+        Some("rules") => {
+            for r in RULES {
+                println!("{:<18} [{}] {}", r.name, r.family, r.summary);
+            }
+            ExitCode::SUCCESS
+        }
+        _ => {
+            eprintln!("{USAGE}");
+            ExitCode::from(2)
+        }
+    }
+}
+
+fn tidy(flags: &[String]) -> ExitCode {
+    let mut fix_hints = false;
+    let mut root: Option<PathBuf> = None;
+    let mut it = flags.iter();
+    while let Some(flag) = it.next() {
+        match flag.as_str() {
+            "--fix-hints" => fix_hints = true,
+            "--root" => match it.next() {
+                Some(dir) => root = Some(PathBuf::from(dir)),
+                None => {
+                    eprintln!("--root needs a directory\n{USAGE}");
+                    return ExitCode::from(2);
+                }
+            },
+            other => {
+                eprintln!("unknown flag `{other}`\n{USAGE}");
+                return ExitCode::from(2);
+            }
+        }
+    }
+    // Default: the workspace this binary was built from.
+    let root = root.unwrap_or_else(|| {
+        PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+            .join("..")
+            .join("..")
+    });
+
+    let findings = match xtask::tidy(&root) {
+        Ok(f) => f,
+        Err(e) => {
+            eprintln!("tidy: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    if findings.is_empty() {
+        println!("tidy: OK ({} rules enforced)", RULES.len());
+        return ExitCode::SUCCESS;
+    }
+    for f in &findings {
+        println!("{}:{}: [{}] {}", f.path, f.line, f.rule, f.message);
+        if fix_hints && !f.hint.is_empty() {
+            println!("    fix: {}", f.hint);
+        }
+    }
+    let files: std::collections::BTreeSet<&str> =
+        findings.iter().map(|f| f.path.as_str()).collect();
+    println!(
+        "tidy: {} violation(s) across {} file(s)",
+        findings.len(),
+        files.len()
+    );
+    ExitCode::FAILURE
+}

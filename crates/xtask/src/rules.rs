@@ -1,0 +1,731 @@
+//! The tidy rule passes.
+//!
+//! Every rule scans the blanked token text produced by
+//! [`crate::lexer`]; rule applicability is decided from the
+//! workspace-relative path (forward slashes). Three families:
+//!
+//! * **determinism** — `hash-collections`, `wall-clock`, `ambient-rng`,
+//!   `raw-threads`: nothing order-sensitive or wall-clock-dependent may
+//!   leak into simulation state or selection.
+//! * **robustness** — `no-panic`, `lossy-casts`: platform/desiccant and
+//!   simos hot paths must use typed errors; memory accounting must use
+//!   checked conversions.
+//! * **hygiene** — `forbid-unsafe`, `path-deps`, `shim-surface`: every
+//!   crate forbids `unsafe`, manifests carry only path dependencies,
+//!   vendored shims export nothing dead.
+//!
+//! A violation is suppressed by an inline marker on the same or the
+//! preceding line:
+//!
+//! ```text
+//! // tidy:allow(<rule>) -- <justification>
+//! ```
+//!
+//! The justification is mandatory, the rule name must exist, and a
+//! marker that suppresses nothing is itself an error (`stale-allow`),
+//! so the allowlist cannot rot.
+
+use crate::lexer::{self, AllowSite};
+
+/// One rule's name, summary, and fix hint.
+pub struct Rule {
+    pub name: &'static str,
+    pub family: &'static str,
+    pub summary: &'static str,
+    pub hint: &'static str,
+}
+
+/// Every rule tidy knows about (marker names are validated against
+/// this list).
+pub const RULES: &[Rule] = &[
+    Rule {
+        name: "hash-collections",
+        family: "determinism",
+        summary: "HashMap/HashSet in sim-state crates (iteration order leaks)",
+        hint: "use BTreeMap/BTreeSet or a sorted Vec; if iteration is provably \
+               order-insensitive, add `// tidy:allow(hash-collections) -- why`",
+    },
+    Rule {
+        name: "wall-clock",
+        family: "determinism",
+        summary: "Instant::now/SystemTime::now outside bench::parallel",
+        hint: "use the simulated clock (simos::SimTime); wall time makes replays \
+               non-reproducible",
+    },
+    Rule {
+        name: "ambient-rng",
+        family: "determinism",
+        summary: "thread_rng (ambient, unseeded randomness)",
+        hint: "thread a seeded rng (rand::rngs::StdRng::seed_from_u64) through the caller",
+    },
+    Rule {
+        name: "raw-threads",
+        family: "determinism",
+        summary: "std::thread::{spawn,scope} outside bench::parallel",
+        hint: "use bench::parallel::run_indexed, which preserves output ordering \
+               at any --jobs N",
+    },
+    Rule {
+        name: "no-panic",
+        family: "robustness",
+        summary: "unwrap/expect/panic! in platform, desiccant, or simos hot paths",
+        hint: "return a typed error (faas::PlatformError / simos::SimError) or \
+               restructure with let-else / match",
+    },
+    Rule {
+        name: "lossy-casts",
+        family: "robustness",
+        summary: "bare `as` integer cast in memory-accounting code",
+        hint: "use simos::cast::{to_u64, to_usize, to_u32, to_u16, from_f64} or \
+               T::try_from — `as` silently truncates",
+    },
+    Rule {
+        name: "forbid-unsafe",
+        family: "hygiene",
+        summary: "crate root missing #![forbid(unsafe_code)]",
+        hint: "add `#![forbid(unsafe_code)]` at the top of the crate root",
+    },
+    Rule {
+        name: "path-deps",
+        family: "hygiene",
+        summary: "non-path dependency in a Cargo.toml",
+        hint: "the build environment is offline: vendor the code under crates/shims \
+               and depend on it by path",
+    },
+    Rule {
+        name: "shim-surface",
+        family: "hygiene",
+        summary: "vendored shim exports an item nothing references",
+        hint: "delete the item (or demote it from pub); shims carry exactly the API \
+               subset the workspace uses",
+    },
+];
+
+/// Looks a rule up by name.
+pub fn rule(name: &str) -> Option<&'static Rule> {
+    RULES.iter().find(|r| r.name == name)
+}
+
+/// One violation (or marker problem) the auditor found.
+#[derive(Debug, Clone)]
+pub struct Finding {
+    pub path: String,
+    pub line: usize,
+    pub rule: &'static str,
+    pub message: String,
+    pub hint: &'static str,
+}
+
+impl Finding {
+    fn new(path: &str, line: usize, rule: &'static str, message: String) -> Finding {
+        let hint = crate::rules::rule(rule).map_or("", |r| r.hint);
+        Finding {
+            path: path.to_string(),
+            line,
+            rule,
+            message,
+            hint,
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Path scoping
+// ---------------------------------------------------------------------------
+
+/// Crates whose state feeds simulation outcomes: HashMap/HashSet
+/// iteration order there can leak into stats or selection.
+const SIM_STATE_CRATES: &[&str] = &[
+    "simos",
+    "faas",
+    "desiccant",
+    "hotspot",
+    "v8heap",
+    "cpython",
+    "goruntime",
+    "runtime",
+    "azure-trace",
+];
+
+/// Files allowed to touch real threads and wall clocks (the scoped
+/// worker pool whose output is byte-identical at any job count).
+const THREAD_EXEMPT: &[&str] = &["crates/bench/src/parallel.rs"];
+
+/// The platform/desiccant/simos hot paths where panicking is banned in
+/// favor of typed errors (PR 2's idiom).
+const NO_PANIC_FILES: &[&str] = &[
+    "crates/faas/src/platform.rs",
+    "crates/simos/src/mem.rs",
+    "crates/simos/src/swap.rs",
+    "crates/simos/src/system.rs",
+    "crates/simos/src/cpu.rs",
+    "crates/simos/src/clock.rs",
+];
+const NO_PANIC_DIRS: &[&str] = &["crates/desiccant/src/"];
+
+/// Memory-accounting modules where a silently-truncating `as` cast can
+/// corrupt byte totals: simos::mem, the stats modules, and the four
+/// managed-heap crates.
+const CAST_FILES: &[&str] = &["crates/simos/src/mem.rs", "crates/faas/src/stats.rs"];
+const CAST_DIRS: &[&str] = &[
+    "crates/hotspot/src/",
+    "crates/v8heap/src/",
+    "crates/cpython/src/",
+    "crates/goruntime/src/",
+];
+
+const INT_TYPES: &[&str] = &[
+    "u8", "u16", "u32", "u64", "u128", "usize", "i8", "i16", "i32", "i64", "i128", "isize",
+];
+
+fn in_sim_state_crate(path: &str) -> bool {
+    SIM_STATE_CRATES
+        .iter()
+        .any(|c| path.starts_with(&format!("crates/{c}/src/")))
+}
+
+fn thread_exempt(path: &str) -> bool {
+    THREAD_EXEMPT.contains(&path)
+}
+
+fn in_no_panic_scope(path: &str) -> bool {
+    NO_PANIC_FILES.contains(&path) || NO_PANIC_DIRS.iter().any(|d| path.starts_with(d))
+}
+
+fn in_cast_scope(path: &str) -> bool {
+    CAST_FILES.contains(&path) || CAST_DIRS.iter().any(|d| path.starts_with(d))
+}
+
+/// Crate roots that must carry `#![forbid(unsafe_code)]`: lib roots,
+/// bin roots, and `src/bin/*` targets (tests/examples/benches are dev
+/// targets and cannot ship unsafe into the library).
+fn is_crate_root(path: &str) -> bool {
+    path.ends_with("src/lib.rs") || path.ends_with("src/main.rs") || path.contains("/src/bin/")
+}
+
+// ---------------------------------------------------------------------------
+// Test-region masking
+// ---------------------------------------------------------------------------
+
+/// Marks the lines belonging to `#[cfg(test)]` / `#[test]` items, so
+/// the robustness rules can exempt test code.
+pub fn test_mask(blanked: &str) -> Vec<bool> {
+    let starts = lexer::line_starts(blanked);
+    // 1-based line indexing: slot 0 is unused padding.
+    let mut mask = vec![false; starts.len() + 1];
+    let bytes = blanked.as_bytes();
+    let mut i = 0usize;
+    while i < bytes.len() {
+        if bytes[i] != b'#' {
+            i += 1;
+            continue;
+        }
+        let attr_start = i;
+        let mut j = i + 1;
+        while j < bytes.len() && bytes[j].is_ascii_whitespace() {
+            j += 1;
+        }
+        if bytes.get(j) != Some(&b'[') {
+            i += 1;
+            continue;
+        }
+        let mut depth = 0usize;
+        let content_start = j + 1;
+        let mut k = j;
+        while k < bytes.len() {
+            match bytes[k] {
+                b'[' => depth += 1,
+                b']' => {
+                    depth -= 1;
+                    if depth == 0 {
+                        break;
+                    }
+                }
+                _ => {}
+            }
+            k += 1;
+        }
+        let content = &blanked[content_start..k.min(bytes.len())];
+        if !is_test_attr(content) {
+            i = k + 1;
+            continue;
+        }
+        // Consume any further attributes, then the item itself: up to a
+        // top-level `;`, or through a balanced `{…}` block.
+        let mut m = k + 1;
+        loop {
+            while m < bytes.len() && bytes[m].is_ascii_whitespace() {
+                m += 1;
+            }
+            if bytes.get(m) == Some(&b'#') {
+                while m < bytes.len() && bytes[m] != b']' {
+                    m += 1;
+                }
+                m += 1;
+                continue;
+            }
+            break;
+        }
+        let mut brace = 0isize;
+        while m < bytes.len() {
+            match bytes[m] {
+                b'{' => brace += 1,
+                b'}' => {
+                    brace -= 1;
+                    if brace == 0 {
+                        break;
+                    }
+                }
+                b';' if brace == 0 => break,
+                _ => {}
+            }
+            m += 1;
+        }
+        let end = m.min(bytes.len().saturating_sub(1));
+        let first = lexer::line_of(&starts, attr_start);
+        let last = lexer::line_of(&starts, end);
+        for l in first..=last.min(mask.len() - 1) {
+            mask[l] = true;
+        }
+        i = m + 1;
+    }
+    mask
+}
+
+fn is_test_attr(content: &str) -> bool {
+    let c: String = content.split_whitespace().collect();
+    if c == "test" {
+        return true;
+    }
+    c.starts_with("cfg") && c.contains("test") && !c.contains("not(test")
+}
+
+fn is_test_line(mask: &[bool], line: usize) -> bool {
+    mask.get(line).copied().unwrap_or(false)
+}
+
+// ---------------------------------------------------------------------------
+// Token scanning helpers
+// ---------------------------------------------------------------------------
+
+fn is_ident_byte(b: u8) -> bool {
+    b.is_ascii_alphanumeric() || b == b'_'
+}
+
+/// Yields `(start, end)` ranges of identifier-ish tokens.
+fn idents(text: &str) -> Vec<(usize, usize)> {
+    let bytes = text.as_bytes();
+    let mut out = Vec::new();
+    let mut i = 0;
+    while i < bytes.len() {
+        if is_ident_byte(bytes[i]) && (i == 0 || !is_ident_byte(bytes[i - 1])) {
+            let start = i;
+            while i < bytes.len() && is_ident_byte(bytes[i]) {
+                i += 1;
+            }
+            out.push((start, i));
+        } else {
+            i += 1;
+        }
+    }
+    out
+}
+
+fn next_nonspace(bytes: &[u8], mut i: usize) -> Option<(usize, u8)> {
+    while i < bytes.len() {
+        if !bytes[i].is_ascii_whitespace() {
+            return Some((i, bytes[i]));
+        }
+        i += 1;
+    }
+    None
+}
+
+fn prev_nonspace(bytes: &[u8], i: usize) -> Option<u8> {
+    let mut j = i;
+    while j > 0 {
+        j -= 1;
+        if !bytes[j].is_ascii_whitespace() {
+            return Some(bytes[j]);
+        }
+    }
+    None
+}
+
+/// After an ident ending at `end`, matches `:: segment` (with optional
+/// whitespace) and returns the segment.
+fn path_segment_after(text: &str, end: usize) -> Option<&str> {
+    let bytes = text.as_bytes();
+    let (p, b) = next_nonspace(bytes, end)?;
+    if b != b':' || bytes.get(p + 1) != Some(&b':') {
+        return None;
+    }
+    let (s, b2) = next_nonspace(bytes, p + 2)?;
+    if !is_ident_byte(b2) {
+        return None;
+    }
+    let mut e = s;
+    while e < bytes.len() && is_ident_byte(bytes[e]) {
+        e += 1;
+    }
+    Some(&text[s..e])
+}
+
+/// Is the ident at `(start, end)` a method call receiver position:
+/// `.name(` ?
+fn is_method_call(text: &str, start: usize, end: usize) -> bool {
+    let bytes = text.as_bytes();
+    prev_nonspace(bytes, start) == Some(b'.')
+        && matches!(next_nonspace(bytes, end), Some((_, b'(')))
+}
+
+// ---------------------------------------------------------------------------
+// Source checking
+// ---------------------------------------------------------------------------
+
+/// Runs every applicable rule over one source file. `path` is the
+/// workspace-relative path with forward slashes.
+pub fn check_source(path: &str, source: &str) -> Vec<Finding> {
+    let blanked = lexer::blank(source);
+    let starts = lexer::line_starts(&blanked.text);
+    let mask = test_mask(&blanked.text);
+    let mut raw = Vec::new();
+
+    scan_tokens(path, &blanked.text, &starts, &mask, &mut raw);
+
+    if is_crate_root(path) && !has_forbid_unsafe(&blanked.text) {
+        raw.push(Finding::new(
+            path,
+            1,
+            "forbid-unsafe",
+            "crate root does not declare #![forbid(unsafe_code)]".to_string(),
+        ));
+    }
+
+    apply_allows(path, &blanked.allows, raw)
+}
+
+fn scan_tokens(
+    path: &str,
+    text: &str,
+    starts: &[usize],
+    mask: &[bool],
+    out: &mut Vec<Finding>,
+) {
+    let sim_state = in_sim_state_crate(path);
+    let no_panic = in_no_panic_scope(path);
+    let casts = in_cast_scope(path);
+    let threads_ok = thread_exempt(path);
+    for (s, e) in idents(text) {
+        let word = &text[s..e];
+        let line = lexer::line_of(starts, s);
+        match word {
+            "HashMap" | "HashSet" if sim_state => {
+                out.push(Finding::new(
+                    path,
+                    line,
+                    "hash-collections",
+                    format!("`{word}` in a sim-state crate: iteration order is nondeterministic"),
+                ));
+            }
+            "Instant" | "SystemTime"
+                if !threads_ok && path_segment_after(text, e) == Some("now") =>
+            {
+                out.push(Finding::new(
+                    path,
+                    line,
+                    "wall-clock",
+                    format!("`{word}::now` reads the wall clock in a simulation path"),
+                ));
+            }
+            "thread_rng" => {
+                out.push(Finding::new(
+                    path,
+                    line,
+                    "ambient-rng",
+                    "`thread_rng` is ambient, unseeded randomness".to_string(),
+                ));
+            }
+            "thread" if !threads_ok => {
+                if let Some(seg) = path_segment_after(text, e) {
+                    if seg == "spawn" || seg == "scope" {
+                        out.push(Finding::new(
+                            path,
+                            line,
+                            "raw-threads",
+                            format!("`thread::{seg}` outside bench::parallel"),
+                        ));
+                    }
+                }
+            }
+            "unwrap" | "expect"
+                if no_panic && !is_test_line(mask, line) && is_method_call(text, s, e) =>
+            {
+                out.push(Finding::new(
+                    path,
+                    line,
+                    "no-panic",
+                    format!("`.{word}()` in a hot path that must degrade, not die"),
+                ));
+            }
+            "panic" if no_panic && !is_test_line(mask, line) => {
+                if matches!(next_nonspace(text.as_bytes(), e), Some((_, b'!'))) {
+                    out.push(Finding::new(
+                        path,
+                        line,
+                        "no-panic",
+                        "`panic!` in a hot path that must degrade, not die".to_string(),
+                    ));
+                }
+            }
+            "as" if casts && !is_test_line(mask, line) => {
+                if let Some(target) = path_or_ident_after(text, e) {
+                    if INT_TYPES.contains(&target) {
+                        out.push(Finding::new(
+                            path,
+                            line,
+                            "lossy-casts",
+                            format!("bare `as {target}` in memory accounting silently truncates"),
+                        ));
+                    }
+                }
+            }
+            _ => {}
+        }
+    }
+}
+
+/// The ident directly after `end` (the cast target position).
+fn path_or_ident_after(text: &str, end: usize) -> Option<&str> {
+    let bytes = text.as_bytes();
+    let (s, b) = next_nonspace(bytes, end)?;
+    if !is_ident_byte(b) {
+        return None;
+    }
+    let mut e = s;
+    while e < bytes.len() && is_ident_byte(bytes[e]) {
+        e += 1;
+    }
+    Some(&text[s..e])
+}
+
+fn has_forbid_unsafe(blanked: &str) -> bool {
+    let squeezed: String = blanked.split_whitespace().collect();
+    squeezed.contains("#![forbid(unsafe_code)]")
+}
+
+// ---------------------------------------------------------------------------
+// Allow-marker application
+// ---------------------------------------------------------------------------
+
+/// Filters findings through the file's `tidy:allow` markers and emits
+/// `stale-allow` errors for markers that are unknown, unjustified, or
+/// suppress nothing.
+pub fn apply_allows(path: &str, allows: &[AllowSite], raw: Vec<Finding>) -> Vec<Finding> {
+    let mut consumed = vec![false; allows.len()];
+    let mut out = Vec::new();
+    for f in raw {
+        let site = allows.iter().enumerate().find(|(_, a)| {
+            a.rule == f.rule
+                && (f.rule == "forbid-unsafe" || a.line == f.line || a.line + 1 == f.line)
+        });
+        match site {
+            Some((idx, _)) => consumed[idx] = true,
+            None => out.push(f),
+        }
+    }
+    for (idx, a) in allows.iter().enumerate() {
+        if rule(&a.rule).is_none() {
+            out.push(Finding::new(
+                path,
+                a.line,
+                "stale-allow",
+                format!("tidy:allow names unknown rule `{}`", a.rule),
+            ));
+        } else if !a.justified {
+            out.push(Finding::new(
+                path,
+                a.line,
+                "stale-allow",
+                format!(
+                    "tidy:allow({}) lacks a `-- justification` explaining the exception",
+                    a.rule
+                ),
+            ));
+        } else if !consumed[idx] {
+            out.push(Finding::new(
+                path,
+                a.line,
+                "stale-allow",
+                format!("stale tidy:allow({}): it suppresses nothing", a.rule),
+            ));
+        }
+    }
+    out
+}
+
+// ---------------------------------------------------------------------------
+// Manifest checking
+// ---------------------------------------------------------------------------
+
+/// Checks one Cargo.toml: every dependency in every dependency section
+/// must be a path (or workspace-inherited) dependency. The build
+/// environment has no crates.io access, so a `version`, `git`, or
+/// registry dependency can never resolve.
+pub fn check_manifest(path: &str, text: &str) -> Vec<Finding> {
+    let mut out = Vec::new();
+    let mut section = String::new();
+    let mut prev_allow = false;
+    for (idx, raw_line) in text.lines().enumerate() {
+        let lineno = idx + 1;
+        let (content, comment) = match raw_line.find('#') {
+            Some(p) => (&raw_line[..p], &raw_line[p..]),
+            None => (raw_line, ""),
+        };
+        let allow_here = comment.contains("tidy:allow(path-deps)") && comment.contains("--");
+        let allowed = allow_here || prev_allow;
+        prev_allow = allow_here;
+        let line = content.trim();
+        if line.starts_with('[') && line.ends_with(']') {
+            section = line[1..line.len() - 1].trim().to_string();
+            continue;
+        }
+        if line.is_empty() || !is_dep_section(&section) {
+            continue;
+        }
+        let Some((key, value)) = line.split_once('=') else {
+            continue;
+        };
+        let key = key.trim();
+        let value = value.trim();
+        if section_is_single_dep(&section) {
+            // `[dependencies.foo]` form: flag the offending keys.
+            if (key == "version" || key == "git" || key == "registry") && !allowed {
+                out.push(Finding::new(
+                    path,
+                    lineno,
+                    "path-deps",
+                    format!("`{key}` dependency in [{section}] — only path deps can build offline"),
+                ));
+            }
+            continue;
+        }
+        if key.ends_with(".workspace") || value.starts_with("true") {
+            continue;
+        }
+        let ok = value.starts_with('{')
+            && (value.contains("path") && value.contains('=') || value.contains("workspace"));
+        if !ok && !allowed {
+            out.push(Finding::new(
+                path,
+                lineno,
+                "path-deps",
+                format!("dependency `{key}` is not a path/workspace dependency"),
+            ));
+        }
+    }
+    out
+}
+
+fn is_dep_section(section: &str) -> bool {
+    section_is_single_dep(section)
+        || section == "dependencies"
+        || section == "dev-dependencies"
+        || section == "build-dependencies"
+        || section == "workspace.dependencies"
+        || section.ends_with(".dependencies")
+        || section.ends_with(".dev-dependencies")
+        || section.ends_with(".build-dependencies")
+}
+
+fn section_is_single_dep(section: &str) -> bool {
+    section.starts_with("dependencies.")
+        || section.starts_with("dev-dependencies.")
+        || section.starts_with("build-dependencies.")
+        || section.starts_with("workspace.dependencies.")
+}
+
+// ---------------------------------------------------------------------------
+// Shim surface checking
+// ---------------------------------------------------------------------------
+
+/// A top-level-ish `pub` item exported from a shim.
+#[derive(Debug)]
+pub struct ShimItem {
+    pub name: String,
+    pub line: usize,
+}
+
+/// Extracts exported item names from a shim source: `pub fn|struct|
+/// enum|trait|type|const|static|mod` plus `#[macro_export]` macros.
+/// `pub use` re-exports are skipped (their targets are counted at the
+/// definition).
+pub fn shim_items(source: &str) -> Vec<ShimItem> {
+    let blanked = lexer::blank(source);
+    let text = &blanked.text;
+    let starts = lexer::line_starts(text);
+    let toks = idents(text);
+    let mut out = Vec::new();
+    let mut i = 0;
+    while i < toks.len() {
+        let (s, e) = toks[i];
+        let word = &text[s..e];
+        if word == "macro_rules" {
+            // Exported iff preceded by #[macro_export]; cheap check:
+            // look back a little in the raw text.
+            let back = &text[s.saturating_sub(120)..s];
+            if back.contains("macro_export") {
+                if let Some(&(ns, ne)) = toks.get(i + 1) {
+                    out.push(ShimItem {
+                        name: text[ns..ne].to_string(),
+                        line: lexer::line_of(&starts, ns),
+                    });
+                }
+            }
+            i += 1;
+            continue;
+        }
+        if word != "pub" {
+            i += 1;
+            continue;
+        }
+        // Skip `pub(crate)` etc. — not exported surface.
+        if matches!(next_nonspace(text.as_bytes(), e), Some((_, b'('))) {
+            i += 1;
+            continue;
+        }
+        let mut j = i + 1;
+        // Item keywords that may precede the name.
+        let mut name = None;
+        while let Some(&(ks, ke)) = toks.get(j) {
+            match &text[ks..ke] {
+                "fn" | "struct" | "enum" | "trait" | "type" | "const" | "static" | "mod" => {
+                    if let Some(&(ns, ne)) = toks.get(j + 1) {
+                        name = Some((ns, ne));
+                    }
+                    break;
+                }
+                "unsafe" | "async" | "extern" | "dyn" => j += 1,
+                "use" | "impl" | "crate" | "in" | "self" | "super" => break,
+                _ => break,
+            }
+        }
+        if let Some((ns, ne)) = name {
+            out.push(ShimItem {
+                name: text[ns..ne].to_string(),
+                line: lexer::line_of(&starts, ns),
+            });
+        }
+        i += 1;
+    }
+    out
+}
+
+/// All identifier tokens of a source, for usage counting.
+pub fn ident_set(source: &str) -> Vec<String> {
+    let blanked = lexer::blank(source);
+    idents(&blanked.text)
+        .into_iter()
+        .map(|(s, e)| blanked.text[s..e].to_string())
+        .collect()
+}

@@ -1,0 +1,148 @@
+//! Workspace traversal and the cross-file passes.
+//!
+//! Collects every `.rs` and `Cargo.toml` under the workspace root in a
+//! deterministic (sorted) order, runs the per-file rule passes, and
+//! then the two passes that need a global view: `path-deps` over every
+//! manifest and `shim-surface` over the vendored shims against the
+//! whole workspace's identifier usage.
+
+use std::collections::BTreeSet;
+use std::fs;
+use std::path::{Path, PathBuf};
+
+use crate::rules::{self, Finding};
+
+/// Directories never scanned: build output, VCS metadata, and the
+/// seeded-violation fixtures used by xtask's own self-tests.
+const SKIP_DIRS: &[&str] = &["target", ".git", "fixtures"];
+
+/// Vendored third-party stand-ins: exempt from the style rules (their
+/// job is to mimic crates.io APIs — the criterion shim *must* read the
+/// wall clock), but their manifests are still checked and their export
+/// surface is audited by `shim-surface`.
+const SHIM_PREFIX: &str = "crates/shims/";
+
+/// One loaded source file.
+struct SourceFile {
+    rel: String,
+    text: String,
+}
+
+fn walk_files(dir: &Path, rs: &mut Vec<PathBuf>, toml: &mut Vec<PathBuf>) {
+    let Ok(entries) = fs::read_dir(dir) else {
+        return;
+    };
+    let mut paths: Vec<PathBuf> = entries.flatten().map(|e| e.path()).collect();
+    paths.sort();
+    for p in paths {
+        let name = p.file_name().and_then(|n| n.to_str()).unwrap_or("");
+        if p.is_dir() {
+            if !SKIP_DIRS.contains(&name) {
+                walk_files(&p, rs, toml);
+            }
+        } else if name == "Cargo.toml" {
+            toml.push(p);
+        } else if name.ends_with(".rs") {
+            rs.push(p);
+        }
+    }
+}
+
+fn rel_path(root: &Path, p: &Path) -> String {
+    p.strip_prefix(root)
+        .unwrap_or(p)
+        .components()
+        .map(|c| c.as_os_str().to_string_lossy())
+        .collect::<Vec<_>>()
+        .join("/")
+}
+
+/// Runs every tidy pass over the workspace rooted at `root`. Returns
+/// findings sorted by (path, line, rule).
+pub fn run(root: &Path) -> Result<Vec<Finding>, String> {
+    let mut rs = Vec::new();
+    let mut tomls = Vec::new();
+    walk_files(root, &mut rs, &mut tomls);
+    if rs.is_empty() {
+        return Err(format!("no Rust sources under {}", root.display()));
+    }
+
+    let mut workspace = Vec::new();
+    let mut shims = Vec::new();
+    for p in rs {
+        let rel = rel_path(root, &p);
+        let text = fs::read_to_string(&p).map_err(|e| format!("read {rel}: {e}"))?;
+        if rel.starts_with(SHIM_PREFIX) {
+            shims.push(SourceFile { rel, text });
+        } else {
+            workspace.push(SourceFile { rel, text });
+        }
+    }
+
+    let mut findings = Vec::new();
+    for f in &workspace {
+        findings.extend(rules::check_source(&f.rel, &f.text));
+    }
+    for p in tomls {
+        let rel = rel_path(root, &p);
+        let text = fs::read_to_string(&p).map_err(|e| format!("read {rel}: {e}"))?;
+        findings.extend(rules::check_manifest(&rel, &text));
+    }
+    let ws_pairs: Vec<(&str, &str)> = workspace
+        .iter()
+        .map(|f| (f.rel.as_str(), f.text.as_str()))
+        .collect();
+    let shim_pairs: Vec<(&str, &str)> = shims
+        .iter()
+        .map(|f| (f.rel.as_str(), f.text.as_str()))
+        .collect();
+    findings.extend(check_shim_surface(&ws_pairs, &shim_pairs));
+
+    findings.sort_by(|a, b| {
+        (a.path.as_str(), a.line, a.rule).cmp(&(b.path.as_str(), b.line, b.rule))
+    });
+    Ok(findings)
+}
+
+/// Flags shim exports referenced nowhere — neither by the workspace
+/// nor anywhere in the shims beyond the single defining occurrence
+/// (impl blocks, internal calls, and macro bodies all count as
+/// references, so API kept alive internally is never flagged). Takes
+/// `(path, text)` pairs so the fixture self-tests can drive it.
+pub fn check_shim_surface(
+    workspace: &[(&str, &str)],
+    shims: &[(&str, &str)],
+) -> Vec<Finding> {
+    let mut outside: BTreeSet<String> = BTreeSet::new();
+    for (_, text) in workspace {
+        outside.extend(rules::ident_set(text));
+    }
+    let mut shim_counts: std::collections::BTreeMap<String, usize> = Default::default();
+    for (_, text) in shims {
+        for id in rules::ident_set(text) {
+            *shim_counts.entry(id).or_insert(0) += 1;
+        }
+    }
+    let mut out = Vec::new();
+    for (rel, text) in shims {
+        let blanked = crate::lexer::blank(text);
+        let mut raw = Vec::new();
+        for item in rules::shim_items(text) {
+            let internal = shim_counts.get(&item.name).copied().unwrap_or(0);
+            if !outside.contains(&item.name) && internal <= 1 {
+                raw.push(Finding {
+                    path: (*rel).to_string(),
+                    line: item.line,
+                    rule: "shim-surface",
+                    message: format!(
+                        "shim export `{}` is referenced nowhere in the workspace",
+                        item.name
+                    ),
+                    hint: rules::rule("shim-surface").map_or("", |r| r.hint),
+                });
+            }
+        }
+        out.extend(rules::apply_allows(rel, &blanked.allows, raw));
+    }
+    out
+}

@@ -1,0 +1,160 @@
+//! The auditor's self-test: every rule must fire on its seeded
+//! fixture (and only there), markers must suppress and go stale
+//! correctly, and the real workspace must audit clean.
+//!
+//! The fixtures live in `crates/xtask/fixtures/`, which the workspace
+//! walker skips, so the seeded violations never pollute a real
+//! `cargo run -p xtask -- tidy`.
+
+use std::fs;
+use std::path::Path;
+
+use xtask::rules::{self, Finding};
+use xtask::{check_manifest, check_source, RULES};
+
+fn fixture(name: &str) -> String {
+    let p = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("fixtures")
+        .join(name);
+    fs::read_to_string(&p).unwrap_or_else(|e| panic!("read {}: {e}", p.display()))
+}
+
+/// Asserts `findings` is exactly one violation of `rule`.
+fn assert_single(findings: &[Finding], rule: &str) {
+    let hits: Vec<&Finding> = findings.iter().filter(|f| f.rule == rule).collect();
+    assert_eq!(
+        hits.len(),
+        1,
+        "expected exactly one `{rule}` finding, got: {findings:?}"
+    );
+    assert_eq!(
+        findings.len(),
+        1,
+        "expected no findings besides `{rule}`, got: {findings:?}"
+    );
+}
+
+#[test]
+fn every_source_rule_fires_on_its_seeded_fixture() {
+    // (rule, fixture file, pretend in-scope path)
+    let cases = [
+        (
+            "hash-collections",
+            "hash_collections.rs",
+            "crates/simos/src/fake.rs",
+        ),
+        ("wall-clock", "wall_clock.rs", "crates/faas/src/fake.rs"),
+        (
+            "ambient-rng",
+            "ambient_rng.rs",
+            "crates/workloads/src/fake.rs",
+        ),
+        ("raw-threads", "raw_threads.rs", "crates/bench/src/fake.rs"),
+        ("no-panic", "no_panic.rs", "crates/desiccant/src/fake.rs"),
+        ("lossy-casts", "lossy_casts.rs", "crates/v8heap/src/fake.rs"),
+        ("forbid-unsafe", "forbid_unsafe.rs", "crates/fake/src/lib.rs"),
+    ];
+    for (rule, file, path) in cases {
+        let findings = check_source(path, &fixture(file));
+        assert_single(&findings, rule);
+    }
+}
+
+#[test]
+fn seeded_violations_vanish_outside_their_rule_scope() {
+    // The same sources are clean where the rule does not apply: a
+    // HashMap outside the sim-state crates, an unwrap outside the
+    // no-panic files, a cast outside the accounting modules. (The
+    // forbid-unsafe fixture is scanned as a non-root file.)
+    let cases = [
+        ("hash_collections.rs", "crates/xtask/src/fake.rs"),
+        ("no_panic.rs", "crates/faas/src/fake.rs"),
+        ("lossy_casts.rs", "crates/faas/src/fake.rs"),
+        ("forbid_unsafe.rs", "crates/fake/src/notroot.rs"),
+    ];
+    for (file, path) in cases {
+        let findings = check_source(path, &fixture(file));
+        assert!(
+            findings.is_empty(),
+            "{file} as {path} should be clean, got: {findings:?}"
+        );
+    }
+}
+
+#[test]
+fn path_deps_fires_on_versioned_dependency() {
+    let findings = check_manifest("crates/fake/Cargo.toml", &fixture("path_deps.toml"));
+    assert_single(&findings, "path-deps");
+    assert!(findings[0].message.contains("serde"), "{findings:?}");
+}
+
+#[test]
+fn shim_surface_flags_only_the_dead_export() {
+    let shim_text = fixture("shim_surface.rs");
+    let workspace = [(
+        "crates/faas/src/fake.rs",
+        "fn caller() -> u64 { used_helper() }",
+    )];
+    let shims = [("crates/shims/fake/src/lib.rs", shim_text.as_str())];
+    let findings = xtask::walk::check_shim_surface(&workspace, &shims);
+    assert_single(&findings, "shim-surface");
+    assert!(findings[0].message.contains("dead_helper"), "{findings:?}");
+}
+
+#[test]
+fn stale_allow_fires_for_unknown_unjustified_and_unconsumed_markers() {
+    let findings = check_source("crates/simos/src/fake.rs", &fixture("stale_allow.rs"));
+    assert_eq!(
+        findings.len(),
+        3,
+        "expected three stale-allow findings, got: {findings:?}"
+    );
+    assert!(findings.iter().all(|f| f.rule == "stale-allow"));
+    assert!(findings[0].message.contains("unknown rule"), "{findings:?}");
+    assert!(findings[1].message.contains("lacks a"), "{findings:?}");
+    assert!(findings[2].message.contains("suppresses nothing"), "{findings:?}");
+}
+
+#[test]
+fn justified_marker_suppresses_the_violation() {
+    let src = "\
+// tidy:allow(hash-collections) -- never iterated, lookups only
+use std::collections::HashMap;
+pub type T = HashMap<u64, u64>;
+";
+    // Marker covers its own line and the next; the second HashMap
+    // token on the `type` line is NOT covered.
+    let findings = check_source("crates/simos/src/fake.rs", src);
+    assert_single(&findings, "hash-collections");
+    assert_eq!(findings[0].line, 3, "{findings:?}");
+}
+
+#[test]
+fn every_rule_in_the_catalogue_has_family_and_hint() {
+    assert_eq!(RULES.len(), 9);
+    for r in RULES {
+        assert!(
+            ["determinism", "robustness", "hygiene"].contains(&r.family),
+            "{} has odd family {}",
+            r.name,
+            r.family
+        );
+        assert!(!r.summary.is_empty() && !r.hint.is_empty(), "{}", r.name);
+        assert!(rules::rule(r.name).is_some());
+    }
+}
+
+#[test]
+fn the_real_workspace_audits_clean() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR")).join("..").join("..");
+    let findings = xtask::tidy(&root).expect("tidy runs");
+    assert!(
+        findings.is_empty(),
+        "workspace has tidy violations:\n{}",
+        findings
+            .iter()
+            .map(|f| format!("{}:{}: [{}] {}", f.path, f.line, f.rule, f.message))
+            .collect::<Vec<_>>()
+            .join("\n")
+    );
+}

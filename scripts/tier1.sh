@@ -11,6 +11,9 @@ cd "$(dirname "$0")/.."
 echo "== build =="
 cargo build --release --workspace
 
+echo "== tidy (determinism / robustness / hygiene audit) =="
+cargo run -q -p xtask -- tidy
+
 echo "== lint =="
 cargo clippy --workspace --all-targets -q -- -D warnings
 

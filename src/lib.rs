@@ -19,6 +19,8 @@
 //! See `README.md` for a tour and `DESIGN.md` / `EXPERIMENTS.md` for
 //! the reproduction methodology and results.
 
+#![forbid(unsafe_code)]
+
 pub use azure_trace;
 // `bench` collides with rustc's unstable built-in `bench` path in a
 // plain `pub use`; an explicit extern-crate re-export avoids it.
