@@ -44,6 +44,8 @@
 
 pub mod generate;
 pub mod replay;
+pub mod resume;
 
 pub use generate::{build_trace, generate_arrivals, ArrivalPattern, TraceFunction};
 pub use replay::{replay, ReplayConfig, ReplayOutcome};
+pub use resume::{replay_resumable, RequestJournal, ResumeOptions, ResumeOutcome};

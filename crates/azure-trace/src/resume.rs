@@ -1,0 +1,426 @@
+//! Crash-consistent, resumable replay.
+//!
+//! [`replay`](crate::replay::replay) drives the §5.3 protocol in three
+//! monolithic `run_until` spans; if the process dies mid-run the whole
+//! simulation is lost. This module re-expresses the same protocol as a
+//! sequence of short *steps* with three durability primitives layered
+//! on top:
+//!
+//! * a **write-ahead request journal**: every arrival batch is appended
+//!   to the journal *before* it is submitted, so a recovered run knows
+//!   exactly which requests the dead run had already injected;
+//! * **periodic checkpoints** of the full simulation state (via
+//!   [`Platform::checkpoint`]) plus the small amount of driver state the
+//!   platform does not own (the step cursor and the rates captured at
+//!   the measured-window boundary);
+//! * a **recovery loop**: when an armed [`CrashPlan`] kills the event
+//!   loop, the driver builds a fresh platform, restores the latest
+//!   checkpoint, re-submits the journaled batches from the checkpointed
+//!   step onward, and continues.
+//!
+//! Because the platform is deterministic, a recovered run retraces the
+//! dead run's trajectory event for event: its final checkpoint is
+//! **byte-identical** to an uninterrupted control run of the same
+//! driver, no matter how many times (or where) it was killed. The
+//! kill–recover chaos gate in `bench` pins exactly that.
+
+use faas::fault::CrashPlan;
+use faas::platform::Platform;
+use faas::PlatformError;
+use simos::SimTime;
+
+use crate::generate::{generate_arrivals, TraceFunction};
+use crate::replay::{ReplayConfig, ReplayOutcome};
+
+/// One journaled arrival.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct JournalEntry {
+    /// Step in whose window the arrival falls.
+    pub step: usize,
+    /// Arrival time.
+    pub at: SimTime,
+    /// Catalog index of the invoked function.
+    pub fn_idx: usize,
+}
+
+/// The write-ahead request journal: an append-only log of every arrival
+/// the driver has committed to submitting, grouped by step.
+///
+/// Appending a step's batch *before* submitting it gives the recovery
+/// path a complete record: requests submitted after the latest
+/// checkpoint are exactly the journal entries for steps at or after the
+/// checkpointed step cursor.
+#[derive(Debug, Clone, Default)]
+pub struct RequestJournal {
+    entries: Vec<JournalEntry>,
+    /// Highest step journaled so far (steps are journaled in order).
+    journaled_through: Option<usize>,
+}
+
+impl RequestJournal {
+    /// Creates an empty journal.
+    pub fn new() -> RequestJournal {
+        RequestJournal::default()
+    }
+
+    /// Total journaled arrivals.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True if nothing has been journaled.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Whether `step`'s batch has already been journaled (by this run
+    /// or, after a crash, by the run that died).
+    pub fn contains_step(&self, step: usize) -> bool {
+        self.journaled_through.is_some_and(|t| step <= t)
+    }
+
+    /// Appends `step`'s arrival batch. Steps must be journaled in
+    /// order, exactly once.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `step` is already journaled or skips ahead.
+    pub fn append_batch(&mut self, step: usize, batch: &[(SimTime, usize)]) {
+        let expected = self.journaled_through.map_or(0, |t| t + 1);
+        assert_eq!(step, expected, "journal batches must append in step order");
+        self.entries.extend(batch.iter().map(|&(at, fn_idx)| JournalEntry {
+            step,
+            at,
+            fn_idx,
+        }));
+        self.journaled_through = Some(step);
+    }
+
+    /// The journaled arrivals of `step`, in submission order.
+    pub fn batch(&self, step: usize) -> Vec<(SimTime, usize)> {
+        self.entries
+            .iter()
+            .filter(|e| e.step == step)
+            .map(|e| (e.at, e.fn_idx))
+            .collect()
+    }
+}
+
+/// Knobs of the resumable driver.
+#[derive(Debug, Clone, Copy)]
+pub struct ResumeOptions {
+    /// Number of steps the protocol is divided into (on top of the
+    /// mandatory warm-up / measured-window / drain boundaries). More
+    /// steps mean finer-grained journal batches and more potential
+    /// checkpoint sites.
+    pub steps_per_phase: usize,
+    /// Checkpoint at the start of every `checkpoint_every`-th step.
+    pub checkpoint_every: usize,
+}
+
+impl Default for ResumeOptions {
+    fn default() -> ResumeOptions {
+        ResumeOptions {
+            steps_per_phase: 8,
+            checkpoint_every: 3,
+        }
+    }
+}
+
+/// Result of a resumable (possibly killed-and-recovered) replay.
+#[derive(Debug, Clone)]
+pub struct ResumeOutcome {
+    /// The §5.3 metrics, identical in meaning to
+    /// [`replay`](crate::replay::replay)'s.
+    pub outcome: ReplayOutcome,
+    /// How many times the run was killed and recovered.
+    pub recoveries: u64,
+    /// Checkpoint of the final state — the byte string the chaos gate
+    /// digests. Equal states yield equal bytes.
+    pub final_state: Vec<u8>,
+}
+
+/// Rates captured when the measured window closes; part of the driver
+/// checkpoint because a later crash must not lose them (the window
+/// boundary is never re-crossed after recovery past it).
+#[derive(Debug, Clone, Copy)]
+struct RateCapture {
+    submitted: u64,
+    cold_boot_rate: f64,
+    throughput: f64,
+    cpu_utilization: f64,
+    reclaim_cpu_fraction: f64,
+}
+
+/// A driver checkpoint: the platform snapshot plus the step cursor and
+/// any captured rates.
+struct DriverCheckpoint {
+    step: usize,
+    rates: Option<RateCapture>,
+    platform: Vec<u8>,
+}
+
+/// Runs the §5.3 protocol step by step with journaling and periodic
+/// checkpoints, killing and recovering wherever `crash` dictates.
+///
+/// `make_platform` must build identically-configured platforms — the
+/// recovery path constructs a fresh one and restores the latest
+/// checkpoint into it ([`Platform::restore`] enforces the match by
+/// fingerprint).
+///
+/// With `crash: None` this is the uninterrupted control; with a crash
+/// schedule the final state is byte-identical to that control.
+///
+/// # Panics
+///
+/// Panics if the platform surfaces a non-kill error or a checkpoint
+/// fails to restore — both mean the simulation itself is broken.
+pub fn replay_resumable<F>(
+    make_platform: F,
+    trace: &[TraceFunction],
+    config: &ReplayConfig,
+    opts: &ResumeOptions,
+    crash: Option<CrashPlan>,
+) -> ResumeOutcome
+where
+    F: Fn() -> Platform,
+{
+    assert!(opts.steps_per_phase > 0, "need at least one step per phase");
+    assert!(opts.checkpoint_every > 0, "checkpoint interval must be positive");
+
+    let mut platform = make_platform();
+    let t0 = platform.now();
+    let warm_end = t0 + config.warmup;
+    let replay_end = warm_end + config.duration;
+    let drain_end = replay_end + config.drain;
+
+    // Step boundaries: the three protocol phases, each cut into
+    // `steps_per_phase` windows. Phase edges are always boundaries, so
+    // the reset/capture actions land at exactly the times `replay` uses.
+    let mut bounds: Vec<SimTime> = Vec::new();
+    for (lo, hi) in [(t0, warm_end), (warm_end, replay_end), (replay_end, drain_end)] {
+        let span = hi.since(lo).as_nanos();
+        for i in 0..opts.steps_per_phase {
+            let off = span * i as u64 / opts.steps_per_phase as u64;
+            let b = SimTime(lo.0 + off);
+            if bounds.last() != Some(&b) {
+                bounds.push(b);
+            }
+        }
+    }
+    bounds.push(drain_end);
+    let n_steps = bounds.len() - 1;
+
+    // Pre-compute the arrival batch of every step. Arrival generation
+    // is deterministic, but the journal — not this table — is the
+    // source of truth once a batch is committed.
+    let mut arrivals = generate_arrivals(trace, config.warmup_scale, t0, warm_end, config.seed);
+    arrivals.extend(generate_arrivals(
+        trace,
+        config.scale,
+        warm_end,
+        replay_end,
+        config.seed ^ 0xA5A5,
+    ));
+    let mut batches: Vec<Vec<(SimTime, usize)>> = vec![Vec::new(); n_steps];
+    for &(t, f) in &arrivals {
+        let step = match bounds.binary_search(&t) {
+            Ok(i) => i.min(n_steps - 1),
+            Err(i) => i - 1,
+        };
+        batches[step].push((t, f));
+    }
+
+    let mut journal = RequestJournal::new();
+    let mut rates: Option<RateCapture> = None;
+    let mut latest = DriverCheckpoint {
+        step: 0,
+        rates: None,
+        platform: platform.checkpoint(),
+    };
+    let mut recoveries: u64 = 0;
+    if let Some(plan) = crash {
+        if let Some(at) = plan.next_after(platform.events_handled()) {
+            platform.arm_kill(at);
+        }
+    }
+
+    let mut step = 0;
+    while step < n_steps {
+        let start = bounds[step];
+        if step % opts.checkpoint_every == 0 {
+            latest = DriverCheckpoint {
+                step,
+                rates,
+                platform: platform.checkpoint(),
+            };
+        }
+        if start == warm_end {
+            platform.reset_stats();
+        }
+        if start == replay_end {
+            let cores = platform.config().cores;
+            let stats = platform.stats();
+            rates = Some(RateCapture {
+                submitted: stats.submitted,
+                cold_boot_rate: stats.cold_boot_rate(replay_end),
+                throughput: stats.throughput(replay_end),
+                cpu_utilization: stats.cpu_utilization(replay_end, cores),
+                reclaim_cpu_fraction: stats.reclaim_cpu_fraction(replay_end, cores),
+            });
+        }
+        // Write-ahead: commit the batch to the journal, then submit
+        // from the journal. A recovered run finds the batch already
+        // journaled and replays it verbatim.
+        if !journal.contains_step(step) {
+            journal.append_batch(step, &batches[step]);
+        }
+        for (t, f) in journal.batch(step) {
+            platform.submit(t, f);
+        }
+        match platform.try_run_until(bounds[step + 1]) {
+            Ok(()) => step += 1,
+            Err(PlatformError::Killed { events_handled }) => {
+                // The process died. Build a new one, load the latest
+                // checkpoint, and resume from its step cursor; the
+                // journal re-supplies every batch submitted since.
+                recoveries += 1;
+                platform = make_platform();
+                platform
+                    .restore(&latest.platform)
+                    .expect("self-produced checkpoint must restore");
+                rates = latest.rates;
+                step = latest.step;
+                if let Some(plan) = crash {
+                    match plan.next_after(events_handled) {
+                        Some(at) => platform.arm_kill(at),
+                        None => platform.disarm_kill(),
+                    }
+                }
+            }
+            Err(e) => panic!("platform invariant violated: {e}"),
+        }
+    }
+    platform.disarm_kill();
+
+    let captured = rates.expect("measured-window boundary is always crossed");
+    let stats = platform.stats();
+    let mut latency = stats.latency.clone();
+    let pct = |l: &mut faas::LatencyHistogram, q: f64| {
+        l.percentile(q).map(|d| d.as_millis_f64()).unwrap_or(0.0)
+    };
+    let outcome = ReplayOutcome {
+        submitted: captured.submitted,
+        completed: stats.completed,
+        cold_boot_rate: captured.cold_boot_rate,
+        cold_boot_fraction: stats.cold_boot_fraction(),
+        throughput: captured.throughput,
+        cpu_utilization: captured.cpu_utilization,
+        reclaim_cpu_fraction: captured.reclaim_cpu_fraction,
+        evictions: stats.evictions,
+        failed: stats.failed,
+        retries: stats.retries,
+        fault_events: stats.fault_events(),
+        latency_ms: (
+            pct(&mut latency, 0.50),
+            pct(&mut latency, 0.90),
+            pct(&mut latency, 0.95),
+            pct(&mut latency, 0.99),
+        ),
+    };
+    ResumeOutcome {
+        outcome,
+        recoveries,
+        final_state: platform.checkpoint(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generate::build_trace;
+    use faas::platform::GcMode;
+    use faas::PlatformConfig;
+    use simos::SimDuration;
+
+    fn quick_config() -> ReplayConfig {
+        ReplayConfig {
+            warmup: SimDuration::from_secs(8),
+            duration: SimDuration::from_secs(20),
+            scale: 10.0,
+            warmup_scale: 10.0,
+            seed: 3,
+            drain: SimDuration::from_secs(12),
+        }
+    }
+
+    fn make() -> Platform {
+        Platform::new(
+            PlatformConfig::default(),
+            workloads::catalog(),
+            GcMode::Vanilla,
+            None,
+        )
+    }
+
+    #[test]
+    fn uninterrupted_resumable_matches_itself() {
+        let trace = build_trace(&workloads::catalog(), 5);
+        let cfg = quick_config();
+        let a = replay_resumable(make, &trace, &cfg, &ResumeOptions::default(), None);
+        let b = replay_resumable(make, &trace, &cfg, &ResumeOptions::default(), None);
+        assert_eq!(a.recoveries, 0);
+        assert_eq!(a.final_state, b.final_state);
+        assert!(a.outcome.completed > 0);
+        assert_eq!(a.outcome.failed, 0);
+    }
+
+    #[test]
+    fn crashed_run_recovers_to_identical_state() {
+        let trace = build_trace(&workloads::catalog(), 5);
+        let cfg = quick_config();
+        let opts = ResumeOptions::default();
+        let control = replay_resumable(make, &trace, &cfg, &opts, None);
+        let chaos = replay_resumable(make, &trace, &cfg, &opts, Some(CrashPlan::every(400)));
+        assert!(chaos.recoveries > 0, "crash schedule never fired");
+        assert_eq!(
+            chaos.final_state, control.final_state,
+            "recovered state diverged from the uninterrupted control"
+        );
+        assert_eq!(chaos.outcome.completed, control.outcome.completed);
+        assert_eq!(chaos.outcome.submitted, control.outcome.submitted);
+    }
+
+    #[test]
+    fn single_crash_point_recovers_once() {
+        let trace = build_trace(&workloads::catalog(), 5);
+        let cfg = quick_config();
+        let opts = ResumeOptions::default();
+        let control = replay_resumable(make, &trace, &cfg, &opts, None);
+        let chaos = replay_resumable(make, &trace, &cfg, &opts, Some(CrashPlan::at(300)));
+        assert_eq!(chaos.recoveries, 1);
+        assert_eq!(chaos.final_state, control.final_state);
+    }
+
+    #[test]
+    fn journal_appends_in_order_and_replays_batches() {
+        let mut j = RequestJournal::new();
+        assert!(j.is_empty());
+        j.append_batch(0, &[(SimTime(5), 1), (SimTime(9), 2)]);
+        j.append_batch(1, &[]);
+        j.append_batch(2, &[(SimTime(30), 0)]);
+        assert_eq!(j.len(), 3);
+        assert!(j.contains_step(1));
+        assert!(!j.contains_step(3));
+        assert_eq!(j.batch(0), vec![(SimTime(5), 1), (SimTime(9), 2)]);
+        assert_eq!(j.batch(1), Vec::new());
+        assert_eq!(j.batch(2), vec![(SimTime(30), 0)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "step order")]
+    fn journal_rejects_out_of_order_batches() {
+        let mut j = RequestJournal::new();
+        j.append_batch(1, &[]);
+    }
+}

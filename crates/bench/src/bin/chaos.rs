@@ -18,17 +18,27 @@
 //! * **bounded degradation** — at a 1 % fault rate, completions stay
 //!   within a bounded factor of the fault-free run.
 //!
+//! With `--crash-every N` or `--crash-at N` the harness additionally
+//! runs the **kill–recover gate**: the replay is driven through the
+//! resumable protocol, the event loop is killed on the given schedule,
+//! and each death is recovered by restoring the latest checkpoint and
+//! re-submitting the journaled requests. The gate passes only if the
+//! recovered run's final state digests byte-identical to an
+//! uninterrupted control — crashes must be invisible in the results.
+//!
 //! Flags: `--quick`, `--check`, `--fault-seed N` (single seed instead
-//! of the default sweep), `--fault-rate R`.
+//! of the default sweep), `--fault-rate R`, `--crash-every N`,
+//! `--crash-at N`.
 
 #![forbid(unsafe_code)]
 
-use azure_trace::{build_trace, replay, ReplayConfig};
+use azure_trace::{build_trace, replay, replay_resumable, ReplayConfig, ResumeOptions};
 use bench::cli::{check, Flags};
+use bench::golden::Fnv1a;
 use bench::report;
 use desiccant::{Desiccant, DesiccantConfig};
 use faas::platform::{GcMode, Platform};
-use faas::{FaultPlan, MemoryManager, PlatformConfig};
+use faas::{CrashPlan, FaultPlan, MemoryManager, PlatformConfig};
 use simos::metrics::{total_pss, total_rss, total_uss};
 use simos::SimDuration;
 
@@ -111,8 +121,112 @@ fn run_one(mode: &str, quick: bool, faults: Option<FaultPlan>) -> RunProbe {
     }
 }
 
+/// Digests a resumable run: the full final-state checkpoint plus every
+/// reported metric, so a recovered run must match the control in both
+/// simulation state and measured results.
+fn resume_digest(out: &azure_trace::ResumeOutcome) -> u64 {
+    let mut h = Fnv1a::new();
+    h.write(&out.final_state);
+    let o = &out.outcome;
+    h.write_u64(o.submitted);
+    h.write_u64(o.completed);
+    h.write_f64(o.cold_boot_rate);
+    h.write_f64(o.cold_boot_fraction);
+    h.write_f64(o.throughput);
+    h.write_f64(o.cpu_utilization);
+    h.write_f64(o.reclaim_cpu_fraction);
+    h.write_u64(o.evictions);
+    h.write_u64(o.failed);
+    h.write_u64(o.retries);
+    h.write_u64(o.fault_events);
+    let (p50, p90, p95, p99) = o.latency_ms;
+    h.write_f64(p50);
+    h.write_f64(p90);
+    h.write_f64(p95);
+    h.write_f64(p99);
+    h.finish()
+}
+
+/// The kill–recover gate: drive the resumable replay, kill it on
+/// `crash`'s schedule, recover from checkpoints + journal, and demand
+/// the final state digest byte-identical to an uninterrupted control.
+fn kill_recover_gate(flags: &Flags, crash: CrashPlan) {
+    report::caption(
+        "Kill-recover: crash on schedule, restore checkpoint, replay journal",
+        &["mode", "recoveries", "control", "recovered"],
+    );
+    for mode in ["vanilla", "desiccant"] {
+        let make = || {
+            let manager: Option<Box<dyn MemoryManager>> = match mode {
+                "desiccant" => Some(Box::new(Desiccant::new(DesiccantConfig::default()))),
+                _ => None,
+            };
+            Platform::new(
+                PlatformConfig::default(),
+                workloads::catalog(),
+                GcMode::Vanilla,
+                manager,
+            )
+        };
+        let trace = build_trace(&workloads::catalog(), 7);
+        let config = ReplayConfig {
+            scale: 15.0,
+            warmup: SimDuration::from_secs(if flags.quick { 8 } else { 30 }),
+            duration: SimDuration::from_secs(if flags.quick { 30 } else { 120 }),
+            drain: SimDuration::from_secs(20),
+            ..ReplayConfig::default()
+        };
+        let opts = ResumeOptions::default();
+        let control = replay_resumable(make, &trace, &config, &opts, None);
+        let recovered = replay_resumable(make, &trace, &config, &opts, Some(crash));
+        let (dc, dr) = (resume_digest(&control), resume_digest(&recovered));
+        report::row(&[
+            mode.into(),
+            format!("{}", recovered.recoveries),
+            format!("{dc:016x}"),
+            format!("{dr:016x}"),
+        ]);
+        check(
+            flags,
+            control.recoveries == 0,
+            &format!("{mode}: control run was never killed"),
+        );
+        check(
+            flags,
+            recovered.recoveries > 0,
+            &format!("{mode}: crash schedule fired at least once"),
+        );
+        check(
+            flags,
+            dc == dr,
+            &format!("{mode}: recovered digest matches uninterrupted control"),
+        );
+        // The recovered state must also tear down clean: restore it
+        // into a fresh platform and demand zero residue.
+        let mut p = make();
+        let restored = p.restore(&recovered.final_state).is_ok();
+        let clean = restored && p.shutdown().is_ok();
+        let sys = p.system();
+        check(
+            flags,
+            clean && total_rss(sys) == 0 && total_pss(sys).round() as u64 == 0,
+            &format!("{mode}: shutdown after restore leaves no residue"),
+        );
+    }
+}
+
 fn main() {
     let flags = Flags::parse();
+    let crash = flags
+        .value_of("--crash-every")
+        .and_then(|v| v.parse().ok())
+        .map(CrashPlan::every)
+        .or_else(|| {
+            flags
+                .value_of("--crash-at")
+                .and_then(|v| v.parse().ok())
+                .map(CrashPlan::at)
+        });
     let rate: f64 = flags
         .value_of("--fault-rate")
         .and_then(|v| v.parse().ok())
@@ -234,4 +348,8 @@ fn main() {
         seeds.is_empty() || rate == 0.0 || total_fault_events > 0,
         "seeded runs actually injected faults",
     );
+
+    if let Some(plan) = crash {
+        kill_recover_gate(&flags, plan);
+    }
 }

@@ -167,6 +167,76 @@ impl MemoryManager for Desiccant {
     fn unmap_libs(&self) -> bool {
         self.config.unmap_libs
     }
+
+    fn snapshot_state(&self) -> Vec<u8> {
+        use snapshot::Snapshot;
+        let Desiccant {
+            // Constructor-provided, not state: the restoring manager
+            // must already carry the same configuration.
+            config: _,
+            profiles,
+            threshold,
+            stats,
+        } = self;
+        let mut w = snapshot::Writer::new();
+        profiles.snap(&mut w);
+        threshold.snap(&mut w);
+        stats.snap(&mut w);
+        w.into_bytes()
+    }
+
+    fn restore_state(&mut self, bytes: &[u8]) -> Result<(), snapshot::SnapError> {
+        use snapshot::Snapshot;
+        let mut r = snapshot::Reader::new(bytes);
+        let profiles = ProfileStore::restore(&mut r)?;
+        let threshold = f64::restore(&mut r)?;
+        let stats = DesiccantStats::restore(&mut r)?;
+        r.finish()?;
+        if !threshold.is_finite()
+            || threshold < self.config.low_threshold
+            || threshold > self.config.high_threshold
+        {
+            return Err(snapshot::SnapError::Corrupt(
+                "Desiccant threshold outside configured band",
+            ));
+        }
+        self.profiles = profiles;
+        self.threshold = threshold;
+        self.stats = stats;
+        Ok(())
+    }
+}
+
+mod snap_impls {
+    use super::*;
+    use snapshot::{Reader, SnapError, Snapshot, Writer};
+
+    impl Snapshot for DesiccantStats {
+        fn snap(&self, w: &mut Writer) {
+            let Self {
+                activations,
+                idle_sweeps,
+                reclaims_requested,
+                evictions_seen,
+                reclaim_failures_seen,
+            } = self;
+            activations.snap(w);
+            idle_sweeps.snap(w);
+            reclaims_requested.snap(w);
+            evictions_seen.snap(w);
+            reclaim_failures_seen.snap(w);
+        }
+
+        fn restore(r: &mut Reader<'_>) -> Result<DesiccantStats, SnapError> {
+            Ok(DesiccantStats {
+                activations: u64::restore(r)?,
+                idle_sweeps: u64::restore(r)?,
+                reclaims_requested: u64::restore(r)?,
+                evictions_seen: u64::restore(r)?,
+                reclaim_failures_seen: u64::restore(r)?,
+            })
+        }
+    }
 }
 
 #[cfg(test)]

@@ -152,6 +152,95 @@ impl ProfileStore {
     }
 }
 
+mod snap_impls {
+    use super::*;
+    use snapshot::{Reader, SnapError, Snapshot, Writer};
+
+    impl Snapshot for RunningMean {
+        fn snap(&self, w: &mut Writer) {
+            let Self { sum, n } = self;
+            sum.snap(w);
+            n.snap(w);
+        }
+
+        fn restore(r: &mut Reader<'_>) -> Result<RunningMean, SnapError> {
+            Ok(RunningMean {
+                sum: f64::restore(r)?,
+                n: u64::restore(r)?,
+            })
+        }
+    }
+
+    impl Snapshot for Profile {
+        fn snap(&self, w: &mut Writer) {
+            let Self {
+                live_bytes,
+                cpu_time_secs,
+            } = self;
+            live_bytes.snap(w);
+            cpu_time_secs.snap(w);
+        }
+
+        fn restore(r: &mut Reader<'_>) -> Result<Profile, SnapError> {
+            Ok(Profile {
+                live_bytes: RunningMean::restore(r)?,
+                cpu_time_secs: RunningMean::restore(r)?,
+            })
+        }
+    }
+
+    impl Snapshot for ProfileStore {
+        fn snap(&self, w: &mut Writer) {
+            let Self {
+                per_instance,
+                per_function,
+                global,
+                failed,
+            } = self;
+            per_instance.snap(w);
+            per_function.snap(w);
+            global.snap(w);
+            failed.snap(w);
+        }
+
+        fn restore(r: &mut Reader<'_>) -> Result<ProfileStore, SnapError> {
+            Ok(ProfileStore {
+                per_instance: BTreeMap::restore(r)?,
+                per_function: BTreeMap::restore(r)?,
+                global: Profile::restore(r)?,
+                failed: BTreeSet::restore(r)?,
+            })
+        }
+    }
+
+    #[cfg(test)]
+    mod tests {
+        use super::*;
+        use faas::ReclaimProfile;
+        use simos::SimDuration;
+
+        #[test]
+        fn profile_store_round_trips() {
+            let mut store = ProfileStore::new();
+            store.record(
+                InstanceId(3),
+                "fft",
+                &ReclaimProfile {
+                    live_bytes: 5 << 20,
+                    released_bytes: 20 << 20,
+                    cpu_time: SimDuration::from_millis(12),
+                },
+            );
+            store.mark_failed(InstanceId(9));
+            let bytes = snapshot::encode(&store);
+            let back: ProfileStore = snapshot::decode(&bytes).unwrap();
+            assert_eq!(snapshot::encode(&back), bytes);
+            assert!(back.is_failed(InstanceId(9)));
+            assert_eq!(back.instances_profiled(), 1);
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

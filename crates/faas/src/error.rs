@@ -42,6 +42,17 @@ pub enum PlatformError {
     },
     /// A simulated OS call failed in a context with no recovery path.
     Os(SimOsError),
+    /// The event loop was aborted by an armed kill point (see
+    /// [`crate::platform::Platform::arm_kill`]): the simulated process
+    /// died mid-run. Recovery is the caller's job — restore the latest
+    /// checkpoint and replay the journal.
+    Killed {
+        /// Events handled when the kill struck.
+        events_handled: u64,
+    },
+    /// A checkpoint could not be decoded or does not match this
+    /// platform's configuration.
+    Snapshot(snapshot::SnapError),
 }
 
 impl fmt::Display for PlatformError {
@@ -57,6 +68,10 @@ impl fmt::Display for PlatformError {
                 write!(f, "{count} simulated process(es) survived teardown")
             }
             PlatformError::Os(e) => write!(f, "simulated OS error: {e}"),
+            PlatformError::Killed { events_handled } => {
+                write!(f, "killed by armed crash point after {events_handled} events")
+            }
+            PlatformError::Snapshot(e) => write!(f, "checkpoint error: {e}"),
         }
     }
 }
@@ -65,6 +80,7 @@ impl std::error::Error for PlatformError {
     fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
         match self {
             PlatformError::Os(e) => Some(e),
+            PlatformError::Snapshot(e) => Some(e),
             _ => None,
         }
     }
@@ -73,6 +89,12 @@ impl std::error::Error for PlatformError {
 impl From<SimOsError> for PlatformError {
     fn from(e: SimOsError) -> PlatformError {
         PlatformError::Os(e)
+    }
+}
+
+impl From<snapshot::SnapError> for PlatformError {
+    fn from(e: snapshot::SnapError) -> PlatformError {
+        PlatformError::Snapshot(e)
     }
 }
 

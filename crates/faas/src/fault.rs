@@ -177,6 +177,102 @@ impl FaultInjector {
     }
 }
 
+mod snap_impls {
+    use super::*;
+    use snapshot::{Reader, SnapError, Snapshot, Writer};
+
+    impl Snapshot for FaultPlan {
+        fn snap(&self, w: &mut Writer) {
+            let Self {
+                seed,
+                boot_fail,
+                crash,
+                thaw_fail,
+                reclaim_fail,
+                oom_kill,
+            } = self;
+            seed.snap(w);
+            boot_fail.snap(w);
+            crash.snap(w);
+            thaw_fail.snap(w);
+            reclaim_fail.snap(w);
+            oom_kill.snap(w);
+        }
+
+        fn restore(r: &mut Reader<'_>) -> Result<FaultPlan, SnapError> {
+            let plan = FaultPlan {
+                seed: u64::restore(r)?,
+                boot_fail: f64::restore(r)?,
+                crash: f64::restore(r)?,
+                thaw_fail: f64::restore(r)?,
+                reclaim_fail: f64::restore(r)?,
+                oom_kill: f64::restore(r)?,
+            };
+            for p in [
+                plan.boot_fail,
+                plan.crash,
+                plan.thaw_fail,
+                plan.reclaim_fail,
+                plan.oom_kill,
+            ] {
+                if !p.is_finite() || !(0.0..=1.0).contains(&p) {
+                    return Err(SnapError::Corrupt("fault probability outside [0, 1]"));
+                }
+            }
+            Ok(plan)
+        }
+    }
+
+    impl Snapshot for FaultInjector {
+        fn snap(&self, w: &mut Writer) {
+            let Self { plan, state } = self;
+            plan.snap(w);
+            state.snap(w);
+        }
+
+        fn restore(r: &mut Reader<'_>) -> Result<FaultInjector, SnapError> {
+            // Construct directly: the stream cursor must survive, and
+            // `FaultPlan::restore` already re-checked the ranges
+            // `FaultInjector::new` would assert.
+            Ok(FaultInjector {
+                plan: FaultPlan::restore(r)?,
+                state: u64::restore(r)?,
+            })
+        }
+    }
+
+    #[cfg(test)]
+    mod tests {
+        use super::*;
+
+        #[test]
+        fn injector_snapshot_preserves_stream_position() {
+            let mut a = FaultInjector::new(FaultPlan::uniform(77, 0.4));
+            for _ in 0..137 {
+                a.thaw_fails();
+            }
+            let bytes = snapshot::encode(&a);
+            let mut b: FaultInjector = snapshot::decode(&bytes).unwrap();
+            for _ in 0..500 {
+                assert_eq!(a.boot_fails(), b.boot_fails());
+                assert_eq!(a.oom_strikes(), b.oom_strikes());
+            }
+        }
+
+        #[test]
+        fn crash_plan_schedules() {
+            let once = CrashPlan::at(100);
+            assert_eq!(once.next_after(0), Some(100));
+            assert_eq!(once.next_after(99), Some(100));
+            assert_eq!(once.next_after(100), None);
+            let periodic = CrashPlan::every(50);
+            assert_eq!(periodic.next_after(0), Some(50));
+            assert_eq!(periodic.next_after(50), Some(100));
+            assert_eq!(periodic.next_after(149), Some(150));
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -256,5 +352,56 @@ mod tests {
     fn inertness_predicate() {
         assert!(FaultPlan::disabled(5).is_inert());
         assert!(!FaultPlan::uniform(5, 0.1).is_inert());
+    }
+}
+
+/// A deterministic *kill schedule* for crash-recovery testing: the
+/// platform is killed (its event loop aborted mid-run) once it has
+/// handled a given number of events, either once or periodically.
+///
+/// Unlike the probabilistic [`FaultPlan`] classes — which the platform
+/// absorbs and retries — a `CrashPlan` models losing the whole process:
+/// the driver is expected to restore the latest checkpoint, replay its
+/// journal, and continue.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CrashPlan {
+    first: u64,
+    every: Option<u64>,
+}
+
+impl CrashPlan {
+    /// Kill once, after `n` handled events.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is zero (the run would die before doing anything).
+    pub fn at(n: u64) -> CrashPlan {
+        assert!(n > 0, "crash point must be positive");
+        CrashPlan { first: n, every: None }
+    }
+
+    /// Kill after every `n` handled events (at `n`, `2n`, `3n`, ...).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is zero.
+    pub fn every(n: u64) -> CrashPlan {
+        assert!(n > 0, "crash interval must be positive");
+        CrashPlan {
+            first: n,
+            every: Some(n),
+        }
+    }
+
+    /// The smallest scheduled crash point strictly greater than
+    /// `handled`, or `None` when the schedule is exhausted.
+    pub fn next_after(&self, handled: u64) -> Option<u64> {
+        match self.every {
+            None => (self.first > handled).then_some(self.first),
+            Some(step) => {
+                let periods = handled / step + 1;
+                periods.checked_mul(step)
+            }
+        }
     }
 }

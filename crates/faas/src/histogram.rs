@@ -70,6 +70,28 @@ impl LatencyHistogram {
     }
 }
 
+mod snap_impls {
+    use super::*;
+    use snapshot::{Reader, SnapError, Snapshot, Writer};
+
+    impl Snapshot for LatencyHistogram {
+        fn snap(&self, w: &mut Writer) {
+            let Self { samples, sorted } = self;
+            samples.snap(w);
+            sorted.snap(w);
+        }
+
+        fn restore(r: &mut Reader<'_>) -> Result<LatencyHistogram, SnapError> {
+            let samples: Vec<u64> = Vec::restore(r)?;
+            let sorted = bool::restore(r)?;
+            if sorted && !samples.is_sorted() {
+                return Err(SnapError::Corrupt("LatencyHistogram claims sorted but isn't"));
+            }
+            Ok(LatencyHistogram { samples, sorted })
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

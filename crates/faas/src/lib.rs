@@ -61,7 +61,7 @@ pub mod stats;
 
 pub use config::{EnvFlavor, PlatformConfig};
 pub use error::{PlatformError, PlatformResult};
-pub use fault::{FaultInjector, FaultPlan};
+pub use fault::{CrashPlan, FaultInjector, FaultPlan};
 pub use histogram::LatencyHistogram;
 pub use manager::{FrozenView, MemoryManager, ReclaimProfile};
 pub use platform::{FailReason, GcMode, InstanceId, Platform};

@@ -91,4 +91,25 @@ pub trait MemoryManager {
     fn unmap_libs(&self) -> bool {
         false
     }
+
+    /// Serializes the manager's mutable state for a platform
+    /// checkpoint. Stateless managers (the default) return an empty
+    /// blob; stateful ones must round-trip everything
+    /// [`MemoryManager::restore_state`] needs to resume identically.
+    fn snapshot_state(&self) -> Vec<u8> {
+        Vec::new()
+    }
+
+    /// Restores state captured by [`MemoryManager::snapshot_state`]
+    /// into an identically-configured manager. The default accepts only
+    /// the empty blob a stateless manager produced.
+    fn restore_state(&mut self, bytes: &[u8]) -> Result<(), snapshot::SnapError> {
+        if bytes.is_empty() {
+            Ok(())
+        } else {
+            Err(snapshot::SnapError::Mismatch(
+                "checkpoint carries manager state but this manager keeps none",
+            ))
+        }
+    }
 }

@@ -229,6 +229,14 @@ pub struct Platform {
     injector: Option<FaultInjector>,
     /// One circuit breaker per catalog function.
     breakers: Vec<Breaker>,
+    /// Events handled over the platform's whole life (checkpointed, so
+    /// crash schedules measured in events survive recovery).
+    events_handled: u64,
+    /// Armed kill point: the event loop aborts with
+    /// [`PlatformError::Killed`] before handling the event at which
+    /// `events_handled` reaches this count. Deliberately *not*
+    /// checkpointed — the kill models losing the process, not state.
+    kill_at: Option<u64>,
 }
 
 impl Platform {
@@ -273,6 +281,8 @@ impl Platform {
             boot_footprint: 64 << 20,
             injector: config.faults.map(FaultInjector::new),
             breakers,
+            events_handled: 0,
+            kill_at: None,
         }
     }
 
@@ -423,11 +433,17 @@ impl Platform {
             if next.at > t_end {
                 break;
             }
+            if self.kill_at.is_some_and(|k| self.events_handled >= k) {
+                return Err(PlatformError::Killed {
+                    events_handled: self.events_handled,
+                });
+            }
             let Some(Scheduled { at, ev, .. }) = self.events.pop() else {
                 break;
             };
             debug_assert!(at >= self.now, "event from the past");
             self.now = at;
+            self.events_handled += 1;
             self.handle(ev)?;
         }
         self.now = self.now.max(t_end);
@@ -1129,6 +1145,575 @@ impl Platform {
             .map(|(id, s)| (*id, s.inst.uss(&self.sys)))
             .collect()
     }
+
+    /// Events handled since the platform was created (survives
+    /// checkpoint/restore).
+    pub fn events_handled(&self) -> u64 {
+        self.events_handled
+    }
+
+    /// Arms a kill point: the event loop will abort with
+    /// [`PlatformError::Killed`] before handling the event at which
+    /// the lifetime event count reaches `at_events`. Used by the
+    /// kill–recover chaos harness; a kill point at or below the current
+    /// count fires on the very next event.
+    pub fn arm_kill(&mut self, at_events: u64) {
+        self.kill_at = Some(at_events);
+    }
+
+    /// Disarms any armed kill point.
+    pub fn disarm_kill(&mut self) {
+        self.kill_at = None;
+    }
+
+    /// A configuration fingerprint: checkpoints only restore into a
+    /// platform built with the same config, catalog, GC mode, and
+    /// manager. FNV-1a over every config field, keeping restore from
+    /// silently continuing a different simulation.
+    fn fingerprint(&self) -> u64 {
+        let mut h = 0xcbf2_9ce4_8422_2325u64;
+        let mut put = |v: u64| {
+            for b in v.to_le_bytes() {
+                h ^= u64::from(b);
+                h = h.wrapping_mul(0x100_0000_01b3);
+            }
+        };
+        let c = &self.config;
+        put(c.cache_budget);
+        put(c.instance_budget);
+        put(c.cpu_share.to_bits());
+        put(c.cores.to_bits());
+        put(c.container_create.as_nanos());
+        put(c.thaw.as_nanos());
+        put(match c.env {
+            EnvFlavor::OpenWhisk => 0,
+            EnvFlavor::Lambda => 1,
+        });
+        put(c.sweep_interval.as_nanos());
+        put(c.seed);
+        put(u64::from(c.max_retries));
+        put(c.retry_backoff.as_nanos());
+        put(c.retry_backoff_cap.as_nanos());
+        put(c.request_deadline.as_nanos());
+        put(u64::from(c.breaker_threshold));
+        put(c.breaker_cooldown.as_nanos());
+        put(c.reclaim_timeout.as_nanos());
+        match &c.faults {
+            None => put(0),
+            Some(p) => {
+                put(1);
+                put(p.seed);
+                put(p.boot_fail.to_bits());
+                put(p.crash.to_bits());
+                put(p.thaw_fail.to_bits());
+                put(p.reclaim_fail.to_bits());
+                put(p.oom_kill.to_bits());
+            }
+        }
+        put(match self.mode {
+            GcMode::Vanilla => 0,
+            GcMode::Eager => 1,
+        });
+        let mut put_str = |s: &str| {
+            for &b in s.as_bytes() {
+                h ^= u64::from(b);
+                h = h.wrapping_mul(0x100_0000_01b3);
+            }
+            h ^= 0xff;
+            h = h.wrapping_mul(0x100_0000_01b3);
+        };
+        for spec in &self.catalog {
+            put_str(spec.name);
+            put_str(spec.language.name());
+        }
+        match self.manager.as_ref() {
+            Some(m) => put_str(m.name()),
+            None => put_str("-"),
+        }
+        h
+    }
+
+    /// Serializes the complete simulation state — OS, every instance
+    /// (heap object graphs included), request table, event queue,
+    /// statistics, fault-stream cursor, breakers, and the manager's
+    /// state — into a versioned, self-validating binary snapshot.
+    ///
+    /// Equal states produce byte-identical snapshots: the event queue
+    /// is written in canonical `(time, sequence)` order, and every
+    /// float is written bit-exactly.
+    pub fn checkpoint(&self) -> Vec<u8> {
+        use snapshot::Snapshot;
+        let mut w = snapshot::Writer::new();
+        snapshot::write_header(&mut w, SNAP_MAGIC, SNAP_VERSION);
+        self.fingerprint().snap(&mut w);
+        self.sys.snap(&mut w);
+        self.slots.snap(&mut w);
+        self.pools.snap(&mut w);
+        self.shared_libs.snap(&mut w);
+        self.requests.snap(&mut w);
+        let mut evs: Vec<&Scheduled> = self.events.iter().collect();
+        evs.sort_by_key(|s| (s.at, s.seq));
+        w.usize(evs.len());
+        for s in evs {
+            s.at.snap(&mut w);
+            s.seq.snap(&mut w);
+            s.ev.snap(&mut w);
+        }
+        self.pending.snap(&mut w);
+        self.now.snap(&mut w);
+        self.seq.snap(&mut w);
+        self.next_instance.snap(&mut w);
+        self.used_cores.snap(&mut w);
+        self.cache_used.snap(&mut w);
+        self.stats.snap(&mut w);
+        self.sweep_scheduled.snap(&mut w);
+        self.next_seed.snap(&mut w);
+        self.boot_footprint.snap(&mut w);
+        self.injector.snap(&mut w);
+        self.breakers.snap(&mut w);
+        self.events_handled.snap(&mut w);
+        let blob = match self.manager.as_ref() {
+            Some(m) => m.snapshot_state(),
+            None => Vec::new(),
+        };
+        w.blob(&blob);
+        w.into_bytes()
+    }
+
+    /// Restores a [`Platform::checkpoint`] into this platform, which
+    /// must have been constructed with the same configuration, catalog,
+    /// GC mode, and manager (enforced by fingerprint). All-or-nothing:
+    /// on any decode error the platform is left untouched. An armed
+    /// kill point stays armed — the recovery driver owns it.
+    pub fn restore(&mut self, bytes: &[u8]) -> PlatformResult<()> {
+        use snapshot::{SnapError, Snapshot};
+        let mut r = snapshot::Reader::new(bytes);
+        snapshot::read_header(&mut r, SNAP_MAGIC, SNAP_VERSION)?;
+        let fp = u64::restore(&mut r)?;
+        if fp != self.fingerprint() {
+            return Err(SnapError::Mismatch(
+                "checkpoint was taken on a differently-configured platform",
+            )
+            .into());
+        }
+        let sys = System::restore(&mut r)?;
+        let slots: BTreeMap<InstanceId, Slot> = BTreeMap::restore(&mut r)?;
+        let pools: BTreeMap<(usize, u8), Vec<InstanceId>> = BTreeMap::restore(&mut r)?;
+        let shared_libs: BTreeMap<Language, SharedLibs> = BTreeMap::restore(&mut r)?;
+        let requests: Vec<Request> = Vec::restore(&mut r)?;
+        let n_events = r.seq_len()?;
+        let mut events = BinaryHeap::with_capacity(n_events);
+        for _ in 0..n_events {
+            let at = SimTime::restore(&mut r)?;
+            let seq = u64::restore(&mut r)?;
+            let ev = Event::restore(&mut r)?;
+            events.push(Scheduled { at, seq, ev });
+        }
+        let pending: VecDeque<PendingStage> = VecDeque::restore(&mut r)?;
+        let now = SimTime::restore(&mut r)?;
+        let seq = u64::restore(&mut r)?;
+        let next_instance = u64::restore(&mut r)?;
+        let used_cores = f64::restore(&mut r)?;
+        let cache_used = u64::restore(&mut r)?;
+        let stats = PlatformStats::restore(&mut r)?;
+        let sweep_scheduled = bool::restore(&mut r)?;
+        let next_seed = u64::restore(&mut r)?;
+        let boot_footprint = u64::restore(&mut r)?;
+        let injector: Option<FaultInjector> = Option::restore(&mut r)?;
+        let breakers: Vec<Breaker> = Vec::restore(&mut r)?;
+        let events_handled = u64::restore(&mut r)?;
+        let manager_blob = r.blob()?.to_vec();
+        r.finish()?;
+
+        // Cross-checks before committing anything.
+        if breakers.len() != self.catalog.len() {
+            return Err(SnapError::Corrupt("breaker table size != catalog").into());
+        }
+        if self.config.faults.is_some() != injector.is_some() {
+            return Err(SnapError::Corrupt("fault-injector presence flipped").into());
+        }
+        if !used_cores.is_finite() || used_cores < 0.0 {
+            return Err(SnapError::Corrupt("used_cores out of range").into());
+        }
+        for req in &requests {
+            if req.fn_idx >= self.catalog.len() {
+                return Err(SnapError::Corrupt("request names unknown function").into());
+            }
+        }
+        let mut charge_sum = 0u64;
+        for (id, slot) in &slots {
+            if id.0 >= next_instance {
+                return Err(SnapError::Corrupt("instance id >= next_instance").into());
+            }
+            if slot.fn_idx >= self.catalog.len()
+                || slot.stage >= self.catalog[slot.fn_idx].chain_len
+            {
+                return Err(SnapError::Corrupt("slot names unknown function/stage").into());
+            }
+            charge_sum = charge_sum.saturating_add(slot.charge);
+        }
+        if charge_sum != cache_used {
+            return Err(SnapError::Corrupt("cache charge does not sum").into());
+        }
+        for (&(fn_idx, stage), ids) in &pools {
+            for id in ids {
+                let ok = slots
+                    .get(id)
+                    .is_some_and(|s| s.fn_idx == fn_idx && s.stage == stage);
+                if !ok {
+                    return Err(SnapError::Corrupt("pool entry has no matching slot").into());
+                }
+            }
+        }
+        let ev_ok = |req: usize| req < requests.len();
+        for s in &events {
+            if s.seq > seq {
+                return Err(SnapError::Corrupt("event seq above cursor").into());
+            }
+            let ok = match s.ev {
+                Event::Arrival { req }
+                | Event::BootDone { req, .. }
+                | Event::BootFailed { req, .. }
+                | Event::StageDone { req, .. }
+                | Event::Crash { req, .. }
+                | Event::Retry { req, .. } => ev_ok(req),
+                Event::GcDone { .. } | Event::ReclaimDone { .. } | Event::Sweep => true,
+            };
+            if !ok {
+                return Err(SnapError::Corrupt("event names unknown request").into());
+            }
+        }
+        for p in &pending {
+            if !ev_ok(p.req) {
+                return Err(SnapError::Corrupt("pending stage names unknown request").into());
+            }
+        }
+        match self.manager.as_mut() {
+            Some(m) => m.restore_state(&manager_blob)?,
+            None if !manager_blob.is_empty() => {
+                return Err(SnapError::Mismatch(
+                    "checkpoint carries manager state but no manager is installed",
+                )
+                .into());
+            }
+            None => {}
+        }
+
+        self.sys = sys;
+        self.slots = slots;
+        self.pools = pools;
+        self.shared_libs = shared_libs;
+        self.requests = requests;
+        self.events = events;
+        self.pending = pending;
+        self.now = now;
+        self.seq = seq;
+        self.next_instance = next_instance;
+        self.used_cores = used_cores;
+        self.cache_used = cache_used;
+        self.stats = stats;
+        self.sweep_scheduled = sweep_scheduled;
+        self.next_seed = next_seed;
+        self.boot_footprint = boot_footprint;
+        self.injector = injector;
+        self.breakers = breakers;
+        self.events_handled = events_handled;
+        Ok(())
+    }
+}
+
+/// Magic of a [`Platform::checkpoint`] blob (`"FPCK"`).
+const SNAP_MAGIC: u32 = 0x4650_434b;
+/// Version of the checkpoint format. Bump on any layout change: old
+/// snapshots are rejected, never misread.
+const SNAP_VERSION: u32 = 1;
+
+mod snap_impls {
+    use super::*;
+    use snapshot::{Reader, SnapError, Snapshot, Writer};
+
+    impl Snapshot for InstanceId {
+        fn snap(&self, w: &mut Writer) {
+            let Self(raw) = self;
+            raw.snap(w);
+        }
+
+        fn restore(r: &mut Reader<'_>) -> Result<InstanceId, SnapError> {
+            Ok(InstanceId(u64::restore(r)?))
+        }
+    }
+
+    impl Snapshot for Status {
+        fn snap(&self, w: &mut Writer) {
+            let tag: u8 = match self {
+                Status::Starting => 0,
+                Status::Running => 1,
+                Status::GcAfterExit => 2,
+                Status::Reclaiming => 3,
+                Status::Frozen => 4,
+            };
+            tag.snap(w);
+        }
+
+        fn restore(r: &mut Reader<'_>) -> Result<Status, SnapError> {
+            match u8::restore(r)? {
+                0 => Ok(Status::Starting),
+                1 => Ok(Status::Running),
+                2 => Ok(Status::GcAfterExit),
+                3 => Ok(Status::Reclaiming),
+                4 => Ok(Status::Frozen),
+                _ => Err(SnapError::Corrupt("unknown Status tag")),
+            }
+        }
+    }
+
+    impl Snapshot for Slot {
+        fn snap(&self, w: &mut Writer) {
+            let Self {
+                fn_idx,
+                stage,
+                inst,
+                state,
+                status,
+                frozen_since,
+                last_used,
+                charge,
+                reclaimed_since_use,
+            } = self;
+            fn_idx.snap(w);
+            stage.snap(w);
+            inst.snap(w);
+            state.snap(w);
+            status.snap(w);
+            frozen_since.snap(w);
+            last_used.snap(w);
+            charge.snap(w);
+            reclaimed_since_use.snap(w);
+        }
+
+        fn restore(r: &mut Reader<'_>) -> Result<Slot, SnapError> {
+            Ok(Slot {
+                fn_idx: usize::restore(r)?,
+                stage: u8::restore(r)?,
+                inst: Instance::restore(r)?,
+                state: FunctionState::restore(r)?,
+                status: Status::restore(r)?,
+                frozen_since: SimTime::restore(r)?,
+                last_used: SimTime::restore(r)?,
+                charge: u64::restore(r)?,
+                reclaimed_since_use: bool::restore(r)?,
+            })
+        }
+    }
+
+    impl Snapshot for FailReason {
+        fn snap(&self, w: &mut Writer) {
+            let tag: u8 = match self {
+                FailReason::BootFailure => 0,
+                FailReason::Crash => 1,
+                FailReason::HeapExhausted => 2,
+                FailReason::BreakerOpen => 3,
+                FailReason::DeadlineExceeded => 4,
+                FailReason::TooLargeForCache => 5,
+            };
+            tag.snap(w);
+        }
+
+        fn restore(r: &mut Reader<'_>) -> Result<FailReason, SnapError> {
+            match u8::restore(r)? {
+                0 => Ok(FailReason::BootFailure),
+                1 => Ok(FailReason::Crash),
+                2 => Ok(FailReason::HeapExhausted),
+                3 => Ok(FailReason::BreakerOpen),
+                4 => Ok(FailReason::DeadlineExceeded),
+                5 => Ok(FailReason::TooLargeForCache),
+                _ => Err(SnapError::Corrupt("unknown FailReason tag")),
+            }
+        }
+    }
+
+    impl Snapshot for Outcome {
+        fn snap(&self, w: &mut Writer) {
+            match self {
+                Outcome::Pending => 0u8.snap(w),
+                Outcome::Completed => 1u8.snap(w),
+                Outcome::Failed(why) => {
+                    2u8.snap(w);
+                    why.snap(w);
+                }
+            }
+        }
+
+        fn restore(r: &mut Reader<'_>) -> Result<Outcome, SnapError> {
+            match u8::restore(r)? {
+                0 => Ok(Outcome::Pending),
+                1 => Ok(Outcome::Completed),
+                2 => Ok(Outcome::Failed(FailReason::restore(r)?)),
+                _ => Err(SnapError::Corrupt("unknown Outcome tag")),
+            }
+        }
+    }
+
+    impl Snapshot for Request {
+        fn snap(&self, w: &mut Writer) {
+            let Self {
+                fn_idx,
+                arrival,
+                attempts,
+                outcome,
+            } = self;
+            fn_idx.snap(w);
+            arrival.snap(w);
+            attempts.snap(w);
+            outcome.snap(w);
+        }
+
+        fn restore(r: &mut Reader<'_>) -> Result<Request, SnapError> {
+            Ok(Request {
+                fn_idx: usize::restore(r)?,
+                arrival: SimTime::restore(r)?,
+                attempts: u32::restore(r)?,
+                outcome: Outcome::restore(r)?,
+            })
+        }
+    }
+
+    impl Snapshot for Event {
+        fn snap(&self, w: &mut Writer) {
+            match self {
+                Event::Arrival { req } => {
+                    0u8.snap(w);
+                    req.snap(w);
+                }
+                Event::BootDone { id, req } => {
+                    1u8.snap(w);
+                    id.snap(w);
+                    req.snap(w);
+                }
+                Event::BootFailed { id, req } => {
+                    2u8.snap(w);
+                    id.snap(w);
+                    req.snap(w);
+                }
+                Event::StageDone { id, req } => {
+                    3u8.snap(w);
+                    id.snap(w);
+                    req.snap(w);
+                }
+                Event::Crash { id, req } => {
+                    4u8.snap(w);
+                    id.snap(w);
+                    req.snap(w);
+                }
+                Event::GcDone { id } => {
+                    5u8.snap(w);
+                    id.snap(w);
+                }
+                Event::ReclaimDone { id, cpus, ok } => {
+                    6u8.snap(w);
+                    id.snap(w);
+                    cpus.snap(w);
+                    ok.snap(w);
+                }
+                Event::Retry { req, stage } => {
+                    7u8.snap(w);
+                    req.snap(w);
+                    stage.snap(w);
+                }
+                Event::Sweep => 8u8.snap(w),
+            }
+        }
+
+        fn restore(r: &mut Reader<'_>) -> Result<Event, SnapError> {
+            match u8::restore(r)? {
+                0 => Ok(Event::Arrival {
+                    req: usize::restore(r)?,
+                }),
+                1 => Ok(Event::BootDone {
+                    id: InstanceId::restore(r)?,
+                    req: usize::restore(r)?,
+                }),
+                2 => Ok(Event::BootFailed {
+                    id: InstanceId::restore(r)?,
+                    req: usize::restore(r)?,
+                }),
+                3 => Ok(Event::StageDone {
+                    id: InstanceId::restore(r)?,
+                    req: usize::restore(r)?,
+                }),
+                4 => Ok(Event::Crash {
+                    id: InstanceId::restore(r)?,
+                    req: usize::restore(r)?,
+                }),
+                5 => Ok(Event::GcDone {
+                    id: InstanceId::restore(r)?,
+                }),
+                6 => Ok(Event::ReclaimDone {
+                    id: InstanceId::restore(r)?,
+                    cpus: f64::restore(r)?,
+                    ok: bool::restore(r)?,
+                }),
+                7 => Ok(Event::Retry {
+                    req: usize::restore(r)?,
+                    stage: u8::restore(r)?,
+                }),
+                8 => Ok(Event::Sweep),
+                _ => Err(SnapError::Corrupt("unknown Event tag")),
+            }
+        }
+    }
+
+    impl Snapshot for PendingStage {
+        fn snap(&self, w: &mut Writer) {
+            let Self { req, stage } = self;
+            req.snap(w);
+            stage.snap(w);
+        }
+
+        fn restore(r: &mut Reader<'_>) -> Result<PendingStage, SnapError> {
+            Ok(PendingStage {
+                req: usize::restore(r)?,
+                stage: u8::restore(r)?,
+            })
+        }
+    }
+
+    impl Snapshot for BreakerState {
+        fn snap(&self, w: &mut Writer) {
+            match self {
+                BreakerState::Closed => 0u8.snap(w),
+                BreakerState::Open(until) => {
+                    1u8.snap(w);
+                    until.snap(w);
+                }
+                BreakerState::HalfOpen => 2u8.snap(w),
+            }
+        }
+
+        fn restore(r: &mut Reader<'_>) -> Result<BreakerState, SnapError> {
+            match u8::restore(r)? {
+                0 => Ok(BreakerState::Closed),
+                1 => Ok(BreakerState::Open(SimTime::restore(r)?)),
+                2 => Ok(BreakerState::HalfOpen),
+                _ => Err(SnapError::Corrupt("unknown BreakerState tag")),
+            }
+        }
+    }
+
+    impl Snapshot for Breaker {
+        fn snap(&self, w: &mut Writer) {
+            let Self { consecutive, state } = self;
+            consecutive.snap(w);
+            state.snap(w);
+        }
+
+        fn restore(r: &mut Reader<'_>) -> Result<Breaker, SnapError> {
+            Ok(Breaker {
+                consecutive: u32::restore(r)?,
+                state: BreakerState::restore(r)?,
+            })
+        }
+    }
 }
 
 #[cfg(test)]
@@ -1301,6 +1886,97 @@ mod tests {
             )
         };
         assert_eq!(run(None), run(Some(FaultPlan::disabled(123))));
+    }
+
+    #[test]
+    fn checkpoint_restores_into_identical_platform() {
+        let make = || Platform::new(small_config(), workloads::catalog(), GcMode::Vanilla, None);
+        let mut a = make();
+        submit_n(&mut a, "mapreduce", 3, 2000);
+        a.run_until(SimTime(7_000_000_000));
+        let snap = a.checkpoint();
+        let mut b = make();
+        b.restore(&snap).expect("restore");
+        assert_eq!(b.checkpoint(), snap, "restore must reproduce the checkpoint bytes");
+        // Both continue to the same final state.
+        a.run_until(SimTime(60_000_000_000));
+        b.run_until(SimTime(60_000_000_000));
+        assert_eq!(a.checkpoint(), b.checkpoint());
+        assert_eq!(a.stats().completed, 3);
+    }
+
+    #[test]
+    fn checkpoint_rejects_wrong_configuration() {
+        let mut a = Platform::new(small_config(), workloads::catalog(), GcMode::Vanilla, None);
+        submit_n(&mut a, "sort", 1, 1);
+        a.run_until(SimTime(5_000_000_000));
+        let snap = a.checkpoint();
+        let mut config = small_config();
+        config.cores = 8.0;
+        let mut b = Platform::new(config, workloads::catalog(), GcMode::Vanilla, None);
+        assert!(matches!(
+            b.restore(&snap),
+            Err(PlatformError::Snapshot(snapshot::SnapError::Mismatch(_)))
+        ));
+        let mut c = Platform::new(small_config(), workloads::catalog(), GcMode::Eager, None);
+        assert!(c.restore(&snap).is_err(), "GC mode is part of the fingerprint");
+    }
+
+    #[test]
+    fn corrupt_checkpoint_leaves_platform_untouched() {
+        let mut a = Platform::new(small_config(), workloads::catalog(), GcMode::Vanilla, None);
+        submit_n(&mut a, "file-hash", 2, 3000);
+        a.run_until(SimTime(20_000_000_000));
+        let before = a.checkpoint();
+        let mut bad = before.clone();
+        let last = bad.len() - 1;
+        bad.truncate(last);
+        assert!(a.restore(&bad).is_err());
+        assert_eq!(a.checkpoint(), before, "failed restore must not mutate");
+    }
+
+    #[test]
+    fn armed_kill_aborts_and_recovery_matches_control() {
+        let run_cfg = || PlatformConfig {
+            faults: Some(FaultPlan::uniform(5, 0.1)),
+            ..small_config()
+        };
+        let make = || Platform::new(run_cfg(), workloads::catalog(), GcMode::Vanilla, None);
+        // Control: uninterrupted.
+        let mut control = make();
+        submit_n(&mut control, "mapreduce", 6, 1500);
+        control.run_until(SimTime(90_000_000_000));
+        let want = control.checkpoint();
+        // Victim: checkpoint early, get killed, restore, resume.
+        let mut victim = make();
+        submit_n(&mut victim, "mapreduce", 6, 1500);
+        victim.run_until(SimTime(4_000_000_000));
+        let snap = victim.checkpoint();
+        let at = victim.events_handled() + 10;
+        victim.arm_kill(at);
+        let err = victim.try_run_until(SimTime(90_000_000_000)).unwrap_err();
+        assert!(matches!(err, PlatformError::Killed { .. }), "{err}");
+        let mut recovered = make();
+        submit_n(&mut recovered, "mapreduce", 6, 1500);
+        recovered.run_until(SimTime(4_000_000_000));
+        recovered.restore(&snap).expect("restore");
+        recovered.run_until(SimTime(90_000_000_000));
+        assert_eq!(recovered.checkpoint(), want, "recovered digest must match control");
+    }
+
+    #[test]
+    fn shutdown_after_restore_reports_zero_residue() {
+        let make = || Platform::new(small_config(), workloads::catalog(), GcMode::Vanilla, None);
+        let mut a = make();
+        submit_n(&mut a, "mapreduce", 2, 2000);
+        a.run_until(SimTime(30_000_000_000));
+        let snap = a.checkpoint();
+        let mut b = make();
+        b.restore(&snap).expect("restore");
+        assert!(b.cache_used() > 0);
+        b.shutdown().expect("shutdown after restore must be clean");
+        assert_eq!(b.cache_used(), 0);
+        assert_eq!(b.system().process_count(), 0);
     }
 
     #[test]

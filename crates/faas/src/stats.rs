@@ -164,6 +164,101 @@ pub(crate) enum CoreTimeKind {
     Reclaim,
 }
 
+mod snap_impls {
+    use super::*;
+    use snapshot::{Reader, SnapError, Snapshot, Writer};
+
+    impl Snapshot for PlatformStats {
+        fn snap(&self, w: &mut Writer) {
+            let Self {
+                submitted,
+                completed,
+                failed,
+                boot_failures,
+                crashes,
+                heap_exhaustions,
+                oom_kills,
+                thaw_failures,
+                retries,
+                retry_gave_up,
+                breaker_trips,
+                breaker_fast_fails,
+                reclaim_failures,
+                rejected_too_large,
+                stale_events,
+                warm_starts,
+                cold_boots,
+                evictions,
+                reclamations,
+                reclaimed_bytes,
+                latency,
+                exec_core_ns,
+                boot_core_ns,
+                gc_core_ns,
+                reclaim_core_ns,
+                window_start,
+            } = self;
+            submitted.snap(w);
+            completed.snap(w);
+            failed.snap(w);
+            boot_failures.snap(w);
+            crashes.snap(w);
+            heap_exhaustions.snap(w);
+            oom_kills.snap(w);
+            thaw_failures.snap(w);
+            retries.snap(w);
+            retry_gave_up.snap(w);
+            breaker_trips.snap(w);
+            breaker_fast_fails.snap(w);
+            reclaim_failures.snap(w);
+            rejected_too_large.snap(w);
+            stale_events.snap(w);
+            warm_starts.snap(w);
+            cold_boots.snap(w);
+            evictions.snap(w);
+            reclamations.snap(w);
+            reclaimed_bytes.snap(w);
+            latency.snap(w);
+            exec_core_ns.snap(w);
+            boot_core_ns.snap(w);
+            gc_core_ns.snap(w);
+            reclaim_core_ns.snap(w);
+            window_start.snap(w);
+        }
+
+        fn restore(r: &mut Reader<'_>) -> Result<PlatformStats, SnapError> {
+            Ok(PlatformStats {
+                submitted: u64::restore(r)?,
+                completed: u64::restore(r)?,
+                failed: u64::restore(r)?,
+                boot_failures: u64::restore(r)?,
+                crashes: u64::restore(r)?,
+                heap_exhaustions: u64::restore(r)?,
+                oom_kills: u64::restore(r)?,
+                thaw_failures: u64::restore(r)?,
+                retries: u64::restore(r)?,
+                retry_gave_up: u64::restore(r)?,
+                breaker_trips: u64::restore(r)?,
+                breaker_fast_fails: u64::restore(r)?,
+                reclaim_failures: u64::restore(r)?,
+                rejected_too_large: u64::restore(r)?,
+                stale_events: u64::restore(r)?,
+                warm_starts: u64::restore(r)?,
+                cold_boots: u64::restore(r)?,
+                evictions: u64::restore(r)?,
+                reclamations: u64::restore(r)?,
+                reclaimed_bytes: u64::restore(r)?,
+                latency: LatencyHistogram::restore(r)?,
+                exec_core_ns: f64::restore(r)?,
+                boot_core_ns: f64::restore(r)?,
+                gc_core_ns: f64::restore(r)?,
+                reclaim_core_ns: f64::restore(r)?,
+                window_start: SimTime::restore(r)?,
+            })
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

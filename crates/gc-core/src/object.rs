@@ -339,6 +339,137 @@ impl HeapGraph {
     }
 }
 
+/// Checkpoint codec impls, kept here so exhaustive destructuring sees
+/// every private field.
+mod snap_impls {
+    use super::*;
+    use snapshot::{Reader, SnapError, Snapshot, Writer};
+
+    impl Snapshot for ObjectId {
+        fn snap(&self, w: &mut Writer) {
+            let Self(raw) = self;
+            w.u32(*raw);
+        }
+
+        fn restore(r: &mut Reader<'_>) -> Result<ObjectId, SnapError> {
+            Ok(ObjectId(r.u32()?))
+        }
+    }
+
+    impl Snapshot for ObjectKind {
+        fn snap(&self, w: &mut Writer) {
+            match self {
+                Self::Data => w.u8(0),
+                Self::Code => w.u8(1),
+            }
+        }
+
+        fn restore(r: &mut Reader<'_>) -> Result<ObjectKind, SnapError> {
+            match r.u8()? {
+                0 => Ok(ObjectKind::Data),
+                1 => Ok(ObjectKind::Code),
+                _ => Err(SnapError::Corrupt("unknown ObjectKind tag")),
+            }
+        }
+    }
+
+    impl Snapshot for Object {
+        fn snap(&self, w: &mut Writer) {
+            let Self {
+                size,
+                addr,
+                age,
+                space_tag,
+                kind,
+                refs,
+                weak_refs,
+            } = self;
+            w.u32(*size);
+            w.u64(*addr);
+            w.u8(*age);
+            w.u8(*space_tag);
+            kind.snap(w);
+            refs.snap(w);
+            weak_refs.snap(w);
+        }
+
+        fn restore(r: &mut Reader<'_>) -> Result<Object, SnapError> {
+            let size = r.u32()?;
+            if size == 0 {
+                return Err(SnapError::Corrupt("Object with zero size"));
+            }
+            Ok(Object {
+                size,
+                addr: r.u64()?,
+                age: r.u8()?,
+                space_tag: r.u8()?,
+                kind: ObjectKind::restore(r)?,
+                refs: Vec::<ObjectId>::restore(r)?,
+                weak_refs: Vec::<ObjectId>::restore(r)?,
+            })
+        }
+    }
+
+    impl Snapshot for HeapGraph {
+        fn snap(&self, w: &mut Writer) {
+            let Self {
+                slots,
+                free_slots,
+                globals,
+                handles,
+                scope_bounds,
+                allocated_bytes,
+                total_allocated_bytes,
+                total_allocated_objects,
+            } = self;
+            slots.snap(w);
+            free_slots.snap(w);
+            globals.snap(w);
+            handles.snap(w);
+            scope_bounds.snap(w);
+            w.u64(*allocated_bytes);
+            w.u64(*total_allocated_bytes);
+            w.u64(*total_allocated_objects);
+        }
+
+        fn restore(r: &mut Reader<'_>) -> Result<HeapGraph, SnapError> {
+            let slots = Vec::<Option<Object>>::restore(r)?;
+            let free_slots = Vec::<u32>::restore(r)?;
+            let globals = Vec::<ObjectId>::restore(r)?;
+            let handles = Vec::<ObjectId>::restore(r)?;
+            let scope_bounds = Vec::<usize>::restore(r)?;
+            let allocated_bytes = r.u64()?;
+            let total_allocated_bytes = r.u64()?;
+            let total_allocated_objects = r.u64()?;
+            let nslots = slots.len();
+            if free_slots
+                .iter()
+                .any(|s| (*s as usize) >= nslots || slots[*s as usize].is_some())
+            {
+                return Err(SnapError::Corrupt("HeapGraph free slot is occupied"));
+            }
+            let live: u64 = slots
+                .iter()
+                .flatten()
+                .map(|o| u64::from(o.size))
+                .sum();
+            if live != allocated_bytes {
+                return Err(SnapError::Corrupt("HeapGraph byte accounting disagrees with slots"));
+            }
+            Ok(HeapGraph {
+                slots,
+                free_slots,
+                globals,
+                handles,
+                scope_bounds,
+                allocated_bytes,
+                total_allocated_bytes,
+                total_allocated_objects,
+            })
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -238,6 +238,29 @@ impl RuntimeHeap {
     }
 }
 
+impl snapshot::Snapshot for RuntimeHeap {
+    fn snap(&self, w: &mut snapshot::Writer) {
+        match self {
+            RuntimeHeap::HotSpot(h) => {
+                0u8.snap(w);
+                h.snap(w);
+            }
+            RuntimeHeap::V8(h) => {
+                1u8.snap(w);
+                h.snap(w);
+            }
+        }
+    }
+
+    fn restore(r: &mut snapshot::Reader<'_>) -> Result<RuntimeHeap, snapshot::SnapError> {
+        match u8::restore(r)? {
+            0 => Ok(RuntimeHeap::HotSpot(HotSpotHeap::restore(r)?)),
+            1 => Ok(RuntimeHeap::V8(V8Heap::restore(r)?)),
+            _ => Err(snapshot::SnapError::Corrupt("unknown RuntimeHeap tag")),
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -114,6 +114,37 @@ pub struct SharedLibs {
     pub files: Vec<FileId>,
 }
 
+impl snapshot::Snapshot for Language {
+    fn snap(&self, w: &mut snapshot::Writer) {
+        let tag: u8 = match self {
+            Language::Java => 0,
+            Language::JavaScript => 1,
+        };
+        tag.snap(w);
+    }
+
+    fn restore(r: &mut snapshot::Reader<'_>) -> Result<Language, snapshot::SnapError> {
+        match u8::restore(r)? {
+            0 => Ok(Language::Java),
+            1 => Ok(Language::JavaScript),
+            _ => Err(snapshot::SnapError::Corrupt("unknown Language tag")),
+        }
+    }
+}
+
+impl snapshot::Snapshot for SharedLibs {
+    fn snap(&self, w: &mut snapshot::Writer) {
+        let Self { files } = self;
+        files.snap(w);
+    }
+
+    fn restore(r: &mut snapshot::Reader<'_>) -> Result<SharedLibs, snapshot::SnapError> {
+        Ok(SharedLibs {
+            files: Vec::restore(r)?,
+        })
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

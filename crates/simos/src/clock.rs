@@ -227,6 +227,48 @@ impl Clock {
     }
 }
 
+/// Checkpoint codec impls, kept here so exhaustive destructuring sees
+/// every private field.
+mod snap_impls {
+    use super::*;
+    use snapshot::{Reader, SnapError, Snapshot, Writer};
+
+    impl Snapshot for SimTime {
+        fn snap(&self, w: &mut Writer) {
+            let Self(ns) = self;
+            w.u64(*ns);
+        }
+
+        fn restore(r: &mut Reader<'_>) -> Result<SimTime, SnapError> {
+            Ok(SimTime(r.u64()?))
+        }
+    }
+
+    impl Snapshot for SimDuration {
+        fn snap(&self, w: &mut Writer) {
+            let Self(ns) = self;
+            w.u64(*ns);
+        }
+
+        fn restore(r: &mut Reader<'_>) -> Result<SimDuration, SnapError> {
+            Ok(SimDuration(r.u64()?))
+        }
+    }
+
+    impl Snapshot for Clock {
+        fn snap(&self, w: &mut Writer) {
+            let Self { now } = self;
+            now.snap(w);
+        }
+
+        fn restore(r: &mut Reader<'_>) -> Result<Clock, SnapError> {
+            Ok(Clock {
+                now: SimTime::restore(r)?,
+            })
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -191,6 +191,39 @@ pub mod pagebits {
         }
     }
 
+    impl snapshot::Snapshot for PageBits {
+        fn snap(&self, w: &mut snapshot::Writer) {
+            let Self { words, npages } = self;
+            w.usize(*npages);
+            for word in words {
+                w.u64(*word);
+            }
+        }
+
+        fn restore(r: &mut snapshot::Reader<'_>) -> Result<PageBits, snapshot::SnapError> {
+            let npages = r.usize()?;
+            let nwords = npages.div_ceil(64);
+            if nwords > r.remaining() / 8 {
+                return Err(snapshot::SnapError::Corrupt("PageBits length exceeds input"));
+            }
+            let mut words = Vec::with_capacity(nwords);
+            for _ in 0..nwords {
+                words.push(r.u64()?);
+            }
+            let tail = npages % 64;
+            if tail != 0 {
+                if let Some(last) = words.last() {
+                    if last >> tail != 0 {
+                        return Err(snapshot::SnapError::Corrupt(
+                            "PageBits has bits set past the page count",
+                        ));
+                    }
+                }
+            }
+            Ok(PageBits { words, npages })
+        }
+    }
+
     #[cfg(test)]
     mod tests {
         use super::*;
@@ -1234,5 +1267,141 @@ mod tests {
         s.munmap(&mut f, a).unwrap();
         assert_eq!(f.mapper_count(lib, 1), 0);
         assert!(s.mapping_at(a).is_none());
+    }
+}
+
+/// Checkpoint codec impls, kept in this module so exhaustive
+/// destructuring sees every private field (a new field is a compile
+/// error here, not a silently un-snapshotted one).
+mod snap_impls {
+    use super::*;
+    use snapshot::{Reader, SnapError, Snapshot, Writer};
+
+    impl Snapshot for VirtAddr {
+        fn snap(&self, w: &mut Writer) {
+            let Self(raw) = self;
+            w.u64(*raw);
+        }
+
+        fn restore(r: &mut Reader<'_>) -> Result<VirtAddr, SnapError> {
+            Ok(VirtAddr(r.u64()?))
+        }
+    }
+
+    impl Snapshot for MappingKind {
+        fn snap(&self, w: &mut Writer) {
+            match self {
+                Self::Anonymous => w.u8(0),
+                Self::PrivateFile(file) => {
+                    w.u8(1);
+                    file.snap(w);
+                }
+            }
+        }
+
+        fn restore(r: &mut Reader<'_>) -> Result<MappingKind, SnapError> {
+            match r.u8()? {
+                0 => Ok(MappingKind::Anonymous),
+                1 => Ok(MappingKind::PrivateFile(FileId::restore(r)?)),
+                _ => Err(SnapError::Corrupt("unknown MappingKind tag")),
+            }
+        }
+    }
+
+    impl Snapshot for Mapping {
+        fn snap(&self, w: &mut Writer) {
+            let Self {
+                start,
+                kind,
+                name,
+                resident,
+                dirty,
+                swapped,
+                noaccess,
+                resident_pages,
+                dirty_pages,
+                swapped_pages,
+            } = self;
+            start.snap(w);
+            kind.snap(w);
+            w.str(name);
+            resident.snap(w);
+            dirty.snap(w);
+            swapped.snap(w);
+            noaccess.snap(w);
+            w.u64(*resident_pages);
+            w.u64(*dirty_pages);
+            w.u64(*swapped_pages);
+        }
+
+        fn restore(r: &mut Reader<'_>) -> Result<Mapping, SnapError> {
+            let start = VirtAddr::restore(r)?;
+            let kind = MappingKind::restore(r)?;
+            let name = r.str()?;
+            let resident = PageBits::restore(r)?;
+            let dirty = PageBits::restore(r)?;
+            let swapped = PageBits::restore(r)?;
+            let noaccess = PageBits::restore(r)?;
+            let resident_pages = r.u64()?;
+            let dirty_pages = r.u64()?;
+            let swapped_pages = r.u64()?;
+            if !start.is_page_aligned() {
+                return Err(SnapError::Corrupt("Mapping start is not page-aligned"));
+            }
+            let npages = resident.npages();
+            if dirty.npages() != npages
+                || swapped.npages() != npages
+                || noaccess.npages() != npages
+            {
+                return Err(SnapError::Corrupt("Mapping bitmaps cover differing page counts"));
+            }
+            if resident_pages != resident.count()
+                || dirty_pages != dirty.count()
+                || swapped_pages != swapped.count()
+            {
+                return Err(SnapError::Corrupt("Mapping counters disagree with bitmaps"));
+            }
+            Ok(Mapping {
+                start,
+                kind,
+                name,
+                resident,
+                dirty,
+                swapped,
+                noaccess,
+                resident_pages,
+                dirty_pages,
+                swapped_pages,
+            })
+        }
+    }
+
+    impl Snapshot for AddressSpace {
+        fn snap(&self, w: &mut Writer) {
+            let Self {
+                mappings,
+                next_addr,
+                limit,
+            } = self;
+            mappings.snap(w);
+            w.u64(*next_addr);
+            w.u64(*limit);
+        }
+
+        fn restore(r: &mut Reader<'_>) -> Result<AddressSpace, SnapError> {
+            let mappings = BTreeMap::<u64, Mapping>::restore(r)?;
+            let next_addr = r.u64()?;
+            let limit = r.u64()?;
+            for (addr, m) in &mappings {
+                if *addr != m.start.0 {
+                    return Err(SnapError::Corrupt("AddressSpace key disagrees with mapping start"));
+                }
+            }
+            Ok(AddressSpace {
+                mappings,
+                next_addr,
+                limit,
+            })
+        }
     }
 }

@@ -33,6 +33,24 @@ impl SwapStats {
     }
 }
 
+impl snapshot::Snapshot for SwapStats {
+    fn snap(&self, w: &mut snapshot::Writer) {
+        let Self {
+            pages_out,
+            pages_in,
+        } = self;
+        w.u64(*pages_out);
+        w.u64(*pages_in);
+    }
+
+    fn restore(r: &mut snapshot::Reader<'_>) -> Result<SwapStats, snapshot::SnapError> {
+        Ok(SwapStats {
+            pages_out: r.u64()?,
+            pages_in: r.u64()?,
+        })
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

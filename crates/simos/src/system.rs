@@ -268,6 +268,93 @@ impl System {
     }
 }
 
+/// Checkpoint codec impls, kept here so exhaustive destructuring sees
+/// every private field.
+mod snap_impls {
+    use super::*;
+    use snapshot::{Reader, SnapError, Snapshot, Writer};
+
+    impl Snapshot for Pid {
+        fn snap(&self, w: &mut Writer) {
+            let Self(raw) = self;
+            w.u32(*raw);
+        }
+
+        fn restore(r: &mut Reader<'_>) -> Result<Pid, SnapError> {
+            Ok(Pid(r.u32()?))
+        }
+    }
+
+    impl Snapshot for FileId {
+        fn snap(&self, w: &mut Writer) {
+            let Self(raw) = self;
+            w.u32(*raw);
+        }
+
+        fn restore(r: &mut Reader<'_>) -> Result<FileId, SnapError> {
+            Ok(FileId(r.u32()?))
+        }
+    }
+
+    impl Snapshot for FileInfo {
+        fn snap(&self, w: &mut Writer) {
+            let Self {
+                name,
+                mapper_counts,
+            } = self;
+            w.str(name);
+            mapper_counts.snap(w);
+        }
+
+        fn restore(r: &mut Reader<'_>) -> Result<FileInfo, SnapError> {
+            Ok(FileInfo {
+                name: r.str()?,
+                mapper_counts: Vec::<u32>::restore(r)?,
+            })
+        }
+    }
+
+    impl Snapshot for FileRegistry {
+        fn snap(&self, w: &mut Writer) {
+            let Self { files } = self;
+            files.snap(w);
+        }
+
+        fn restore(r: &mut Reader<'_>) -> Result<FileRegistry, SnapError> {
+            Ok(FileRegistry {
+                files: Vec::<FileInfo>::restore(r)?,
+            })
+        }
+    }
+
+    impl Snapshot for System {
+        fn snap(&self, w: &mut Writer) {
+            let Self {
+                files,
+                spaces,
+                next_pid,
+            } = self;
+            files.snap(w);
+            spaces.snap(w);
+            w.u32(*next_pid);
+        }
+
+        fn restore(r: &mut Reader<'_>) -> Result<System, SnapError> {
+            let files = FileRegistry::restore(r)?;
+            let spaces = BTreeMap::<Pid, AddressSpace>::restore(r)?;
+            let next_pid = r.u32()?;
+            if spaces.keys().any(|pid| pid.0 >= next_pid) {
+                return Err(SnapError::Corrupt("System pid at or past next_pid"));
+            }
+            Ok(System {
+                files,
+                spaces,
+                next_pid,
+            })
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -136,6 +136,83 @@ impl Chunk {
     }
 }
 
+mod snap_impls {
+    use super::*;
+    use snapshot::{Reader, SnapError, Snapshot, Writer};
+
+    impl Snapshot for ChunkId {
+        fn snap(&self, w: &mut Writer) {
+            let Self(raw) = self;
+            raw.snap(w);
+        }
+
+        fn restore(r: &mut Reader<'_>) -> Result<ChunkId, SnapError> {
+            Ok(ChunkId(u32::restore(r)?))
+        }
+    }
+
+    impl Snapshot for ChunkSpace {
+        fn snap(&self, w: &mut Writer) {
+            let tag: u8 = match self {
+                ChunkSpace::Young => 0,
+                ChunkSpace::Old => 1,
+                ChunkSpace::Large => 2,
+            };
+            tag.snap(w);
+        }
+
+        fn restore(r: &mut Reader<'_>) -> Result<ChunkSpace, SnapError> {
+            match u8::restore(r)? {
+                0 => Ok(ChunkSpace::Young),
+                1 => Ok(ChunkSpace::Old),
+                2 => Ok(ChunkSpace::Large),
+                _ => Err(SnapError::Corrupt("unknown ChunkSpace tag")),
+            }
+        }
+    }
+
+    impl Snapshot for Chunk {
+        fn snap(&self, w: &mut Writer) {
+            let Self {
+                addr,
+                size,
+                space,
+                free_runs,
+            } = self;
+            addr.snap(w);
+            size.snap(w);
+            space.snap(w);
+            free_runs.snap(w);
+        }
+
+        fn restore(r: &mut Reader<'_>) -> Result<Chunk, SnapError> {
+            let addr = VirtAddr::restore(r)?;
+            let size = u64::restore(r)?;
+            let space = ChunkSpace::restore(r)?;
+            let free_runs: Vec<(u32, u32)> = Vec::restore(r)?;
+            let mut prev_end = 0u32;
+            for &(off, len) in &free_runs {
+                if u64::from(off) < CHUNK_HEADER || off < prev_end {
+                    return Err(SnapError::Corrupt("Chunk free runs out of order"));
+                }
+                let end = off
+                    .checked_add(len)
+                    .ok_or(SnapError::Corrupt("Chunk free run overflows"))?;
+                if u64::from(end) > size {
+                    return Err(SnapError::Corrupt("Chunk free run past end"));
+                }
+                prev_end = end;
+            }
+            Ok(Chunk {
+                addr,
+                size,
+                space,
+                free_runs,
+            })
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

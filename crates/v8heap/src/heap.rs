@@ -762,6 +762,131 @@ impl V8Heap {
     }
 }
 
+mod snap_impls {
+    use super::*;
+    use snapshot::{Reader, SnapError, Snapshot, Writer};
+
+    impl Snapshot for V8Heap {
+        fn snap(&self, w: &mut Writer) {
+            let Self {
+                pid,
+                config,
+                graph,
+                chunks,
+                addr_to_chunk,
+                from,
+                to,
+                from_cursor,
+                from_offset,
+                semispace_chunks,
+                accumulated_survived,
+                old,
+                large,
+                counters,
+                gc_cost,
+                os_cost,
+                pending,
+                last_live_bytes,
+                now,
+                rate_mark,
+                allocated_since_mark,
+                deopt_code_bytes,
+                next_major_threshold,
+            } = self;
+            pid.snap(w);
+            config.snap(w);
+            graph.snap(w);
+            chunks.snap(w);
+            addr_to_chunk.snap(w);
+            from.snap(w);
+            to.snap(w);
+            from_cursor.snap(w);
+            from_offset.snap(w);
+            semispace_chunks.snap(w);
+            accumulated_survived.snap(w);
+            old.snap(w);
+            large.snap(w);
+            counters.snap(w);
+            gc_cost.snap(w);
+            os_cost.snap(w);
+            pending.snap(w);
+            last_live_bytes.snap(w);
+            now.snap(w);
+            rate_mark.snap(w);
+            allocated_since_mark.snap(w);
+            deopt_code_bytes.snap(w);
+            next_major_threshold.snap(w);
+        }
+
+        fn restore(r: &mut Reader<'_>) -> Result<V8Heap, SnapError> {
+            let pid = Pid::restore(r)?;
+            let config = V8Config::restore(r)?;
+            let graph = HeapGraph::restore(r)?;
+            let chunks: Vec<Option<Chunk>> = Vec::restore(r)?;
+            let addr_to_chunk: BTreeMap<u64, ChunkId> = BTreeMap::restore(r)?;
+            let from: Vec<ChunkId> = Vec::restore(r)?;
+            let to: Vec<ChunkId> = Vec::restore(r)?;
+            let from_cursor = usize::restore(r)?;
+            let from_offset = u64::restore(r)?;
+            let semispace_chunks = usize::restore(r)?;
+            let accumulated_survived = u64::restore(r)?;
+            let old: Vec<ChunkId> = Vec::restore(r)?;
+            let large: Vec<ChunkId> = Vec::restore(r)?;
+            let counters = GcCounters::restore(r)?;
+            let gc_cost = GcCostModel::restore(r)?;
+            let os_cost = CostModel::restore(r)?;
+            let pending = SimDuration::restore(r)?;
+            let last_live_bytes = u64::restore(r)?;
+            let now = SimTime::restore(r)?;
+            let rate_mark = SimTime::restore(r)?;
+            let allocated_since_mark = u64::restore(r)?;
+            let deopt_code_bytes = u64::restore(r)?;
+            let next_major_threshold = u64::restore(r)?;
+            // The address index must name live chunk slots whose base
+            // address matches the index key.
+            for (&addr, &id) in &addr_to_chunk {
+                match chunks.get(id.index()) {
+                    Some(Some(c)) if c.addr.0 == addr => {}
+                    _ => return Err(SnapError::Corrupt("V8Heap addr_to_chunk mismatch")),
+                }
+            }
+            for &id in from.iter().chain(&to).chain(&old).chain(&large) {
+                if chunks.get(id.index()).is_none_or(|c| c.is_none()) {
+                    return Err(SnapError::Corrupt("V8Heap space names a dead chunk"));
+                }
+            }
+            if from_cursor > from.len() {
+                return Err(SnapError::Corrupt("V8Heap from_cursor out of range"));
+            }
+            Ok(V8Heap {
+                pid,
+                config,
+                graph,
+                chunks,
+                addr_to_chunk,
+                from,
+                to,
+                from_cursor,
+                from_offset,
+                semispace_chunks,
+                accumulated_survived,
+                old,
+                large,
+                counters,
+                gc_cost,
+                os_cost,
+                pending,
+                last_live_bytes,
+                now,
+                rate_mark,
+                allocated_since_mark,
+                deopt_code_bytes,
+                next_major_threshold,
+            })
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

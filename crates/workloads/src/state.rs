@@ -201,6 +201,54 @@ impl FunctionState {
     }
 }
 
+mod snap_impls {
+    use super::*;
+    use snapshot::{Reader, SnapError, Snapshot, Writer};
+
+    impl Snapshot for FunctionState {
+        fn snap(&self, w: &mut Writer) {
+            let Self {
+                stage,
+                rng,
+                initialized,
+                state_queue,
+                state_bytes,
+                intermediate,
+                code_holder,
+                seq,
+                checksum,
+            } = self;
+            stage.snap(w);
+            w.blob(&rng.state_bytes());
+            initialized.snap(w);
+            state_queue.snap(w);
+            state_bytes.snap(w);
+            intermediate.snap(w);
+            code_holder.snap(w);
+            seq.snap(w);
+            checksum.snap(w);
+        }
+
+        fn restore(r: &mut Reader<'_>) -> Result<FunctionState, SnapError> {
+            let stage = u8::restore(r)?;
+            let rng_bytes = r.blob()?;
+            let rng = StdRng::from_state_bytes(rng_bytes)
+                .ok_or(SnapError::Corrupt("FunctionState rng state invalid"))?;
+            Ok(FunctionState {
+                stage,
+                rng,
+                initialized: bool::restore(r)?,
+                state_queue: VecDeque::restore(r)?,
+                state_bytes: u64::restore(r)?,
+                intermediate: Vec::restore(r)?,
+                code_holder: Option::restore(r)?,
+                seq: u64::restore(r)?,
+                checksum: u64::restore(r)?,
+            })
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

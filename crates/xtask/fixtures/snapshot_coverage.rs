@@ -1,0 +1,43 @@
+//! Seeded violation: a Snapshot impl whose `..` rest pattern lets a
+//! new field slip past the codec unserialized. The `Counters` impl is
+//! compliant and must not fire.
+//! Scanned by the self-test as `crates/faas/src/fake.rs`.
+
+use snapshot::{Reader, SnapError, Snapshot, Writer};
+
+pub struct Counters {
+    hits: u64,
+    misses: u64,
+}
+
+impl Snapshot for Counters {
+    fn snap(&self, w: &mut Writer) {
+        // Exhaustive: adding a field to Counters breaks this line.
+        let Self { hits, misses } = self;
+        w.u64(*hits);
+        w.u64(*misses);
+    }
+    fn restore(r: &mut Reader<'_>) -> Result<Counters, SnapError> {
+        Ok(Counters {
+            hits: r.u64()?,
+            misses: r.u64()?,
+        })
+    }
+}
+
+pub struct Gauge {
+    value: u64,
+    ceiling: u64,
+}
+
+impl snapshot::Snapshot for Gauge {
+    fn snap(&self, w: &mut Writer) {
+        // Rest pattern: a third field would be silently dropped.
+        let Self { value, .. } = self;
+        w.u64(*value);
+    }
+    fn restore(r: &mut Reader<'_>) -> Result<Gauge, SnapError> {
+        let value = r.u64()?;
+        Ok(Gauge { value, ceiling: 0 })
+    }
+}

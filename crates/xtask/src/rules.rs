@@ -7,9 +7,10 @@
 //! * **determinism** — `hash-collections`, `wall-clock`, `ambient-rng`,
 //!   `raw-threads`: nothing order-sensitive or wall-clock-dependent may
 //!   leak into simulation state or selection.
-//! * **robustness** — `no-panic`, `lossy-casts`: platform/desiccant and
-//!   simos hot paths must use typed errors; memory accounting must use
-//!   checked conversions.
+//! * **robustness** — `no-panic`, `lossy-casts`, `snapshot-coverage`:
+//!   platform/desiccant and simos hot paths must use typed errors;
+//!   memory accounting must use checked conversions; checkpoint codecs
+//!   must destructure every field they serialize.
 //! * **hygiene** — `forbid-unsafe`, `path-deps`, `shim-surface`: every
 //!   crate forbids `unsafe`, manifests carry only path dependencies,
 //!   vendored shims export nothing dead.
@@ -78,6 +79,13 @@ pub const RULES: &[Rule] = &[
         summary: "bare `as` integer cast in memory-accounting code",
         hint: "use simos::cast::{to_u64, to_usize, to_u32, to_u16, from_f64} or \
                T::try_from — `as` silently truncates",
+    },
+    Rule {
+        name: "snapshot-coverage",
+        family: "robustness",
+        summary: "Snapshot impl without exhaustive field destructuring",
+        hint: "destructure every field (`let Self { a, b } = self;` / `match self`) so \
+               adding a field is a compile error at the codec instead of silent state loss",
     },
     Rule {
         name: "forbid-unsafe",
@@ -194,6 +202,15 @@ fn in_no_panic_scope(path: &str) -> bool {
 
 fn in_cast_scope(path: &str) -> bool {
     CAST_FILES.contains(&path) || CAST_DIRS.iter().any(|d| path.starts_with(d))
+}
+
+/// Crates whose `Snapshot` impls feed the platform checkpoint but sit
+/// outside [`SIM_STATE_CRATES`]: the heap-graph and workload-model
+/// crates.
+const SNAPSHOT_EXTRA_DIRS: &[&str] = &["crates/gc-core/src/", "crates/workloads/src/"];
+
+fn in_snapshot_scope(path: &str) -> bool {
+    in_sim_state_crate(path) || SNAPSHOT_EXTRA_DIRS.iter().any(|d| path.starts_with(d))
 }
 
 /// Crate roots that must carry `#![forbid(unsafe_code)]`: lib roots,
@@ -393,6 +410,10 @@ pub fn check_source(path: &str, source: &str) -> Vec<Finding> {
 
     scan_tokens(path, &blanked.text, &starts, &mask, &mut raw);
 
+    if in_snapshot_scope(path) {
+        check_snapshot_impls(path, &blanked.text, &starts, &mask, &mut raw);
+    }
+
     if is_crate_root(path) && !has_forbid_unsafe(&blanked.text) {
         raw.push(Finding::new(
             path,
@@ -492,6 +513,159 @@ fn scan_tokens(
             }
             _ => {}
         }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Snapshot-coverage checking
+// ---------------------------------------------------------------------------
+
+/// How an impl block binds the value it serializes.
+enum DestructureStyle {
+    /// At least one exhaustive `let Self {…}` / `let Self(…)` /
+    /// `match self` binding, and no rest patterns.
+    Exhaustive,
+    /// A destructure exists but uses a `..` rest pattern.
+    Rest,
+    /// No destructuring at all — fields are read ad hoc.
+    Missing,
+}
+
+/// Finds every `impl Snapshot for T` (or `impl snapshot::Snapshot for
+/// T`) in a checkpointed crate and demands its body destructure the
+/// value exhaustively: `let Self { every, field } = self;` (or a
+/// `match self` for enums). Field access by name compiles fine when a
+/// field is added, so a non-destructuring codec silently drops new
+/// state; the exhaustive pattern turns that into a compile error.
+fn check_snapshot_impls(
+    path: &str,
+    text: &str,
+    starts: &[usize],
+    mask: &[bool],
+    out: &mut Vec<Finding>,
+) {
+    let toks = idents(text);
+    let words: Vec<&str> = toks.iter().map(|&(s, e)| &text[s..e]).collect();
+    let bytes = text.as_bytes();
+    let mut i = 0;
+    while i < toks.len() {
+        if words[i] != "impl" {
+            i += 1;
+            continue;
+        }
+        let mut k = i + 1;
+        if words.get(k) == Some(&"snapshot") {
+            k += 1;
+        }
+        if words.get(k) != Some(&"Snapshot") || words.get(k + 1) != Some(&"for") {
+            i += 1;
+            continue;
+        }
+        let ty = words.get(k + 2).copied().unwrap_or("?");
+        let line = lexer::line_of(starts, toks[k].0);
+        i = k + 2;
+        if is_test_line(mask, line) {
+            continue;
+        }
+        let mut p = toks.get(k + 2).map_or(toks[k].1, |&(_, e)| e);
+        while p < bytes.len() && bytes[p] != b'{' {
+            p += 1;
+        }
+        let Some(end) = matching_delim(bytes, p, b'{', b'}') else {
+            continue;
+        };
+        match destructure_style(&text[p..=end], ty) {
+            DestructureStyle::Exhaustive => {}
+            DestructureStyle::Rest => out.push(Finding::new(
+                path,
+                line,
+                "snapshot-coverage",
+                format!(
+                    "Snapshot impl for `{ty}` destructures with a `..` rest pattern: \
+                     a new field would silently skip the codec"
+                ),
+            )),
+            DestructureStyle::Missing => out.push(Finding::new(
+                path,
+                line,
+                "snapshot-coverage",
+                format!(
+                    "Snapshot impl for `{ty}` never destructures its fields \
+                     (want `let Self {{ … }} = self;` or `match self`)"
+                ),
+            )),
+        }
+    }
+}
+
+/// Index of the delimiter closing the one at `open`, if balanced.
+fn matching_delim(bytes: &[u8], open: usize, lo: u8, hi: u8) -> Option<usize> {
+    if bytes.get(open) != Some(&lo) {
+        return None;
+    }
+    let mut depth = 0usize;
+    let mut p = open;
+    while p < bytes.len() {
+        if bytes[p] == lo {
+            depth += 1;
+        } else if bytes[p] == hi {
+            depth -= 1;
+            if depth == 0 {
+                return Some(p);
+            }
+        }
+        p += 1;
+    }
+    None
+}
+
+/// Classifies the destructuring discipline of one impl body. `ty` is
+/// the impl target's leading ident, accepted as an alias for `Self` in
+/// `let` patterns.
+fn destructure_style(block: &str, ty: &str) -> DestructureStyle {
+    let toks = idents(block);
+    let bytes = block.as_bytes();
+    let mut found = false;
+    for w in 0..toks.len() {
+        let (s, e) = toks[w];
+        match &block[s..e] {
+            "match" => {
+                let selfed = toks.get(w + 1).is_some_and(|&(s2, e2)| {
+                    &block[s2..e2] == "self"
+                        && matches!(next_nonspace(bytes, e2), Some((_, b'{')))
+                });
+                if selfed {
+                    found = true;
+                }
+            }
+            "let" => {
+                let Some(&(s2, e2)) = toks.get(w + 1) else {
+                    continue;
+                };
+                let name = &block[s2..e2];
+                if name != "Self" && name != ty {
+                    continue;
+                }
+                let pattern = match next_nonspace(bytes, e2) {
+                    Some((p, b'{')) => matching_delim(bytes, p, b'{', b'}').map(|c| (p, c)),
+                    Some((p, b'(')) => matching_delim(bytes, p, b'(', b')').map(|c| (p, c)),
+                    _ => None,
+                };
+                let Some((p, c)) = pattern else {
+                    continue;
+                };
+                if block[p..c].contains("..") {
+                    return DestructureStyle::Rest;
+                }
+                found = true;
+            }
+            _ => {}
+        }
+    }
+    if found {
+        DestructureStyle::Exhaustive
+    } else {
+        DestructureStyle::Missing
     }
 }
 

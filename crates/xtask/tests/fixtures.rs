@@ -52,6 +52,11 @@ fn every_source_rule_fires_on_its_seeded_fixture() {
         ("raw-threads", "raw_threads.rs", "crates/bench/src/fake.rs"),
         ("no-panic", "no_panic.rs", "crates/desiccant/src/fake.rs"),
         ("lossy-casts", "lossy_casts.rs", "crates/v8heap/src/fake.rs"),
+        (
+            "snapshot-coverage",
+            "snapshot_coverage.rs",
+            "crates/faas/src/fake.rs",
+        ),
         ("forbid-unsafe", "forbid_unsafe.rs", "crates/fake/src/lib.rs"),
     ];
     for (rule, file, path) in cases {
@@ -70,6 +75,7 @@ fn seeded_violations_vanish_outside_their_rule_scope() {
         ("hash_collections.rs", "crates/xtask/src/fake.rs"),
         ("no_panic.rs", "crates/faas/src/fake.rs"),
         ("lossy_casts.rs", "crates/faas/src/fake.rs"),
+        ("snapshot_coverage.rs", "crates/xtask/src/fake.rs"),
         ("forbid_unsafe.rs", "crates/fake/src/notroot.rs"),
     ];
     for (file, path) in cases {
@@ -131,7 +137,7 @@ pub type T = HashMap<u64, u64>;
 
 #[test]
 fn every_rule_in_the_catalogue_has_family_and_hint() {
-    assert_eq!(RULES.len(), 9);
+    assert_eq!(RULES.len(), 10);
     for r in RULES {
         assert!(
             ["determinism", "robustness", "hygiene"].contains(&r.family),

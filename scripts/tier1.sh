@@ -37,4 +37,11 @@ cargo run --release -q -p bench --bin chaos -- --quick --check >/dev/null
 cargo run --release -q -p bench --bin chaos -- --quick --check \
     --fault-seed 99 --fault-rate 0.05 >/dev/null
 
+echo "== kill-recover (crash-consistent checkpoint/restore) =="
+# Kill the event loop every 400 events, restore the latest checkpoint,
+# replay the request journal, and demand the recovered run's final
+# state digest byte-identical to an uninterrupted control.
+cargo run --release -q -p bench --bin chaos -- --quick --check \
+    --fault-seed 11 --crash-every 400 >/dev/null
+
 echo "tier1 OK"
