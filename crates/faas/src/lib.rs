@@ -57,6 +57,8 @@ pub mod fault;
 pub mod histogram;
 pub mod manager;
 pub mod platform;
+pub mod queue;
+pub mod slab;
 pub mod stats;
 
 pub use config::{EnvFlavor, PlatformConfig};
@@ -65,4 +67,5 @@ pub use fault::{CrashPlan, FaultInjector, FaultPlan};
 pub use histogram::LatencyHistogram;
 pub use manager::{FrozenView, MemoryManager, ReclaimProfile};
 pub use platform::{FailReason, GcMode, InstanceId, Platform};
+pub use queue::{EventQueue, QueueImpl};
 pub use stats::PlatformStats;

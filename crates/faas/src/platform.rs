@@ -30,7 +30,7 @@
 //!   no-op, not a panic; other stale events surface as typed
 //!   [`PlatformError`]s.
 
-use std::collections::{BTreeMap, BinaryHeap, VecDeque};
+use std::collections::{BTreeMap, VecDeque};
 
 use faas_runtime::{Instance, Language, ReclaimReport, RuntimeImage, SharedLibs};
 use simos::{SimDuration, SimTime, System};
@@ -40,7 +40,9 @@ use crate::config::{EnvFlavor, PlatformConfig};
 use crate::error::{PlatformError, PlatformResult};
 use crate::fault::FaultInjector;
 use crate::manager::{FrozenView, MemoryManager, ReclaimProfile};
-use crate::stats::{CoreTimeKind, PlatformStats};
+use crate::queue::{EventQueue, QueueImpl};
+use crate::slab::{IdMap, Slab};
+use crate::stats::{CoreTimeKind, PlatformStats, StatsBatch};
 
 /// Identifies an instance across its whole life.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
@@ -90,6 +92,10 @@ enum Status {
 }
 
 struct Slot {
+    /// The instance's public identity. Not serialized by the slot
+    /// codec — the checkpoint writes it as the table key, exactly as
+    /// the old `BTreeMap<InstanceId, Slot>` wire format did.
+    id: InstanceId,
     fn_idx: usize,
     stage: u8,
     inst: Instance,
@@ -128,31 +134,6 @@ enum Event {
     ReclaimDone { id: InstanceId, cpus: f64, ok: bool },
     Retry { req: usize, stage: u8 },
     Sweep,
-}
-
-struct Scheduled {
-    at: SimTime,
-    seq: u64,
-    ev: Event,
-}
-
-impl PartialEq for Scheduled {
-    fn eq(&self, other: &Self) -> bool {
-        self.at == other.at && self.seq == other.seq
-    }
-}
-impl Eq for Scheduled {}
-impl PartialOrd for Scheduled {
-    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
-        Some(self.cmp(other))
-    }
-}
-impl Ord for Scheduled {
-    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
-        // Reverse ordering: the binary heap becomes a min-heap on
-        // (time, sequence).
-        (other.at, other.seq).cmp(&(self.at, self.seq))
-    }
 }
 
 /// Work waiting for resources.
@@ -205,13 +186,18 @@ pub struct Platform {
     mode: GcMode,
     manager: Option<Box<dyn MemoryManager>>,
     sys: System,
-    slots: BTreeMap<InstanceId, Slot>,
+    /// Live instances, in a slab arena: per-event lookups are one
+    /// bounds-checked index via `by_id` instead of a tree walk.
+    slots: Slab<Slot>,
+    /// O(1) map from the monotonically assigned public ids to slab
+    /// handles (ids are never reused, so entries never alias).
+    by_id: IdMap,
     /// Warm pools: most-recently-frozen last.
     pools: BTreeMap<(usize, u8), Vec<InstanceId>>,
     /// Shared library registrations per language (OpenWhisk only).
     shared_libs: BTreeMap<Language, SharedLibs>,
     requests: Vec<Request>,
-    events: BinaryHeap<Scheduled>,
+    events: EventQueue<Event>,
     pending: VecDeque<PendingStage>,
     now: SimTime,
     seq: u64,
@@ -219,6 +205,10 @@ pub struct Platform {
     used_cores: f64,
     cache_used: u64,
     stats: PlatformStats,
+    /// Per-drain accumulator for the event loop's counter updates,
+    /// folded into `stats` whenever simulated time advances (and at
+    /// every event-loop exit). Always empty outside the loop.
+    batch: StatsBatch,
     sweep_scheduled: bool,
     next_seed: u64,
     /// Running estimate of a fresh instance's post-boot footprint,
@@ -264,11 +254,12 @@ impl Platform {
             mode,
             manager,
             sys,
-            slots: BTreeMap::new(),
+            slots: Slab::new(),
+            by_id: IdMap::new(),
             pools: BTreeMap::new(),
             shared_libs,
             requests: Vec::new(),
-            events: BinaryHeap::new(),
+            events: EventQueue::default(),
             pending: VecDeque::new(),
             now: SimTime::ZERO,
             seq: 0,
@@ -276,6 +267,7 @@ impl Platform {
             used_cores: 0.0,
             cache_used: 0,
             stats: PlatformStats::default(),
+            batch: StatsBatch::default(),
             sweep_scheduled: false,
             next_seed: config.seed,
             boot_footprint: 64 << 20,
@@ -329,9 +321,73 @@ impl Platform {
     /// Number of frozen instances.
     pub fn frozen_count(&self) -> usize {
         self.slots
-            .values()
-            .filter(|s| s.status == Status::Frozen)
+            .iter()
+            .filter(|(_, s)| s.status == Status::Frozen)
             .count()
+    }
+
+    /// The slot of instance `id`, if it is still alive.
+    #[inline]
+    fn slot(&self, id: InstanceId) -> Option<&Slot> {
+        self.by_id.get(id).and_then(|h| self.slots.get(h))
+    }
+
+    /// Which event-queue representation the platform runs on.
+    pub fn queue_impl(&self) -> QueueImpl {
+        self.events.kind()
+    }
+
+    /// Switches the event queue to `kind`, rebuilding it from the
+    /// canonical `(time, seq)` order. The pop order (and therefore
+    /// every simulation outcome and checkpoint byte) is identical on
+    /// both representations; the reference heap exists as the oracle
+    /// and perf baseline.
+    pub fn set_queue_impl(&mut self, kind: QueueImpl) -> PlatformResult<()> {
+        if kind == self.events.kind() {
+            return Ok(());
+        }
+        let entries: Vec<(SimTime, u64, Event)> = self
+            .events
+            .sorted_entries()
+            .into_iter()
+            .map(|(at, seq, ev)| (at, seq, *ev))
+            .collect();
+        self.events = EventQueue::from_sorted(kind, entries)
+            .map_err(snapshot::SnapError::Corrupt)?;
+        Ok(())
+    }
+
+    /// Verifies the instance table's internal coherence: every live
+    /// slab entry is reachable through `by_id` under its own id, ids
+    /// are below the allocation cursor, and the id map holds no
+    /// dangling bindings. Used by the slab-stability chaos tests and
+    /// available to recovery drivers.
+    pub fn check_instance_table(&self) -> PlatformResult<()> {
+        use snapshot::SnapError;
+        let mut live = 0usize;
+        for (h, s) in self.slots.iter() {
+            live += 1;
+            if s.id.0 >= self.next_instance {
+                return Err(SnapError::Corrupt("instance id >= next_instance").into());
+            }
+            if self.by_id.get(s.id) != Some(h) {
+                return Err(SnapError::Corrupt("slot not reachable under its own id").into());
+            }
+        }
+        if live != self.slots.len() {
+            return Err(SnapError::Corrupt("slab length out of sync").into());
+        }
+        for (&(fn_idx, stage), ids) in &self.pools {
+            for id in ids {
+                let ok = self
+                    .slot(*id)
+                    .is_some_and(|s| s.fn_idx == fn_idx && s.stage == stage);
+                if !ok {
+                    return Err(SnapError::Corrupt("pool entry has no matching slot").into());
+                }
+            }
+        }
+        Ok(())
     }
 
     /// Requests neither completed nor failed yet. Counted from the
@@ -401,11 +457,7 @@ impl Platform {
 
     fn schedule(&mut self, at: SimTime, ev: Event) {
         self.seq += 1;
-        self.events.push(Scheduled {
-            at,
-            seq: self.seq,
-            ev,
-        });
+        self.events.push(at, self.seq, ev);
     }
 
     /// Runs the simulation until `t_end` (events after it stay queued).
@@ -429,8 +481,17 @@ impl Platform {
             let at = self.now + self.config.sweep_interval;
             self.schedule(at, Event::Sweep);
         }
-        while let Some(next) = self.events.peek() {
-            if next.at > t_end {
+        let result = self.event_loop(t_end);
+        // Every exit — clean, kill, or error — leaves the counter
+        // batch empty, so external observers (and checkpoints) always
+        // see coherent statistics.
+        self.batch.flush(&mut self.stats);
+        result
+    }
+
+    fn event_loop(&mut self, t_end: SimTime) -> PlatformResult<()> {
+        while let Some((at, _)) = self.events.peek_key() {
+            if at > t_end {
                 break;
             }
             if self.kill_at.is_some_and(|k| self.events_handled >= k) {
@@ -438,11 +499,16 @@ impl Platform {
                     events_handled: self.events_handled,
                 });
             }
-            let Some(Scheduled { at, ev, .. }) = self.events.pop() else {
+            let Some((at, _, ev)) = self.events.pop() else {
                 break;
             };
             debug_assert!(at >= self.now, "event from the past");
-            self.now = at;
+            if at > self.now {
+                // Time advances: fold the per-drain counter batch into
+                // the statistics before the new timestamp's events run.
+                self.batch.flush(&mut self.stats);
+                self.now = at;
+            }
             self.events_handled += 1;
             self.handle(ev)?;
         }
@@ -453,7 +519,8 @@ impl Platform {
     /// Destroys every instance and verifies the accounting returns to
     /// zero: no cache charge and no simulated process may survive.
     pub fn shutdown(&mut self) -> PlatformResult<()> {
-        let ids: Vec<InstanceId> = self.slots.keys().copied().collect();
+        let mut ids: Vec<InstanceId> = self.slots.iter().map(|(_, s)| s.id).collect();
+        ids.sort_unstable();
         for id in ids {
             self.destroy_instance(id);
         }
@@ -489,7 +556,7 @@ impl Platform {
             }
             Event::ReclaimDone { id, cpus, ok } => {
                 self.release_cores(cpus);
-                match self.slots.get_mut(&id) {
+                match self.by_id.get(id).and_then(|h| self.slots.get_mut(h)) {
                     Some(slot) if slot.status == Status::Reclaiming => {
                         slot.status = Status::Frozen;
                         if ok {
@@ -503,7 +570,7 @@ impl Platform {
                     // Thawed mid-reclaim: execution owns the slot now.
                     Some(_) => {}
                     // Evicted mid-reclaim: a tolerated stale event.
-                    None => self.stats.stale_events += 1,
+                    None => self.batch.stale_events += 1,
                 }
                 self.drain_pending();
                 Ok(())
@@ -528,8 +595,9 @@ impl Platform {
 
     fn update_charge(&mut self, id: InstanceId, new_charge: u64) -> PlatformResult<()> {
         let slot = self
-            .slots
-            .get_mut(&id)
+            .by_id
+            .get(id)
+            .and_then(|h| self.slots.get_mut(h))
             .ok_or(PlatformError::StaleInstance {
                 id,
                 context: "update-charge",
@@ -556,7 +624,7 @@ impl Platform {
         let req = work.req;
         let fn_idx = self.requests[req].fn_idx;
         if !self.breaker_allows(fn_idx) {
-            self.stats.breaker_fast_fails += 1;
+            self.batch.breaker_fast_fails += 1;
             self.fail_request(req, FailReason::BreakerOpen);
             return StartOutcome::Resolved;
         }
@@ -572,24 +640,24 @@ impl Platform {
                     // The frozen instance is lost; fall through to a
                     // cold boot. Transparent to the request (no retry
                     // burned).
-                    self.stats.thaw_failures += 1;
+                    self.batch.thaw_failures += 1;
                     self.destroy_instance(id);
-                } else if let Some(slot) = self.slots.get_mut(&id) {
+                } else if let Some(slot) = self.by_id.get(id).and_then(|h| self.slots.get_mut(h)) {
                     // Instances are charged at measured USS; the thawed
                     // instance keeps its freeze-time charge and is
                     // re-measured when it freezes again.
                     slot.status = Status::Running;
                     slot.last_used = self.now;
                     self.used_cores += self.config.cpu_share;
-                    self.stats.warm_starts += 1;
+                    self.batch.warm_starts += 1;
                     if self.start_execution(id, req, self.config.thaw).is_err() {
                         // A pooled instance that cannot start is lost
                         // capacity, not a crash: give the share back,
                         // drop the instance, and let the request retry
                         // from the queue.
                         self.used_cores -= self.config.cpu_share;
-                        self.stats.warm_starts -= 1;
-                        self.stats.stale_events += 1;
+                        self.batch.warm_starts -= 1;
+                        self.batch.stale_events += 1;
                         self.destroy_instance(id);
                         return StartOutcome::Queued;
                     }
@@ -604,7 +672,7 @@ impl Platform {
         if self.boot_footprint > self.config.cache_budget {
             // Evicting the whole cache still could not admit this
             // boot; reject outright instead of evict-all-and-loop.
-            self.stats.rejected_too_large += 1;
+            self.batch.rejected_too_large += 1;
             self.fail_request(req, FailReason::TooLargeForCache);
             return StartOutcome::Resolved;
         }
@@ -635,7 +703,7 @@ impl Platform {
                 // The runtime image does not fit the instance budget:
                 // a boot failure (every retry will fail the same way,
                 // so the breaker quarantines the function quickly).
-                self.stats.boot_failures += 1;
+                self.batch.boot_failures += 1;
                 self.record_breaker_failure(fn_idx);
                 self.fail_or_retry(req, work.stage, FailReason::BootFailure);
                 return StartOutcome::Resolved;
@@ -650,20 +718,19 @@ impl Platform {
         // admission estimate (exponential moving average).
         let footprint = inst.uss(&self.sys);
         self.boot_footprint = (self.boot_footprint * 3 + footprint) / 4;
-        self.slots.insert(
+        let h = self.slots.insert(Slot {
             id,
-            Slot {
-                fn_idx,
-                stage: work.stage,
-                inst,
-                state,
-                status: Status::Starting,
-                frozen_since: self.now,
-                last_used: self.now,
-                charge: footprint,
-                reclaimed_since_use: false,
-            },
-        );
+            fn_idx,
+            stage: work.stage,
+            inst,
+            state,
+            status: Status::Starting,
+            frozen_since: self.now,
+            last_used: self.now,
+            charge: footprint,
+            reclaimed_since_use: false,
+        });
+        self.by_id.set(id, h);
         self.cache_used += footprint;
         self.used_cores += 1.0;
         match self.injector.as_mut().and_then(|i| i.boot_fails()) {
@@ -674,7 +741,7 @@ impl Platform {
                 self.schedule(self.now + fail_at, Event::BootFailed { id, req });
             }
             None => {
-                self.stats.cold_boots += 1;
+                self.batch.cold_boots += 1;
                 self.stats
                     .record_core_time(CoreTimeKind::Boot, boot_time, 1.0);
                 self.schedule(self.now + boot_time, Event::BootDone { id, req });
@@ -698,15 +765,17 @@ impl Platform {
             if self.cache_used + needed <= budget {
                 return true;
             }
+            // Tie-break equal `last_used` by lowest id — the order the
+            // old id-sorted table produced implicitly.
             let victim = self
                 .slots
                 .iter()
-                .filter(|(vid, s)| {
+                .filter(|(_, s)| {
                     (s.status == Status::Frozen || s.status == Status::Reclaiming)
-                        && Some(**vid) != exempt
+                        && Some(s.id) != exempt
                 })
-                .min_by_key(|(_, s)| s.last_used)
-                .map(|(vid, _)| *vid);
+                .min_by_key(|(_, s)| (s.last_used, s.id))
+                .map(|(_, s)| s.id);
             match victim {
                 Some(vid) => self.evict(vid),
                 None => return false,
@@ -717,8 +786,8 @@ impl Platform {
     /// Evicts `id` under memory pressure (counts and notifies, then
     /// destroys).
     fn evict(&mut self, id: InstanceId) {
-        self.stats.evictions += 1;
-        if let Some(slot) = self.slots.get(&id) {
+        self.batch.evictions += 1;
+        if let Some(slot) = self.slot(id) {
             let name = self.catalog[slot.fn_idx].name;
             if let Some(m) = self.manager.as_mut() {
                 m.note_eviction(self.now, name);
@@ -733,7 +802,7 @@ impl Platform {
     /// releases its cache charge, tells the manager, and kills the
     /// simulated process. Returns the USS the kill freed.
     fn destroy_instance(&mut self, id: InstanceId) -> u64 {
-        let Some(slot) = self.slots.remove(&id) else {
+        let Some(slot) = self.by_id.clear(id).and_then(|h| self.slots.remove(h)) else {
             return 0;
         };
         self.cache_used -= slot.charge;
@@ -763,11 +832,11 @@ impl Platform {
             .slots
             .iter()
             .filter(|(_, s)| s.status == Status::Frozen)
-            .max_by_key(|(vid, s)| (s.charge, **vid))
-            .map(|(vid, _)| *vid);
+            .max_by_key(|(_, s)| (s.charge, s.id))
+            .map(|(_, s)| s.id);
         if let Some(vid) = victim {
-            self.stats.oom_kills += 1;
-            if let Some(slot) = self.slots.get(&vid) {
+            self.batch.oom_kills += 1;
+            if let Some(slot) = self.slot(vid) {
                 let name = self.catalog[slot.fn_idx].name;
                 if let Some(m) = self.manager.as_mut() {
                     m.note_eviction(self.now, name);
@@ -782,10 +851,14 @@ impl Platform {
         self.release_cores(1.0);
         if self.used_cores + self.config.cpu_share <= self.config.cores {
             self.used_cores += self.config.cpu_share;
-            let slot = self.slots.get_mut(&id).ok_or(PlatformError::StaleInstance {
-                id,
-                context: "boot-done",
-            })?;
+            let slot = self
+                .by_id
+                .get(id)
+                .and_then(|h| self.slots.get_mut(h))
+                .ok_or(PlatformError::StaleInstance {
+                    id,
+                    context: "boot-done",
+                })?;
             slot.status = Status::Running;
             slot.last_used = self.now;
             self.start_execution(id, req, SimDuration::ZERO)?;
@@ -794,8 +867,7 @@ impl Platform {
             // boot released a whole core. Retry via the queue by
             // freezing the fresh instance unused.
             let stage = self
-                .slots
-                .get(&id)
+                .slot(id)
                 .ok_or(PlatformError::StaleInstance {
                     id,
                     context: "boot-done",
@@ -812,15 +884,14 @@ impl Platform {
     fn on_boot_failed(&mut self, id: InstanceId, req: usize) -> PlatformResult<()> {
         self.release_cores(1.0);
         let (fn_idx, stage) = self
-            .slots
-            .get(&id)
+            .slot(id)
             .map(|s| (s.fn_idx, s.stage))
             .ok_or(PlatformError::StaleInstance {
                 id,
                 context: "boot-failed",
             })?;
         self.destroy_instance(id);
-        self.stats.boot_failures += 1;
+        self.batch.boot_failures += 1;
         self.record_breaker_failure(fn_idx);
         self.fail_or_retry(req, stage, FailReason::BootFailure);
         self.drain_pending();
@@ -830,13 +901,13 @@ impl Platform {
     /// An injected crash struck partway through a stage.
     fn on_crash(&mut self, id: InstanceId, req: usize) -> PlatformResult<()> {
         self.release_cores(self.config.cpu_share);
-        let slot = self.slots.get(&id).ok_or(PlatformError::StaleInstance {
+        let slot = self.slot(id).ok_or(PlatformError::StaleInstance {
             id,
             context: "crash",
         })?;
         let (fn_idx, stage) = (slot.fn_idx, slot.stage);
         self.destroy_instance(id);
-        self.stats.crashes += 1;
+        self.batch.crashes += 1;
         self.record_breaker_failure(fn_idx);
         self.fail_or_retry(req, stage, FailReason::Crash);
         self.drain_pending();
@@ -846,10 +917,14 @@ impl Platform {
     /// Invokes the stage kernel on `id` and schedules its completion
     /// (or its crash, injected or genuine).
     fn start_execution(&mut self, id: InstanceId, req: usize, extra: SimDuration) -> PlatformResult<()> {
-        let slot = self.slots.get_mut(&id).ok_or(PlatformError::StaleInstance {
-            id,
-            context: "start-execution",
-        })?;
+        let slot = self
+            .by_id
+            .get(id)
+            .and_then(|h| self.slots.get_mut(h))
+            .ok_or(PlatformError::StaleInstance {
+                id,
+                context: "start-execution",
+            })?;
         let (fn_idx, stage) = (slot.fn_idx, slot.stage);
         let spec = self.catalog[fn_idx];
         // Intermediates from the previous request were transferred.
@@ -881,8 +956,8 @@ impl Platform {
                 // retries elsewhere.
                 self.release_cores(self.config.cpu_share);
                 self.destroy_instance(id);
-                self.stats.crashes += 1;
-                self.stats.heap_exhaustions += 1;
+                self.batch.crashes += 1;
+                self.batch.heap_exhaustions += 1;
                 self.record_breaker_failure(fn_idx);
                 self.fail_or_retry(req, stage, FailReason::HeapExhausted);
             }
@@ -892,7 +967,7 @@ impl Platform {
 
     fn on_stage_done(&mut self, id: InstanceId, req: usize) -> PlatformResult<()> {
         let (fn_idx, stage) = {
-            let slot = self.slots.get(&id).ok_or(PlatformError::StaleInstance {
+            let slot = self.slot(id).ok_or(PlatformError::StaleInstance {
                 id,
                 context: "stage-done",
             })?;
@@ -912,7 +987,7 @@ impl Platform {
             r.outcome = Outcome::Completed;
             let latency = self.now.since(r.arrival);
             self.stats.latency.record(latency);
-            self.stats.completed += 1;
+            self.batch.completed += 1;
         }
         // Exit-time behaviour.
         match self.mode {
@@ -921,10 +996,14 @@ impl Platform {
                 self.finish_freeze(id)?;
             }
             GcMode::Eager => {
-                let slot = self.slots.get_mut(&id).ok_or(PlatformError::StaleInstance {
-                    id,
-                    context: "stage-done",
-                })?;
+                let slot = self
+                    .by_id
+                    .get(id)
+                    .and_then(|h| self.slots.get_mut(h))
+                    .ok_or(PlatformError::StaleInstance {
+                        id,
+                        context: "stage-done",
+                    })?;
                 slot.status = Status::GcAfterExit;
                 match slot.inst.eager_gc(&mut self.sys) {
                     Ok(g) => {
@@ -936,8 +1015,8 @@ impl Platform {
                         // Exit-time GC wedged the runtime. The request
                         // already advanced; only the instance is lost.
                         self.release_cores(self.config.cpu_share);
-                        self.stats.crashes += 1;
-                        self.stats.heap_exhaustions += 1;
+                        self.batch.crashes += 1;
+                        self.batch.heap_exhaustions += 1;
                         self.destroy_instance(id);
                     }
                 }
@@ -950,10 +1029,14 @@ impl Platform {
     /// Freezes `id`: completes intermediate transfer semantics, returns
     /// it to its warm pool, and re-charges it at measured USS.
     fn finish_freeze(&mut self, id: InstanceId) -> PlatformResult<()> {
-        let slot = self.slots.get_mut(&id).ok_or(PlatformError::StaleInstance {
-            id,
-            context: "finish-freeze",
-        })?;
+        let slot = self
+            .by_id
+            .get(id)
+            .and_then(|h| self.slots.get_mut(h))
+            .ok_or(PlatformError::StaleInstance {
+                id,
+                context: "finish-freeze",
+            })?;
         slot.status = Status::Frozen;
         slot.frozen_since = self.now;
         slot.reclaimed_since_use = false;
@@ -970,7 +1053,7 @@ impl Platform {
         let r = &mut self.requests[req];
         debug_assert!(r.outcome == Outcome::Pending);
         r.outcome = Outcome::Failed(why);
-        self.stats.failed += 1;
+        self.batch.failed += 1;
     }
 
     /// Retries `req` at `stage` with capped exponential backoff, or
@@ -978,7 +1061,7 @@ impl Platform {
     fn fail_or_retry(&mut self, req: usize, stage: u8, why: FailReason) {
         let attempts = self.requests[req].attempts;
         if attempts >= self.config.max_retries {
-            self.stats.retry_gave_up += 1;
+            self.batch.retry_gave_up += 1;
             self.fail_request(req, why);
             return;
         }
@@ -991,7 +1074,7 @@ impl Platform {
             return;
         }
         self.requests[req].attempts += 1;
-        self.stats.retries += 1;
+        self.batch.retries += 1;
         self.schedule(at, Event::Retry { req, stage });
     }
 
@@ -1028,7 +1111,7 @@ impl Platform {
         };
         if trips {
             b.state = BreakerState::Open(until);
-            self.stats.breaker_trips += 1;
+            self.batch.breaker_trips += 1;
         }
     }
 
@@ -1047,12 +1130,12 @@ impl Platform {
         let Some(manager) = self.manager.as_mut() else {
             return;
         };
-        let views: Vec<FrozenView> = self
+        let mut views: Vec<FrozenView> = self
             .slots
             .iter()
             .filter(|(_, s)| s.status == Status::Frozen)
-            .map(|(id, s)| FrozenView {
-                id: *id,
+            .map(|(_, s)| FrozenView {
+                id: s.id,
                 function: self.catalog[s.fn_idx].name.to_string(),
                 stage: s.stage,
                 frozen_since: s.frozen_since,
@@ -1061,6 +1144,10 @@ impl Platform {
                 reclaimed: s.reclaimed_since_use,
             })
             .collect();
+        // Canonical id order: the slab iterates in slot order, but the
+        // manager contract (and the old id-sorted table) presents
+        // views lowest-id first.
+        views.sort_by_key(|v| v.id);
         let picks = manager.select_reclaims(
             self.now,
             self.config.cache_budget,
@@ -1076,11 +1163,11 @@ impl Platform {
                 break;
             }
             let cpus = idle.min(1.0);
-            if self.slots.get(&id).map(|s| s.status) != Some(Status::Frozen) {
+            if self.slot(id).map(|s| s.status) != Some(Status::Frozen) {
                 continue;
             }
             let injected_failure = self.injector.as_mut().is_some_and(|i| i.reclaim_fails());
-            let Some(slot) = self.slots.get_mut(&id) else {
+            let Some(slot) = self.by_id.get(id).and_then(|h| self.slots.get_mut(h)) else {
                 continue;
             };
             slot.status = Status::Reclaiming;
@@ -1105,8 +1192,8 @@ impl Platform {
             }
             let wall = report.wall_time.mul_f64(1.0 / cpus);
             self.used_cores += cpus;
-            self.stats.reclamations += 1;
-            self.stats.reclaimed_bytes += released;
+            self.batch.reclamations += 1;
+            self.batch.reclaimed_bytes += released;
             self.stats
                 .record_core_time(CoreTimeKind::Reclaim, wall, cpus);
             let name = self.catalog[fn_idx].name;
@@ -1129,7 +1216,7 @@ impl Platform {
     fn fail_reclaim(&mut self, id: InstanceId, fn_idx: usize, cpus: f64) {
         let wall = self.config.reclaim_timeout;
         self.used_cores += cpus;
-        self.stats.reclaim_failures += 1;
+        self.batch.reclaim_failures += 1;
         self.stats.record_core_time(CoreTimeKind::Reclaim, wall, cpus);
         let name = self.catalog[fn_idx].name;
         if let Some(m) = self.manager.as_mut() {
@@ -1138,12 +1225,16 @@ impl Platform {
         self.schedule(self.now + wall, Event::ReclaimDone { id, cpus, ok: false });
     }
 
-    /// USS of every live instance, for harness measurements.
+    /// USS of every live instance in id order, for harness
+    /// measurements.
     pub fn instance_uss(&self) -> Vec<(InstanceId, u64)> {
-        self.slots
+        let mut out: Vec<(InstanceId, u64)> = self
+            .slots
             .iter()
-            .map(|(id, s)| (*id, s.inst.uss(&self.sys)))
-            .collect()
+            .map(|(_, s)| (s.id, s.inst.uss(&self.sys)))
+            .collect();
+        out.sort_unstable_by_key(|(id, _)| *id);
+        out
     }
 
     /// Events handled since the platform was created (survives
@@ -1243,21 +1334,33 @@ impl Platform {
     /// float is written bit-exactly.
     pub fn checkpoint(&self) -> Vec<u8> {
         use snapshot::Snapshot;
+        debug_assert!(
+            self.batch.is_empty(),
+            "counter batch must be flushed before a checkpoint"
+        );
         let mut w = snapshot::Writer::new();
         snapshot::write_header(&mut w, SNAP_MAGIC, SNAP_VERSION);
         self.fingerprint().snap(&mut w);
         self.sys.snap(&mut w);
-        self.slots.snap(&mut w);
+        // The instance table, in the old `BTreeMap<InstanceId, Slot>`
+        // wire format: length, then (id, slot) pairs lowest-id first.
+        let mut live: Vec<&Slot> = self.slots.iter().map(|(_, s)| s).collect();
+        live.sort_unstable_by_key(|s| s.id);
+        w.usize(live.len());
+        for s in live {
+            s.id.snap(&mut w);
+            s.snap(&mut w);
+        }
         self.pools.snap(&mut w);
         self.shared_libs.snap(&mut w);
         self.requests.snap(&mut w);
-        let mut evs: Vec<&Scheduled> = self.events.iter().collect();
-        evs.sort_by_key(|s| (s.at, s.seq));
-        w.usize(evs.len());
-        for s in evs {
-            s.at.snap(&mut w);
-            s.seq.snap(&mut w);
-            s.ev.snap(&mut w);
+        // The event queue, in canonical (time, seq) order — identical
+        // bytes on either queue representation.
+        w.usize(self.events.len());
+        for (at, seq, ev) in self.events.sorted_entries() {
+            at.snap(&mut w);
+            seq.snap(&mut w);
+            ev.snap(&mut w);
         }
         self.pending.snap(&mut w);
         self.now.snap(&mut w);
@@ -1297,17 +1400,24 @@ impl Platform {
             .into());
         }
         let sys = System::restore(&mut r)?;
-        let slots: BTreeMap<InstanceId, Slot> = BTreeMap::restore(&mut r)?;
+        let n_slots = r.seq_len()?;
+        let mut slot_rows: Vec<Slot> = Vec::with_capacity(n_slots);
+        for _ in 0..n_slots {
+            let id = InstanceId::restore(&mut r)?;
+            let mut slot = Slot::restore(&mut r)?;
+            slot.id = id;
+            slot_rows.push(slot);
+        }
         let pools: BTreeMap<(usize, u8), Vec<InstanceId>> = BTreeMap::restore(&mut r)?;
         let shared_libs: BTreeMap<Language, SharedLibs> = BTreeMap::restore(&mut r)?;
         let requests: Vec<Request> = Vec::restore(&mut r)?;
         let n_events = r.seq_len()?;
-        let mut events = BinaryHeap::with_capacity(n_events);
+        let mut event_rows: Vec<(SimTime, u64, Event)> = Vec::with_capacity(n_events);
         for _ in 0..n_events {
             let at = SimTime::restore(&mut r)?;
             let seq = u64::restore(&mut r)?;
             let ev = Event::restore(&mut r)?;
-            events.push(Scheduled { at, seq, ev });
+            event_rows.push((at, seq, ev));
         }
         let pending: VecDeque<PendingStage> = VecDeque::restore(&mut r)?;
         let now = SimTime::restore(&mut r)?;
@@ -1341,8 +1451,11 @@ impl Platform {
             }
         }
         let mut charge_sum = 0u64;
-        for (id, slot) in &slots {
-            if id.0 >= next_instance {
+        for (i, slot) in slot_rows.iter().enumerate() {
+            if i > 0 && slot_rows[i - 1].id >= slot.id {
+                return Err(SnapError::Corrupt("instance table not id-sorted").into());
+            }
+            if slot.id.0 >= next_instance {
                 return Err(SnapError::Corrupt("instance id >= next_instance").into());
             }
             if slot.fn_idx >= self.catalog.len()
@@ -1355,10 +1468,18 @@ impl Platform {
         if charge_sum != cache_used {
             return Err(SnapError::Corrupt("cache charge does not sum").into());
         }
+        let mut slots: Slab<Slot> = Slab::new();
+        let mut by_id = IdMap::new();
+        for slot in slot_rows {
+            let id = slot.id;
+            let h = slots.insert(slot);
+            by_id.set(id, h);
+        }
         for (&(fn_idx, stage), ids) in &pools {
             for id in ids {
-                let ok = slots
-                    .get(id)
+                let ok = by_id
+                    .get(*id)
+                    .and_then(|h| slots.get(h))
                     .is_some_and(|s| s.fn_idx == fn_idx && s.stage == stage);
                 if !ok {
                     return Err(SnapError::Corrupt("pool entry has no matching slot").into());
@@ -1366,23 +1487,25 @@ impl Platform {
             }
         }
         let ev_ok = |req: usize| req < requests.len();
-        for s in &events {
-            if s.seq > seq {
+        for (_, ev_seq, ev) in &event_rows {
+            if *ev_seq > seq {
                 return Err(SnapError::Corrupt("event seq above cursor").into());
             }
-            let ok = match s.ev {
+            let ok = match ev {
                 Event::Arrival { req }
                 | Event::BootDone { req, .. }
                 | Event::BootFailed { req, .. }
                 | Event::StageDone { req, .. }
                 | Event::Crash { req, .. }
-                | Event::Retry { req, .. } => ev_ok(req),
+                | Event::Retry { req, .. } => ev_ok(*req),
                 Event::GcDone { .. } | Event::ReclaimDone { .. } | Event::Sweep => true,
             };
             if !ok {
                 return Err(SnapError::Corrupt("event names unknown request").into());
             }
         }
+        let events = EventQueue::from_sorted(self.events.kind(), event_rows)
+            .map_err(SnapError::Corrupt)?;
         for p in &pending {
             if !ev_ok(p.req) {
                 return Err(SnapError::Corrupt("pending stage names unknown request").into());
@@ -1399,8 +1522,13 @@ impl Platform {
             None => {}
         }
 
+        debug_assert!(
+            self.batch.is_empty(),
+            "restore with unflushed stats batch"
+        );
         self.sys = sys;
         self.slots = slots;
+        self.by_id = by_id;
         self.pools = pools;
         self.shared_libs = shared_libs;
         self.requests = requests;
@@ -1468,8 +1596,13 @@ mod snap_impls {
     }
 
     impl Snapshot for Slot {
+        // `id` is deliberately not serialized here: the instance table
+        // writes it as the row key, exactly where the old
+        // `BTreeMap<InstanceId, Slot>` wire format put it. The restore
+        // side writes a placeholder the caller overwrites with the key.
         fn snap(&self, w: &mut Writer) {
             let Self {
+                id: _,
                 fn_idx,
                 stage,
                 inst,
@@ -1493,6 +1626,7 @@ mod snap_impls {
 
         fn restore(r: &mut Reader<'_>) -> Result<Slot, SnapError> {
             Ok(Slot {
+                id: InstanceId(u64::MAX),
                 fn_idx: usize::restore(r)?,
                 stage: u8::restore(r)?,
                 inst: Instance::restore(r)?,

@@ -1,0 +1,295 @@
+//! Slab arenas with generational handles, plus a dense id→handle map.
+//!
+//! The platform's per-event hot path used to walk a
+//! `BTreeMap<InstanceId, Slot>` for every lookup — `O(log n)` with a
+//! pointer chase per level. A [`Slab`] stores values in one contiguous
+//! `Vec` with a free list (the SNIPPETS.md free-list idiom), so a
+//! lookup is a single bounds-checked index. Handles carry a
+//! generation that is bumped on every remove: a stale handle to a
+//! recycled slot can never alias the new occupant, which the chaos
+//! tests (crash teardown, OOM kill — the schedules that churn slots
+//! hardest) assert directly.
+//!
+//! [`IdMap`] completes the picture for the platform, whose public API
+//! and wire format are keyed by monotonically assigned [`InstanceId`]s
+//! (never reused): a plain `Vec<Handle>` indexed by the raw id gives
+//! O(1) id→handle translation without changing id semantics.
+
+use crate::platform::InstanceId;
+
+/// A generational handle into a [`Slab`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Handle {
+    idx: u32,
+    gen: u32,
+}
+
+impl Handle {
+    /// The never-valid handle; `IdMap` slots start here.
+    pub const NULL: Handle = Handle {
+        idx: u32::MAX,
+        gen: 0,
+    };
+}
+
+/// One slab entry: either occupied (with the generation its handle
+/// must match) or a free-list link to the next vacant slot.
+#[derive(Debug, Clone)]
+enum Entry<T> {
+    Occupied { gen: u32, value: T },
+    Vacant { gen: u32, next_free: u32 },
+}
+
+/// A contiguous arena with free-list reuse and generational handles.
+#[derive(Debug, Clone)]
+pub struct Slab<T> {
+    entries: Vec<Entry<T>>,
+    /// Head of the vacant-slot chain; `u32::MAX` when none.
+    free_head: u32,
+    len: usize,
+}
+
+impl<T> Default for Slab<T> {
+    fn default() -> Slab<T> {
+        Slab::new()
+    }
+}
+
+impl<T> Slab<T> {
+    /// An empty slab.
+    pub fn new() -> Slab<T> {
+        Slab {
+            entries: Vec::new(),
+            free_head: u32::MAX,
+            len: 0,
+        }
+    }
+
+    /// Number of live values.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the slab holds no live values.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Stores `value`, reusing a free slot if one exists.
+    pub fn insert(&mut self, value: T) -> Handle {
+        self.len += 1;
+        if self.free_head != u32::MAX {
+            let idx = self.free_head;
+            let slot = &mut self.entries[idx as usize];
+            let gen = match *slot {
+                Entry::Vacant { gen, next_free } => {
+                    self.free_head = next_free;
+                    gen
+                }
+                Entry::Occupied { .. } => unreachable!("free list points at occupied slot"),
+            };
+            *slot = Entry::Occupied { gen, value };
+            Handle { idx, gen }
+        } else {
+            let idx = self.entries.len() as u32;
+            self.entries.push(Entry::Occupied { gen: 0, value });
+            Handle { idx, gen: 0 }
+        }
+    }
+
+    /// Removes the value behind `h`, bumping the slot generation so
+    /// `h` (and any copy of it) is dead forever.
+    pub fn remove(&mut self, h: Handle) -> Option<T> {
+        let slot = self.entries.get_mut(h.idx as usize)?;
+        match slot {
+            Entry::Occupied { gen, .. } if *gen == h.gen => {
+                let next = std::mem::replace(
+                    slot,
+                    Entry::Vacant {
+                        gen: h.gen.wrapping_add(1),
+                        next_free: self.free_head,
+                    },
+                );
+                self.free_head = h.idx;
+                self.len -= 1;
+                match next {
+                    Entry::Occupied { value, .. } => Some(value),
+                    Entry::Vacant { .. } => unreachable!(),
+                }
+            }
+            _ => None,
+        }
+    }
+
+    /// The value behind `h`, if `h` is still live.
+    #[inline]
+    pub fn get(&self, h: Handle) -> Option<&T> {
+        match self.entries.get(h.idx as usize) {
+            Some(Entry::Occupied { gen, value }) if *gen == h.gen => Some(value),
+            _ => None,
+        }
+    }
+
+    /// Mutable access to the value behind `h`, if still live.
+    #[inline]
+    pub fn get_mut(&mut self, h: Handle) -> Option<&mut T> {
+        match self.entries.get_mut(h.idx as usize) {
+            Some(Entry::Occupied { gen, value }) if *gen == h.gen => Some(value),
+            _ => None,
+        }
+    }
+
+    /// Whether `h` still points at a live value.
+    pub fn contains(&self, h: Handle) -> bool {
+        self.get(h).is_some()
+    }
+
+    /// Visits every live value in slab (slot) order. Slot order is an
+    /// artifact of free-list history — callers that need a canonical
+    /// order must sort by an embedded key.
+    pub fn iter(&self) -> impl Iterator<Item = (Handle, &T)> {
+        self.entries.iter().enumerate().filter_map(|(idx, e)| match e {
+            Entry::Occupied { gen, value } => Some((
+                Handle {
+                    idx: idx as u32,
+                    gen: *gen,
+                },
+                value,
+            )),
+            Entry::Vacant { .. } => None,
+        })
+    }
+
+    /// Mutable visit of every live value in slot order.
+    pub fn iter_mut(&mut self) -> impl Iterator<Item = (Handle, &mut T)> {
+        self.entries
+            .iter_mut()
+            .enumerate()
+            .filter_map(|(idx, e)| match e {
+                Entry::Occupied { gen, value } => Some((
+                    Handle {
+                        idx: idx as u32,
+                        gen: *gen,
+                    },
+                    value,
+                )),
+                Entry::Vacant { .. } => None,
+            })
+    }
+}
+
+/// O(1) translation from the platform's monotonically assigned
+/// [`InstanceId`]s to slab handles: a `Vec<Handle>` indexed by the raw
+/// id, growing on demand. Ids are never reused by the platform, so a
+/// cleared entry stays [`Handle::NULL`] forever.
+#[derive(Debug, Clone, Default)]
+pub struct IdMap {
+    handles: Vec<Handle>,
+}
+
+impl IdMap {
+    /// An empty map.
+    pub fn new() -> IdMap {
+        IdMap::default()
+    }
+
+    /// Binds `id` to `h`.
+    pub fn set(&mut self, id: InstanceId, h: Handle) {
+        let idx = id.0 as usize;
+        if idx >= self.handles.len() {
+            self.handles.resize(idx + 1, Handle::NULL);
+        }
+        self.handles[idx] = h;
+    }
+
+    /// The handle bound to `id`, if any.
+    #[inline]
+    pub fn get(&self, id: InstanceId) -> Option<Handle> {
+        match self.handles.get(id.0 as usize) {
+            Some(&h) if h != Handle::NULL => Some(h),
+            _ => None,
+        }
+    }
+
+    /// Unbinds `id`, returning the handle it held.
+    pub fn clear(&mut self, id: InstanceId) -> Option<Handle> {
+        match self.handles.get_mut(id.0 as usize) {
+            Some(h) if *h != Handle::NULL => Some(std::mem::replace(h, Handle::NULL)),
+            _ => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_get_remove_round_trip() {
+        let mut slab = Slab::new();
+        let a = slab.insert("a");
+        let b = slab.insert("b");
+        assert_eq!(slab.len(), 2);
+        assert_eq!(slab.get(a), Some(&"a"));
+        assert_eq!(slab.get(b), Some(&"b"));
+        assert_eq!(slab.remove(a), Some("a"));
+        assert_eq!(slab.get(a), None);
+        assert_eq!(slab.len(), 1);
+    }
+
+    #[test]
+    fn stale_handle_never_aliases_reused_slot() {
+        let mut slab = Slab::new();
+        let a = slab.insert(1u32);
+        assert_eq!(slab.remove(a), Some(1));
+        // Free-list reuse: the same physical slot, a new generation.
+        let b = slab.insert(2u32);
+        assert_eq!(slab.get(b), Some(&2));
+        assert_eq!(slab.get(a), None, "stale handle resolved after reuse");
+        assert_eq!(slab.remove(a), None);
+        assert!(!slab.contains(a));
+        assert!(slab.contains(b));
+    }
+
+    #[test]
+    fn free_list_is_lifo_and_len_tracks() {
+        let mut slab = Slab::new();
+        let handles: Vec<_> = (0..10).map(|i| slab.insert(i)).collect();
+        for h in &handles[3..7] {
+            slab.remove(*h);
+        }
+        assert_eq!(slab.len(), 6);
+        // Reinsertions fill freed slots before growing the vec.
+        let before = slab.entries.len();
+        for i in 100..104 {
+            slab.insert(i);
+        }
+        assert_eq!(slab.entries.len(), before);
+        assert_eq!(slab.len(), 10);
+    }
+
+    #[test]
+    fn iter_yields_live_entries_only() {
+        let mut slab = Slab::new();
+        let a = slab.insert("a");
+        slab.insert("b");
+        slab.insert("c");
+        slab.remove(a);
+        let live: Vec<&str> = slab.iter().map(|(_, v)| *v).collect();
+        assert_eq!(live, vec!["b", "c"]);
+    }
+
+    #[test]
+    fn id_map_grows_and_clears() {
+        let mut map = IdMap::new();
+        let mut slab = Slab::new();
+        let h = slab.insert(());
+        map.set(InstanceId(40), h);
+        assert_eq!(map.get(InstanceId(40)), Some(h));
+        assert_eq!(map.get(InstanceId(7)), None);
+        assert_eq!(map.get(InstanceId(10_000)), None);
+        assert_eq!(map.clear(InstanceId(40)), Some(h));
+        assert_eq!(map.get(InstanceId(40)), None);
+        assert_eq!(map.clear(InstanceId(40)), None);
+    }
+}

@@ -1,0 +1,20 @@
+//! Seeded violation: a heap event queue in a sim-state crate.
+//! Scanned by the self-test as `crates/faas/src/fake.rs`.
+
+pub struct InstanceId(pub u64);
+
+/// The commented-out heap and the test-module id-keyed map below must
+/// NOT count; only the real `queue` field may be flagged.
+// type Shadow = BinaryHeap<u64>;
+pub struct Fake {
+    queue: std::collections::BinaryHeap<u64>,
+    // A BTreeMap keyed on anything else is fine.
+    by_name: std::collections::BTreeMap<String, u64>,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::InstanceId;
+    // Test code is exempt: oracles may use the slow containers.
+    type Lookup = std::collections::BTreeMap<InstanceId, u64>;
+}

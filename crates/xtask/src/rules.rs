@@ -14,6 +14,10 @@
 //! * **hygiene** — `forbid-unsafe`, `path-deps`, `shim-surface`: every
 //!   crate forbids `unsafe`, manifests carry only path dependencies,
 //!   vendored shims export nothing dead.
+//! * **performance** — `hot-containers`: sim-state crates may not
+//!   reintroduce `BinaryHeap` event queues or `BTreeMap<InstanceId, _>`
+//!   per-event lookups; the calendar queue and slab arenas replaced
+//!   them for a reason.
 //!
 //! A violation is suppressed by an inline marker on the same or the
 //! preceding line:
@@ -86,6 +90,14 @@ pub const RULES: &[Rule] = &[
         summary: "Snapshot impl without exhaustive field destructuring",
         hint: "destructure every field (`let Self { a, b } = self;` / `match self`) so \
                adding a field is a compile error at the codec instead of silent state loss",
+    },
+    Rule {
+        name: "hot-containers",
+        family: "performance",
+        summary: "BinaryHeap or BTreeMap<InstanceId, _> on a sim-state hot path",
+        hint: "use faas::queue::EventQueue (calendar queue) for scheduling and \
+               faas::slab::{Slab, IdMap} for per-instance state; if the container is \
+               provably off the per-event path, add `// tidy:allow(hot-containers) -- why`",
     },
     Rule {
         name: "forbid-unsafe",
@@ -388,6 +400,29 @@ fn path_segment_after(text: &str, end: usize) -> Option<&str> {
     Some(&text[s..e])
 }
 
+/// After an ident ending at `end`, matches `< Ident` (or `::< Ident`,
+/// the turbofish) and returns the leading ident of the first generic
+/// argument.
+fn first_generic_arg(text: &str, end: usize) -> Option<&str> {
+    let bytes = text.as_bytes();
+    let (mut p, mut b) = next_nonspace(bytes, end)?;
+    if b == b':' && bytes.get(p + 1) == Some(&b':') {
+        (p, b) = next_nonspace(bytes, p + 2)?;
+    }
+    if b != b'<' {
+        return None;
+    }
+    let (s, b2) = next_nonspace(bytes, p + 1)?;
+    if !is_ident_byte(b2) {
+        return None;
+    }
+    let mut e = s;
+    while e < bytes.len() && is_ident_byte(bytes[e]) {
+        e += 1;
+    }
+    Some(&text[s..e])
+}
+
 /// Is the ident at `(start, end)` a method call receiver position:
 /// `.name(` ?
 fn is_method_call(text: &str, start: usize, end: usize) -> bool {
@@ -498,6 +533,30 @@ fn scan_tokens(
                         "`panic!` in a hot path that must degrade, not die".to_string(),
                     ));
                 }
+            }
+            "BinaryHeap" if sim_state && !is_test_line(mask, line) => {
+                out.push(Finding::new(
+                    path,
+                    line,
+                    "hot-containers",
+                    "`BinaryHeap` event queue on a sim-state hot path \
+                     (the calendar queue replaced it)"
+                        .to_string(),
+                ));
+            }
+            "BTreeMap"
+                if sim_state
+                    && !is_test_line(mask, line)
+                    && first_generic_arg(text, e) == Some("InstanceId") =>
+            {
+                out.push(Finding::new(
+                    path,
+                    line,
+                    "hot-containers",
+                    "`BTreeMap<InstanceId, _>` per-event lookup table \
+                     (the slab arena replaced it)"
+                        .to_string(),
+                ));
             }
             "as" if casts && !is_test_line(mask, line) => {
                 if let Some(target) = path_or_ident_after(text, e) {

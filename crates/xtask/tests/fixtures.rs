@@ -58,6 +58,11 @@ fn every_source_rule_fires_on_its_seeded_fixture() {
             "crates/faas/src/fake.rs",
         ),
         ("forbid-unsafe", "forbid_unsafe.rs", "crates/fake/src/lib.rs"),
+        (
+            "hot-containers",
+            "hot_containers.rs",
+            "crates/faas/src/fake.rs",
+        ),
     ];
     for (rule, file, path) in cases {
         let findings = check_source(path, &fixture(file));
@@ -77,6 +82,7 @@ fn seeded_violations_vanish_outside_their_rule_scope() {
         ("lossy_casts.rs", "crates/faas/src/fake.rs"),
         ("snapshot_coverage.rs", "crates/xtask/src/fake.rs"),
         ("forbid_unsafe.rs", "crates/fake/src/notroot.rs"),
+        ("hot_containers.rs", "crates/xtask/src/fake.rs"),
     ];
     for (file, path) in cases {
         let findings = check_source(path, &fixture(file));
@@ -137,10 +143,10 @@ pub type T = HashMap<u64, u64>;
 
 #[test]
 fn every_rule_in_the_catalogue_has_family_and_hint() {
-    assert_eq!(RULES.len(), 10);
+    assert_eq!(RULES.len(), 11);
     for r in RULES {
         assert!(
-            ["determinism", "robustness", "hygiene"].contains(&r.family),
+            ["determinism", "robustness", "hygiene", "performance"].contains(&r.family),
             "{} has odd family {}",
             r.name,
             r.family

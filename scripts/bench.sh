@@ -1,0 +1,23 @@
+#!/usr/bin/env bash
+# Perf trajectory: regenerate the committed BENCH_*.json files at the
+# repo root.
+#
+# Runs the `perf` harness in full mode (4M hold-model ops, best-of-5
+# replay rounds) and writes:
+#
+#   BENCH_eventloop.json — calendar vs. reference-heap hold model
+#   BENCH_replay.json    — replay_30s_sf15 wall time, both queue
+#                          impls, vanilla + desiccant, against the
+#                          fixed pre-PR baseline
+#
+# Numbers are host-dependent: run on an idle machine and commit the
+# refreshed files together with the change that moved them, so the
+# repo history doubles as the perf trajectory. `scripts/tier1.sh`
+# runs the same harness in `--quick --check` mode as a smoke gate;
+# this script is the measurement run.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+cargo build --release -q -p bench --bin perf
+./target/release/perf --out-dir . "$@"
+echo "bench OK — review and commit BENCH_*.json"

@@ -29,6 +29,13 @@ for bin in "${bins[@]}"; do
         >/dev/null
 done
 
+echo "== perf smoke (hold model + replay, quick, checked) =="
+# Quick mode: enough ops to catch a representation regression (the
+# --check floor is deliberately below the full-mode target so shared
+# CI hosts don't flake); full measurements come from scripts/bench.sh.
+cargo run --release -q -p bench --bin perf -- --quick --check \
+    --out-dir target/bench-smoke >/dev/null
+
 echo "== chaos (fault-free + seeded fault schedules) =="
 # Default sweep: fault-free baselines plus seeds 11/23/47 at a 1 %
 # fault rate, with termination/accounting/determinism checks on.
