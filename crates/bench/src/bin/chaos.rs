@@ -20,15 +20,22 @@
 //!
 //! With `--crash-every N` or `--crash-at N` the harness additionally
 //! runs the **kill–recover gate**: the replay is driven through the
-//! resumable protocol, the event loop is killed on the given schedule,
-//! and each death is recovered by restoring the latest checkpoint and
-//! re-submitting the journaled requests. The gate passes only if the
+//! resumable protocol — incremental base+delta checkpoints written to
+//! a simulated store — the event loop is killed on the given schedule,
+//! and each death is recovered from the newest verifiable checkpoint
+//! chain plus the journaled requests. The gate passes only if the
 //! recovered run's final state digests byte-identical to an
 //! uninterrupted control — crashes must be invisible in the results.
 //!
+//! `--torn-write` additionally tears checkpoint writes at frame
+//! boundaries on a seeded schedule, and `--corrupt-at N` flips a bit
+//! at byte offset `N` of *every* checkpoint written — recovery then
+//! falls back to older checkpoints, or all the way to a from-scratch
+//! journal replay, and the digest must still match the control.
+//!
 //! Flags: `--quick`, `--check`, `--fault-seed N` (single seed instead
 //! of the default sweep), `--fault-rate R`, `--crash-every N`,
-//! `--crash-at N`.
+//! `--crash-at N`, `--torn-write`, `--corrupt-at N`.
 
 #![forbid(unsafe_code)]
 
@@ -38,7 +45,7 @@ use bench::golden::Fnv1a;
 use bench::report;
 use desiccant::{Desiccant, DesiccantConfig};
 use faas::platform::{GcMode, Platform};
-use faas::{CrashPlan, FaultPlan, MemoryManager, PlatformConfig};
+use faas::{CrashPlan, FaultPlan, MemoryManager, PlatformConfig, StorageFaultPlan};
 use simos::metrics::{total_pss, total_rss, total_uss};
 use simos::SimDuration;
 
@@ -148,12 +155,14 @@ fn resume_digest(out: &azure_trace::ResumeOutcome) -> u64 {
 }
 
 /// The kill–recover gate: drive the resumable replay, kill it on
-/// `crash`'s schedule, recover from checkpoints + journal, and demand
-/// the final state digest byte-identical to an uninterrupted control.
-fn kill_recover_gate(flags: &Flags, crash: CrashPlan) {
+/// `crash`'s schedule — with `storage` additionally corrupting the
+/// checkpoint writes — recover from the newest verifiable checkpoint
+/// chain + journal, and demand the final state digest byte-identical
+/// to an uninterrupted (and storage-fault-free) control.
+fn kill_recover_gate(flags: &Flags, crash: CrashPlan, storage: Option<StorageFaultPlan>) {
     report::caption(
-        "Kill-recover: crash on schedule, restore checkpoint, replay journal",
-        &["mode", "recoveries", "control", "recovered"],
+        "Kill-recover: crash on schedule, restore checkpoint chain, replay journal",
+        &["mode", "recoveries", "scratch", "store_faults", "control", "recovered"],
     );
     for mode in ["vanilla", "desiccant"] {
         let make = || {
@@ -176,13 +185,18 @@ fn kill_recover_gate(flags: &Flags, crash: CrashPlan) {
             drain: SimDuration::from_secs(20),
             ..ReplayConfig::default()
         };
-        let opts = ResumeOptions::default();
-        let control = replay_resumable(make, &trace, &config, &opts, None);
+        let control = replay_resumable(make, &trace, &config, &ResumeOptions::default(), None);
+        let opts = ResumeOptions {
+            storage_faults: storage,
+            ..ResumeOptions::default()
+        };
         let recovered = replay_resumable(make, &trace, &config, &opts, Some(crash));
         let (dc, dr) = (resume_digest(&control), resume_digest(&recovered));
         report::row(&[
             mode.into(),
             format!("{}", recovered.recoveries),
+            format!("{}", recovered.scratch_recoveries),
+            format!("{}", recovered.storage_faults_injected),
             format!("{dc:016x}"),
             format!("{dr:016x}"),
         ]);
@@ -196,6 +210,13 @@ fn kill_recover_gate(flags: &Flags, crash: CrashPlan) {
             recovered.recoveries > 0,
             &format!("{mode}: crash schedule fired at least once"),
         );
+        if storage.is_some() {
+            check(
+                flags,
+                recovered.storage_faults_injected > 0,
+                &format!("{mode}: storage fault plan fired at least once"),
+            );
+        }
         check(
             flags,
             dc == dr,
@@ -350,6 +371,20 @@ fn main() {
     );
 
     if let Some(plan) = crash {
-        kill_recover_gate(&flags, plan);
+        // Storage-fault schedule for the checkpoint store, if any: a
+        // seeded torn-write schedule, or a pinned bit flip in every
+        // checkpoint written (recovery then replays the journal from
+        // nothing — and must still digest identical to the control).
+        let storage_seed = seeds.first().copied().unwrap_or(11);
+        let storage = if let Some(offset) =
+            flags.value_of("--corrupt-at").and_then(|v| v.parse().ok())
+        {
+            Some(StorageFaultPlan::corrupt_at(storage_seed, offset))
+        } else if flags.has("--torn-write") {
+            Some(StorageFaultPlan::torn(storage_seed, 0.5))
+        } else {
+            None
+        };
+        kill_recover_gate(&flags, plan, storage);
     }
 }

@@ -405,3 +405,222 @@ impl CrashPlan {
         }
     }
 }
+
+/// How a checkpoint write to the simulated durable store is corrupted.
+///
+/// Each variant models one real failure of a non-atomic multi-write
+/// checkpoint protocol; the framed container format
+/// ([`snapshot::frame`]) is designed so every one of them is detected
+/// at open time rather than silently restored.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StorageFault {
+    /// The write is torn at a frame boundary: a clean prefix of whole
+    /// frames persists, the commit record is lost.
+    TornWrite,
+    /// The object is cut at an arbitrary byte offset — a ragged tail
+    /// that may end mid-frame.
+    Truncate,
+    /// A single bit flips at a (seeded or pinned) byte offset.
+    BitFlip,
+    /// The body persists but the trailing commit record is the
+    /// *previous* checkpoint's — a stale commit spliced over new
+    /// frames, as when the commit sector write is reordered and lost.
+    StaleCommit,
+}
+
+impl StorageFault {
+    /// Short name for diagnostics and panic messages.
+    pub fn name(&self) -> &'static str {
+        match self {
+            StorageFault::TornWrite => "torn-write",
+            StorageFault::Truncate => "truncate",
+            StorageFault::BitFlip => "bit-flip",
+            StorageFault::StaleCommit => "stale-commit",
+        }
+    }
+}
+
+/// Per-class probabilities of corrupting one checkpoint write, plus an
+/// optional pinned corruption offset. All probabilities in `[0, 1]`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct StorageFaultPlan {
+    /// Seed of the private splitmix64 stream.
+    pub seed: u64,
+    /// Probability the write is torn at a frame boundary.
+    pub torn_write: f64,
+    /// Probability the write is cut at an arbitrary byte offset.
+    pub truncate: f64,
+    /// Probability one bit flips.
+    pub bit_flip: f64,
+    /// Probability the commit record is the previous checkpoint's.
+    pub stale_commit: f64,
+    /// When set, a bit flip strikes at exactly this byte offset
+    /// (clamped to the object) instead of a drawn one.
+    pub corrupt_at: Option<u64>,
+}
+
+impl StorageFaultPlan {
+    /// A plan corrupting writes with every class at the same `rate`.
+    pub fn uniform(seed: u64, rate: f64) -> StorageFaultPlan {
+        StorageFaultPlan {
+            seed,
+            torn_write: rate,
+            truncate: rate,
+            bit_flip: rate,
+            stale_commit: rate,
+            corrupt_at: None,
+        }
+    }
+
+    /// A plan injecting only frame-boundary torn writes at `rate`.
+    pub fn torn(seed: u64, rate: f64) -> StorageFaultPlan {
+        StorageFaultPlan {
+            torn_write: rate,
+            ..StorageFaultPlan::uniform(seed, 0.0)
+        }
+    }
+
+    /// A plan flipping one bit of *every* write at byte `offset`.
+    pub fn corrupt_at(seed: u64, offset: u64) -> StorageFaultPlan {
+        StorageFaultPlan {
+            bit_flip: 1.0,
+            corrupt_at: Some(offset),
+            ..StorageFaultPlan::uniform(seed, 0.0)
+        }
+    }
+
+    /// True if every class has probability zero.
+    pub fn is_inert(&self) -> bool {
+        self.torn_write == 0.0
+            && self.truncate == 0.0
+            && self.bit_flip == 0.0
+            && self.stale_commit == 0.0
+    }
+
+    /// Sanity checks.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any probability is outside `[0, 1]` or not finite.
+    pub fn validate(&self) {
+        for (name, p) in [
+            ("torn_write", self.torn_write),
+            ("truncate", self.truncate),
+            ("bit_flip", self.bit_flip),
+            ("stale_commit", self.stale_commit),
+        ] {
+            assert!(
+                p.is_finite() && (0.0..=1.0).contains(&p),
+                "storage fault probability {name} = {p} outside [0, 1]"
+            );
+        }
+    }
+}
+
+/// The seeded storage fault stream: decides, at each checkpoint write,
+/// whether and how the write is corrupted. Classes are drawn in a
+/// fixed order (torn, truncate, flip, stale) and the first that fires
+/// wins; zero-probability classes consume no randomness, so disabling
+/// one does not shift the schedule of the others.
+#[derive(Debug, Clone)]
+pub struct StorageFaultInjector {
+    plan: StorageFaultPlan,
+    state: u64,
+}
+
+impl StorageFaultInjector {
+    /// Creates an injector over `plan` (validated).
+    pub fn new(plan: StorageFaultPlan) -> StorageFaultInjector {
+        plan.validate();
+        StorageFaultInjector {
+            plan,
+            state: plan.seed,
+        }
+    }
+
+    /// The plan this injector executes.
+    pub fn plan(&self) -> &StorageFaultPlan {
+        &self.plan
+    }
+
+    /// splitmix64: one step of the private stream.
+    fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E3779B97F4A7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+        z ^ (z >> 31)
+    }
+
+    fn unit(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+    }
+
+    fn roll(&mut self, p: f64) -> bool {
+        p > 0.0 && self.unit() < p
+    }
+
+    /// Decides the fate of the checkpoint write happening now.
+    pub fn next_fault(&mut self) -> Option<StorageFault> {
+        for (fault, p) in [
+            (StorageFault::TornWrite, self.plan.torn_write),
+            (StorageFault::Truncate, self.plan.truncate),
+            (StorageFault::BitFlip, self.plan.bit_flip),
+            (StorageFault::StaleCommit, self.plan.stale_commit),
+        ] {
+            if self.roll(p) {
+                return Some(fault);
+            }
+        }
+        None
+    }
+
+    /// A uniform index in `[0, n)`; `n` must be nonzero.
+    pub fn pick_index(&mut self, n: u64) -> u64 {
+        debug_assert!(n > 0, "pick_index over an empty range");
+        self.next_u64() % n.max(1)
+    }
+}
+
+#[cfg(test)]
+mod storage_tests {
+    use super::*;
+
+    #[test]
+    fn storage_schedule_is_deterministic() {
+        let mut a = StorageFaultInjector::new(StorageFaultPlan::uniform(9, 0.4));
+        let mut b = StorageFaultInjector::new(StorageFaultPlan::uniform(9, 0.4));
+        for _ in 0..500 {
+            assert_eq!(a.next_fault(), b.next_fault());
+        }
+    }
+
+    #[test]
+    fn inert_plan_never_faults() {
+        let mut inj = StorageFaultInjector::new(StorageFaultPlan::uniform(3, 0.0));
+        assert!(StorageFaultPlan::uniform(3, 0.0).is_inert());
+        for _ in 0..100 {
+            assert_eq!(inj.next_fault(), None);
+        }
+    }
+
+    #[test]
+    fn corrupt_at_plan_always_flips() {
+        let plan = StorageFaultPlan::corrupt_at(1, 64);
+        assert_eq!(plan.corrupt_at, Some(64));
+        let mut inj = StorageFaultInjector::new(plan);
+        for _ in 0..20 {
+            assert_eq!(inj.next_fault(), Some(StorageFault::BitFlip));
+        }
+    }
+
+    #[test]
+    #[should_panic]
+    fn storage_plan_rejects_bad_probability() {
+        StorageFaultPlan {
+            torn_write: -0.5,
+            ..StorageFaultPlan::uniform(0, 0.0)
+        }
+        .validate();
+    }
+}

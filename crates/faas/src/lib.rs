@@ -60,10 +60,12 @@ pub mod platform;
 pub mod queue;
 pub mod slab;
 pub mod stats;
+pub mod store;
 
 pub use config::{EnvFlavor, PlatformConfig};
 pub use error::{PlatformError, PlatformResult};
-pub use fault::{CrashPlan, FaultInjector, FaultPlan};
+pub use fault::{CrashPlan, FaultInjector, FaultPlan, StorageFault, StorageFaultInjector, StorageFaultPlan};
+pub use store::CheckpointStore;
 pub use histogram::LatencyHistogram;
 pub use manager::{FrozenView, MemoryManager, ReclaimProfile};
 pub use platform::{FailReason, GcMode, InstanceId, Platform};

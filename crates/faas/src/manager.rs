@@ -107,8 +107,10 @@ pub trait MemoryManager {
         if bytes.is_empty() {
             Ok(())
         } else {
-            Err(snapshot::SnapError::Mismatch(
-                "checkpoint carries manager state but this manager keeps none",
+            Err(snapshot::SnapError::mismatch(
+                "manager state blob",
+                "empty (this manager keeps no state)",
+                format!("{} bytes", bytes.len()),
             ))
         }
     }

@@ -30,7 +30,7 @@
 //!   no-op, not a panic; other stale events surface as typed
 //!   [`PlatformError`]s.
 
-use std::collections::{BTreeMap, VecDeque};
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
 
 use faas_runtime::{Instance, Language, ReclaimReport, RuntimeImage, SharedLibs};
 use simos::{SimDuration, SimTime, System};
@@ -47,6 +47,11 @@ use crate::stats::{CoreTimeKind, PlatformStats, StatsBatch};
 /// Identifies an instance across its whole life.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct InstanceId(pub u64);
+
+/// Driver-owned `(kind, payload)` container frames, carried through a
+/// checkpoint chain and returned from [`Platform::restore_chain`].
+/// Kinds start at [`Platform::FRAME_EXTRA_BASE`].
+pub type ExtraFrames = Vec<(u32, Vec<u8>)>;
 
 /// How the platform treats GC at function exit.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -227,6 +232,15 @@ pub struct Platform {
     /// `events_handled` reaches this count. Deliberately *not*
     /// checkpointed — the kill models losing the process, not state.
     kill_at: Option<u64>,
+    /// Instances mutated since the last checkpoint epoch — the delta
+    /// checkpointer's upsert set. Tracking state only: never
+    /// serialized, so full checkpoints stay byte-deterministic
+    /// regardless of checkpoint history.
+    dirty_slots: BTreeSet<InstanceId>,
+    /// Instances destroyed since the last checkpoint epoch — the delta
+    /// checkpointer's erase set. Tracking state only, like
+    /// `dirty_slots`.
+    dead_slots: BTreeSet<InstanceId>,
 }
 
 impl Platform {
@@ -275,6 +289,8 @@ impl Platform {
             breakers,
             events_handled: 0,
             kill_at: None,
+            dirty_slots: BTreeSet::new(),
+            dead_slots: BTreeSet::new(),
         }
     }
 
@@ -330,6 +346,18 @@ impl Platform {
     #[inline]
     fn slot(&self, id: InstanceId) -> Option<&Slot> {
         self.by_id.get(id).and_then(|h| self.slots.get(h))
+    }
+
+    /// Records that `id`'s slot is about to be mutated, so the next
+    /// delta checkpoint re-serializes it. Call before *every*
+    /// `slots.get_mut` — an unmarked mutation silently diverges the
+    /// delta fold from a full checkpoint (the round-trip tests pin
+    /// byte-identity exactly to catch that).
+    #[inline]
+    fn mark_slot_dirty(&mut self, id: InstanceId) {
+        if self.by_id.get(id).is_some() {
+            self.dirty_slots.insert(id);
+        }
     }
 
     /// Which event-queue representation the platform runs on.
@@ -556,6 +584,7 @@ impl Platform {
             }
             Event::ReclaimDone { id, cpus, ok } => {
                 self.release_cores(cpus);
+                self.mark_slot_dirty(id);
                 match self.by_id.get(id).and_then(|h| self.slots.get_mut(h)) {
                     Some(slot) if slot.status == Status::Reclaiming => {
                         slot.status = Status::Frozen;
@@ -594,6 +623,7 @@ impl Platform {
     }
 
     fn update_charge(&mut self, id: InstanceId, new_charge: u64) -> PlatformResult<()> {
+        self.mark_slot_dirty(id);
         let slot = self
             .by_id
             .get(id)
@@ -642,26 +672,29 @@ impl Platform {
                     // burned).
                     self.batch.thaw_failures += 1;
                     self.destroy_instance(id);
-                } else if let Some(slot) = self.by_id.get(id).and_then(|h| self.slots.get_mut(h)) {
-                    // Instances are charged at measured USS; the thawed
-                    // instance keeps its freeze-time charge and is
-                    // re-measured when it freezes again.
-                    slot.status = Status::Running;
-                    slot.last_used = self.now;
-                    self.used_cores += self.config.cpu_share;
-                    self.batch.warm_starts += 1;
-                    if self.start_execution(id, req, self.config.thaw).is_err() {
-                        // A pooled instance that cannot start is lost
-                        // capacity, not a crash: give the share back,
-                        // drop the instance, and let the request retry
-                        // from the queue.
-                        self.used_cores -= self.config.cpu_share;
-                        self.batch.warm_starts -= 1;
-                        self.batch.stale_events += 1;
-                        self.destroy_instance(id);
-                        return StartOutcome::Queued;
+                } else {
+                    self.mark_slot_dirty(id);
+                    if let Some(slot) = self.by_id.get(id).and_then(|h| self.slots.get_mut(h)) {
+                        // Instances are charged at measured USS; the thawed
+                        // instance keeps its freeze-time charge and is
+                        // re-measured when it freezes again.
+                        slot.status = Status::Running;
+                        slot.last_used = self.now;
+                        self.used_cores += self.config.cpu_share;
+                        self.batch.warm_starts += 1;
+                        if self.start_execution(id, req, self.config.thaw).is_err() {
+                            // A pooled instance that cannot start is lost
+                            // capacity, not a crash: give the share back,
+                            // drop the instance, and let the request retry
+                            // from the queue.
+                            self.used_cores -= self.config.cpu_share;
+                            self.batch.warm_starts -= 1;
+                            self.batch.stale_events += 1;
+                            self.destroy_instance(id);
+                            return StartOutcome::Queued;
+                        }
+                        return StartOutcome::Started;
                     }
-                    return StartOutcome::Started;
                 }
                 // A pooled id without a slot is an upstream accounting
                 // bug, but a recoverable one: cold-boot instead.
@@ -731,6 +764,7 @@ impl Platform {
             reclaimed_since_use: false,
         });
         self.by_id.set(id, h);
+        self.dirty_slots.insert(id);
         self.cache_used += footprint;
         self.used_cores += 1.0;
         match self.injector.as_mut().and_then(|i| i.boot_fails()) {
@@ -805,6 +839,8 @@ impl Platform {
         let Some(slot) = self.by_id.clear(id).and_then(|h| self.slots.remove(h)) else {
             return 0;
         };
+        self.dirty_slots.remove(&id);
+        self.dead_slots.insert(id);
         self.cache_used -= slot.charge;
         if let Some(pool) = self.pools.get_mut(&(slot.fn_idx, slot.stage)) {
             pool.retain(|p| *p != id);
@@ -851,6 +887,7 @@ impl Platform {
         self.release_cores(1.0);
         if self.used_cores + self.config.cpu_share <= self.config.cores {
             self.used_cores += self.config.cpu_share;
+            self.mark_slot_dirty(id);
             let slot = self
                 .by_id
                 .get(id)
@@ -917,6 +954,7 @@ impl Platform {
     /// Invokes the stage kernel on `id` and schedules its completion
     /// (or its crash, injected or genuine).
     fn start_execution(&mut self, id: InstanceId, req: usize, extra: SimDuration) -> PlatformResult<()> {
+        self.mark_slot_dirty(id);
         let slot = self
             .by_id
             .get(id)
@@ -996,6 +1034,7 @@ impl Platform {
                 self.finish_freeze(id)?;
             }
             GcMode::Eager => {
+                self.mark_slot_dirty(id);
                 let slot = self
                     .by_id
                     .get(id)
@@ -1029,6 +1068,7 @@ impl Platform {
     /// Freezes `id`: completes intermediate transfer semantics, returns
     /// it to its warm pool, and re-charges it at measured USS.
     fn finish_freeze(&mut self, id: InstanceId) -> PlatformResult<()> {
+        self.mark_slot_dirty(id);
         let slot = self
             .by_id
             .get(id)
@@ -1167,6 +1207,7 @@ impl Platform {
                 continue;
             }
             let injected_failure = self.injector.as_mut().is_some_and(|i| i.reclaim_fails());
+            self.mark_slot_dirty(id);
             let Some(slot) = self.by_id.get(id).and_then(|h| self.slots.get_mut(h)) else {
                 continue;
             };
@@ -1394,8 +1435,10 @@ impl Platform {
         snapshot::read_header(&mut r, SNAP_MAGIC, SNAP_VERSION)?;
         let fp = u64::restore(&mut r)?;
         if fp != self.fingerprint() {
-            return Err(SnapError::Mismatch(
-                "checkpoint was taken on a differently-configured platform",
+            return Err(SnapError::mismatch(
+                "platform configuration fingerprint",
+                format!("{:016x}", self.fingerprint()),
+                format!("{fp:016x}"),
             )
             .into());
         }
@@ -1514,8 +1557,10 @@ impl Platform {
         match self.manager.as_mut() {
             Some(m) => m.restore_state(&manager_blob)?,
             None if !manager_blob.is_empty() => {
-                return Err(SnapError::Mismatch(
-                    "checkpoint carries manager state but no manager is installed",
+                return Err(SnapError::mismatch(
+                    "manager state blob",
+                    "empty (no manager installed)",
+                    format!("{} bytes", manager_blob.len()),
                 )
                 .into());
             }
@@ -1546,7 +1591,363 @@ impl Platform {
         self.injector = injector;
         self.breakers = breakers;
         self.events_handled = events_handled;
+        // A restore is a checkpoint cut: the restored state *is* the
+        // new epoch's baseline (the restored `sys` starts clean too),
+        // so a later delta may chain to the restored checkpoint.
+        self.dirty_slots.clear();
+        self.dead_slots.clear();
         Ok(())
+    }
+
+    /// Frame kind: the configuration fingerprint (every container).
+    pub const FRAME_META: u32 = 1;
+    /// Frame kind: the always-full control section (every container).
+    pub const FRAME_CONTROL: u32 = 2;
+    /// Frame kind: one full address space, keyed by pid (bases only).
+    pub const FRAME_PROC: u32 = 3;
+    /// Frame kind: pids destroyed since the parent (deltas only).
+    pub const FRAME_PROC_TOMB: u32 = 4;
+    /// Frame kind: one address-space delta, keyed by pid (deltas only).
+    pub const FRAME_PROC_DELTA: u32 = 5;
+    /// Frame kind: one full instance slot, keyed by instance id.
+    pub const FRAME_SLOT: u32 = 6;
+    /// Frame kind: instance ids destroyed since the parent.
+    pub const FRAME_SLOT_TOMB: u32 = 7;
+    /// Frame kinds at or above this are opaque to the platform:
+    /// drivers may attach their own frames and get them back from
+    /// [`Platform::restore_chain`].
+    pub const FRAME_EXTRA_BASE: u32 = 0x100;
+
+    /// Serializes the canonical control section of an incremental
+    /// checkpoint: everything a delta always carries in full — the file
+    /// registry, the pid cursor, and the whole platform tail (pools,
+    /// requests, events, scalars, statistics, fault cursor, breakers,
+    /// manager blob). Only address spaces and instance slots — the two
+    /// large, sparsely-mutated tables — are delta-encoded.
+    fn control_section(&self) -> Vec<u8> {
+        use snapshot::Snapshot;
+        let mut files = snapshot::Writer::new();
+        self.sys.files().snap(&mut files);
+        let mut tail = snapshot::Writer::new();
+        self.pools.snap(&mut tail);
+        self.shared_libs.snap(&mut tail);
+        self.requests.snap(&mut tail);
+        tail.usize(self.events.len());
+        for (at, seq, ev) in self.events.sorted_entries() {
+            at.snap(&mut tail);
+            seq.snap(&mut tail);
+            ev.snap(&mut tail);
+        }
+        self.pending.snap(&mut tail);
+        self.now.snap(&mut tail);
+        self.seq.snap(&mut tail);
+        self.next_instance.snap(&mut tail);
+        self.used_cores.snap(&mut tail);
+        self.cache_used.snap(&mut tail);
+        self.stats.snap(&mut tail);
+        self.sweep_scheduled.snap(&mut tail);
+        self.next_seed.snap(&mut tail);
+        self.boot_footprint.snap(&mut tail);
+        self.injector.snap(&mut tail);
+        self.breakers.snap(&mut tail);
+        self.events_handled.snap(&mut tail);
+        let blob = match self.manager.as_ref() {
+            Some(m) => m.snapshot_state(),
+            None => Vec::new(),
+        };
+        tail.blob(&blob);
+        let mut w = snapshot::Writer::new();
+        w.blob(&files.into_bytes());
+        w.u32(self.sys.next_pid());
+        w.blob(&tail.into_bytes());
+        w.into_bytes()
+    }
+
+    /// Marks the current state as checkpointed: every dirty-tracking
+    /// structure resets, so the next [`Platform::checkpoint_delta`]
+    /// carries only mutations from this point on.
+    fn clear_epoch_tracking(&mut self) {
+        self.sys.clear_epoch_dirty();
+        self.dirty_slots.clear();
+        self.dead_slots.clear();
+    }
+
+    /// A *base* checkpoint in the framed container format: the complete
+    /// state as one `META` + `CONTROL` + per-process `PROC` + per-slot
+    /// `SLOT` frame set, sealed by a commit record carrying `epoch`.
+    /// `extra` frames (driver state; kinds at or above
+    /// [`Platform::FRAME_EXTRA_BASE`]) ride along verbatim and come
+    /// back from [`Platform::restore_chain`].
+    ///
+    /// Unlike [`Platform::checkpoint`] this is a checkpoint *cut*: it
+    /// clears the dirty-epoch tracking so a following
+    /// [`Platform::checkpoint_delta`] is relative to it.
+    pub fn checkpoint_base(&mut self, epoch: u64, extra: &[(u32, Vec<u8>)]) -> Vec<u8> {
+        use snapshot::frame::ContainerWriter;
+        use snapshot::Snapshot;
+        debug_assert!(
+            self.batch.is_empty(),
+            "counter batch must be flushed before a checkpoint"
+        );
+        let mut cw = ContainerWriter::new();
+        let mut meta = snapshot::Writer::new();
+        self.fingerprint().snap(&mut meta);
+        cw.frame(Self::FRAME_META, &meta.into_bytes());
+        cw.frame(Self::FRAME_CONTROL, &self.control_section());
+        for pid in self.sys.pids().collect::<Vec<_>>() {
+            let Ok(space) = self.sys.space(pid) else {
+                continue;
+            };
+            let mut w = snapshot::Writer::new();
+            pid.snap(&mut w);
+            space.snap(&mut w);
+            cw.frame(Self::FRAME_PROC, &w.into_bytes());
+        }
+        let mut live: Vec<&Slot> = self.slots.iter().map(|(_, s)| s).collect();
+        live.sort_unstable_by_key(|s| s.id);
+        for s in live {
+            let mut w = snapshot::Writer::new();
+            s.id.snap(&mut w);
+            s.snap(&mut w);
+            cw.frame(Self::FRAME_SLOT, &w.into_bytes());
+        }
+        for (kind, payload) in extra {
+            cw.frame(*kind, payload);
+        }
+        self.clear_epoch_tracking();
+        cw.commit(epoch, None)
+    }
+
+    /// A *delta* checkpoint against the checkpoint at `parent`: the
+    /// control section in full (it is small and densely mutated), but
+    /// only the address spaces and instance slots mutated since the
+    /// last checkpoint cut — O(dirty), not O(state). Tombstone frames
+    /// carry the processes and instances destroyed since.
+    pub fn checkpoint_delta(&mut self, epoch: u64, parent: u64, extra: &[(u32, Vec<u8>)]) -> Vec<u8> {
+        use snapshot::frame::ContainerWriter;
+        use snapshot::Snapshot;
+        debug_assert!(
+            self.batch.is_empty(),
+            "counter batch must be flushed before a checkpoint"
+        );
+        let mut cw = ContainerWriter::new();
+        let mut meta = snapshot::Writer::new();
+        self.fingerprint().snap(&mut meta);
+        cw.frame(Self::FRAME_META, &meta.into_bytes());
+        cw.frame(Self::FRAME_CONTROL, &self.control_section());
+        // Tombstones before upserts: ids are never reused, so the
+        // order only matters for readability of the container.
+        if !self.sys.removed_pids().is_empty() {
+            let mut w = snapshot::Writer::new();
+            w.usize(self.sys.removed_pids().len());
+            for pid in self.sys.removed_pids() {
+                pid.snap(&mut w);
+            }
+            cw.frame(Self::FRAME_PROC_TOMB, &w.into_bytes());
+        }
+        for (pid, space) in self.sys.epoch_dirty_spaces() {
+            let mut w = snapshot::Writer::new();
+            pid.snap(&mut w);
+            space.snap_delta(&mut w);
+            cw.frame(Self::FRAME_PROC_DELTA, &w.into_bytes());
+        }
+        if !self.dead_slots.is_empty() {
+            let mut w = snapshot::Writer::new();
+            w.usize(self.dead_slots.len());
+            for id in &self.dead_slots {
+                id.snap(&mut w);
+            }
+            cw.frame(Self::FRAME_SLOT_TOMB, &w.into_bytes());
+        }
+        for id in self.dirty_slots.clone() {
+            // Dirt recorded for an instance that died later in the
+            // epoch is stale — the tombstone covers it.
+            let Some(slot) = self.slot(id) else {
+                continue;
+            };
+            let mut w = snapshot::Writer::new();
+            id.snap(&mut w);
+            slot.snap(&mut w);
+            cw.frame(Self::FRAME_SLOT, &w.into_bytes());
+        }
+        for (kind, payload) in extra {
+            cw.frame(*kind, payload);
+        }
+        self.clear_epoch_tracking();
+        cw.commit(epoch, Some(parent))
+    }
+
+    /// Restores a base-plus-deltas chain (oldest first, base at the
+    /// head) produced by [`Platform::checkpoint_base`] and
+    /// [`Platform::checkpoint_delta`].
+    ///
+    /// The fold reassembles the *exact canonical bytes* a full
+    /// [`Platform::checkpoint`] of the final state would produce —
+    /// replaying tombstones and upserts over the base's per-process
+    /// and per-slot sections — and then restores those bytes, so every
+    /// cross-validation of [`Platform::restore`] (fingerprint, charge
+    /// sums, pool coherence, event/request bounds) applies to the
+    /// folded state too. On success the restored instances are
+    /// additionally checked against the USS ≤ PSS ≤ RSS ordering.
+    ///
+    /// Returns the epoch of the chain head and the head's extra
+    /// (driver) frames.
+    pub fn restore_chain(&mut self, chain: &[Vec<u8>]) -> PlatformResult<(u64, ExtraFrames)> {
+        use simos::AddressSpace;
+        use snapshot::frame::Container;
+        use snapshot::{SnapError, Snapshot};
+        if chain.is_empty() {
+            return Err(SnapError::Corrupt("empty checkpoint chain").into());
+        }
+        let containers: Vec<Container> = chain
+            .iter()
+            .map(|bytes| Container::open(bytes))
+            .collect::<Result<_, _>>()?;
+        let head = containers.first().ok_or(SnapError::Corrupt("empty checkpoint chain"))?;
+        if let Some(p) = head.parent {
+            return Err(SnapError::mismatch(
+                "chain head",
+                "a base checkpoint (no parent)",
+                format!("a delta chained to epoch {p}"),
+            )
+            .into());
+        }
+        for pair in containers.windows(2) {
+            let (prev, next) = (&pair[0], &pair[1]);
+            if next.parent != Some(prev.epoch) {
+                return Err(SnapError::mismatch(
+                    "delta parent epoch",
+                    prev.epoch,
+                    format!("{:?}", next.parent),
+                )
+                .into());
+            }
+        }
+        let mut fingerprint: Option<u64> = None;
+        let mut control: Option<Vec<u8>> = None;
+        let mut spaces: BTreeMap<u32, Vec<u8>> = BTreeMap::new();
+        let mut slot_blobs: BTreeMap<u64, Vec<u8>> = BTreeMap::new();
+        let mut extra: Vec<(u32, Vec<u8>)> = Vec::new();
+        for container in &containers {
+            extra.clear();
+            for (kind, payload) in &container.frames {
+                let mut r = snapshot::Reader::new(payload);
+                match *kind {
+                    Self::FRAME_META => {
+                        let fp = u64::restore(&mut r)?;
+                        r.finish()?;
+                        if fingerprint.is_some_and(|have| have != fp) {
+                            return Err(SnapError::Corrupt(
+                                "chain mixes differently-configured checkpoints",
+                            )
+                            .into());
+                        }
+                        fingerprint = Some(fp);
+                    }
+                    Self::FRAME_CONTROL => control = Some(payload.clone()),
+                    Self::FRAME_PROC => {
+                        let pid = simos::Pid::restore(&mut r)?;
+                        let body = r.take(r.remaining())?.to_vec();
+                        spaces.insert(pid.0, body);
+                    }
+                    Self::FRAME_PROC_TOMB => {
+                        let n = r.seq_len()?;
+                        for _ in 0..n {
+                            let pid = simos::Pid::restore(&mut r)?;
+                            spaces.remove(&pid.0);
+                        }
+                        r.finish()?;
+                    }
+                    Self::FRAME_PROC_DELTA => {
+                        let pid = simos::Pid::restore(&mut r)?;
+                        let base = match spaces.get(&pid.0) {
+                            Some(bytes) => {
+                                let mut br = snapshot::Reader::new(bytes);
+                                let space = AddressSpace::restore(&mut br)?;
+                                br.finish()?;
+                                Some(space)
+                            }
+                            None => None,
+                        };
+                        let folded = AddressSpace::restore_delta(base, &mut r)?;
+                        r.finish()?;
+                        let mut w = snapshot::Writer::new();
+                        folded.snap(&mut w);
+                        spaces.insert(pid.0, w.into_bytes());
+                    }
+                    Self::FRAME_SLOT => {
+                        let id = InstanceId::restore(&mut r)?;
+                        let body = r.take(r.remaining())?.to_vec();
+                        slot_blobs.insert(id.0, body);
+                    }
+                    Self::FRAME_SLOT_TOMB => {
+                        let n = r.seq_len()?;
+                        for _ in 0..n {
+                            let id = InstanceId::restore(&mut r)?;
+                            slot_blobs.remove(&id.0);
+                        }
+                        r.finish()?;
+                    }
+                    other if other >= Self::FRAME_EXTRA_BASE => {
+                        extra.push((other, payload.clone()));
+                    }
+                    _ => {
+                        return Err(SnapError::Corrupt(
+                            "unknown platform frame kind in checkpoint chain",
+                        )
+                        .into());
+                    }
+                }
+            }
+        }
+        let fingerprint =
+            fingerprint.ok_or(SnapError::Corrupt("chain carries no fingerprint frame"))?;
+        let control = control.ok_or(SnapError::Corrupt("chain carries no control frame"))?;
+        let mut cr = snapshot::Reader::new(&control);
+        let files = cr.blob()?.to_vec();
+        let next_pid = cr.u32()?;
+        let tail = cr.blob()?.to_vec();
+        cr.finish()?;
+        // Reassemble the canonical full-checkpoint byte stream; the
+        // layout here mirrors `Platform::checkpoint` and the `System` /
+        // `AddressSpace` snapshot impls in lockstep.
+        let mut w = snapshot::Writer::new();
+        snapshot::write_header(&mut w, SNAP_MAGIC, SNAP_VERSION);
+        fingerprint.snap(&mut w);
+        w.raw(&files);
+        w.usize(spaces.len());
+        for (pid, bytes) in &spaces {
+            w.u32(*pid);
+            w.raw(bytes);
+        }
+        w.u32(next_pid);
+        w.usize(slot_blobs.len());
+        for (id, bytes) in &slot_blobs {
+            w.u64(*id);
+            w.raw(bytes);
+        }
+        w.raw(&tail);
+        self.restore(&w.into_bytes())?;
+        // Memory-accounting cross-check on the restored state: the
+        // machine invariant USS ≤ PSS ≤ RSS must hold per instance. A
+        // violation means the fold produced an incoherent state (and
+        // can only follow a bug, not a storage fault — those never get
+        // past `Container::open`).
+        for (_, s) in self.slots.iter() {
+            let uss = s.inst.uss(&self.sys);
+            let pss = s.inst.pss(&self.sys);
+            let rss = s.inst.rss(&self.sys);
+            if !(uss as f64 <= pss + 1e-6 && pss <= rss as f64 + 1e-6) {
+                return Err(SnapError::mismatch(
+                    "restored instance memory ordering",
+                    "USS <= PSS <= RSS",
+                    format!("uss={uss} pss={pss} rss={rss}"),
+                )
+                .into());
+            }
+        }
+        let head_epoch = containers.last().map_or(0, |c| c.epoch);
+        Ok((head_epoch, extra))
     }
 }
 
@@ -2050,7 +2451,7 @@ mod tests {
         let mut b = Platform::new(config, workloads::catalog(), GcMode::Vanilla, None);
         assert!(matches!(
             b.restore(&snap),
-            Err(PlatformError::Snapshot(snapshot::SnapError::Mismatch(_)))
+            Err(PlatformError::Snapshot(snapshot::SnapError::Mismatch { .. }))
         ));
         let mut c = Platform::new(small_config(), workloads::catalog(), GcMode::Eager, None);
         assert!(c.restore(&snap).is_err(), "GC mode is part of the fingerprint");
@@ -2135,5 +2536,136 @@ mod tests {
         assert_eq!(a, run(7), "same fault seed must replay identically");
         assert!(a.2 > 0, "20% fault rate produced no fault events");
         assert_eq!(a.0 + a.1, 20, "every request must terminate");
+    }
+
+    #[test]
+    fn base_checkpoint_folds_to_canonical_bytes() {
+        let make = || Platform::new(small_config(), workloads::catalog(), GcMode::Vanilla, None);
+        let mut a = make();
+        submit_n(&mut a, "mapreduce", 3, 2000);
+        a.run_until(SimTime(7_000_000_000));
+        let full = a.checkpoint();
+        let base = a.checkpoint_base(1, &[]);
+        let mut b = make();
+        let (epoch, extra) = b.restore_chain(&[base]).expect("restore base");
+        assert_eq!(epoch, 1);
+        assert!(extra.is_empty());
+        assert_eq!(
+            b.checkpoint(),
+            full,
+            "a folded base must reproduce the canonical checkpoint bytes"
+        );
+    }
+
+    #[test]
+    fn delta_chain_folds_to_canonical_bytes() {
+        let make = || Platform::new(small_config(), workloads::catalog(), GcMode::Vanilla, None);
+        let mut a = make();
+        submit_n(&mut a, "mapreduce", 6, 1500);
+        a.run_until(SimTime(5_000_000_000));
+        let base = a.checkpoint_base(1, &[]);
+        a.run_until(SimTime(9_000_000_000));
+        let mid = a.checkpoint();
+        let delta = a.checkpoint_delta(2, 1, &[]);
+        a.run_until(SimTime(14_000_000_000));
+        let full = a.checkpoint();
+        let delta2 = a.checkpoint_delta(3, 2, &[]);
+        let mut b = make();
+        let (epoch, _) = b.restore_chain(&[base.clone(), delta.clone()]).expect("restore");
+        assert_eq!(epoch, 2);
+        assert_eq!(b.checkpoint(), mid, "base+delta must fold to the mid-run state");
+        let mut c = make();
+        let (epoch, _) = c.restore_chain(&[base, delta, delta2]).expect("restore");
+        assert_eq!(epoch, 3);
+        assert_eq!(c.checkpoint(), full, "a two-delta chain must fold to the final state");
+        // The folded platform keeps simulating identically.
+        a.run_until(SimTime(120_000_000_000));
+        c.run_until(SimTime(120_000_000_000));
+        assert_eq!(a.checkpoint(), c.checkpoint());
+    }
+
+    #[test]
+    fn delta_chain_folds_at_arbitrary_cut_points() {
+        // Whatever instant a delta is cut at — mid-boot, mid-freeze,
+        // mid-reclaim — the fold must land on the canonical bytes.
+        let make = || Platform::new(small_config(), workloads::catalog(), GcMode::Vanilla, None);
+        for cut_ms in [1_700u64, 3_300, 6_100, 8_900, 23_000] {
+            let mut a = make();
+            submit_n(&mut a, "mapreduce", 5, 1100);
+            a.run_until(SimTime(1_000_000_000));
+            let base = a.checkpoint_base(1, &[]);
+            a.run_until(SimTime(cut_ms * 1_000_000));
+            let full = a.checkpoint();
+            let delta = a.checkpoint_delta(2, 1, &[]);
+            let mut b = make();
+            b.restore_chain(&[base, delta]).expect("restore");
+            assert_eq!(b.checkpoint(), full, "cut at {cut_ms}ms diverged");
+        }
+    }
+
+    #[test]
+    fn delta_is_smaller_than_base() {
+        let make = || Platform::new(small_config(), workloads::catalog(), GcMode::Vanilla, None);
+        let mut a = make();
+        submit_n(&mut a, "mapreduce", 8, 1500);
+        a.run_until(SimTime(30_000_000_000));
+        let base = a.checkpoint_base(1, &[]);
+        // A quiet tail: little mutated since the base.
+        a.run_until(SimTime(30_050_000_000));
+        let delta = a.checkpoint_delta(2, 1, &[]);
+        assert!(
+            delta.len() < base.len(),
+            "delta ({}) must be smaller than base ({})",
+            delta.len(),
+            base.len()
+        );
+    }
+
+    #[test]
+    fn restore_chain_carries_extra_frames_from_head() {
+        let make = || Platform::new(small_config(), workloads::catalog(), GcMode::Vanilla, None);
+        let mut a = make();
+        submit_n(&mut a, "mapreduce", 2, 2000);
+        a.run_until(SimTime(5_000_000_000));
+        let base = a.checkpoint_base(1, &[(Platform::FRAME_EXTRA_BASE, b"old".to_vec())]);
+        a.run_until(SimTime(8_000_000_000));
+        let delta = a.checkpoint_delta(2, 1, &[(Platform::FRAME_EXTRA_BASE, b"new".to_vec())]);
+        let mut b = make();
+        let (_, extra) = b.restore_chain(&[base, delta]).expect("restore");
+        assert_eq!(
+            extra,
+            vec![(Platform::FRAME_EXTRA_BASE, b"new".to_vec())],
+            "only the chain head's driver frames come back"
+        );
+    }
+
+    #[test]
+    fn restore_chain_rejects_corruption_and_bad_linkage() {
+        let make = || Platform::new(small_config(), workloads::catalog(), GcMode::Vanilla, None);
+        let mut a = make();
+        submit_n(&mut a, "mapreduce", 3, 2000);
+        a.run_until(SimTime(5_000_000_000));
+        let base = a.checkpoint_base(1, &[]);
+        a.run_until(SimTime(8_000_000_000));
+        let delta = a.checkpoint_delta(2, 1, &[]);
+
+        // A flipped byte anywhere in either container must be caught.
+        for (i, source) in [&base, &delta].into_iter().enumerate() {
+            let mut bad = source.clone();
+            let at = bad.len() / 2;
+            bad[at] ^= 0x10;
+            let chain = if i == 0 {
+                vec![bad, delta.clone()]
+            } else {
+                vec![base.clone(), bad]
+            };
+            assert!(make().restore_chain(&chain).is_err(), "corrupt container {i} accepted");
+        }
+        // A delta cannot head a chain, and linkage must be contiguous.
+        assert!(make().restore_chain(std::slice::from_ref(&delta)).is_err());
+        assert!(make().restore_chain(&[delta.clone(), delta.clone()]).is_err());
+        assert!(make().restore_chain(&[]).is_err());
+        // The happy path still works after all the rejected attempts.
+        make().restore_chain(&[base, delta]).expect("valid chain");
     }
 }

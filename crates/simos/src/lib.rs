@@ -62,5 +62,5 @@ pub mod system;
 
 pub use clock::{SimDuration, SimTime};
 pub use error::{SimOsError, SimOsResult};
-pub use mem::{MappingKind, Prot, VirtAddr, PAGE_SIZE};
+pub use mem::{AddressSpace, MappingKind, Prot, VirtAddr, PAGE_SIZE};
 pub use system::{FileId, Pid, System};

@@ -26,7 +26,7 @@
 //! [`reference`] as the oracle for property tests and the baseline side
 //! of the Criterion comparisons.
 
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, BTreeSet};
 
 use crate::error::{SimOsError, SimOsResult};
 use crate::system::{FileId, FileRegistry};
@@ -459,6 +459,14 @@ pub struct Mapping {
     dirty_pages: u64,
     /// Count of pages with `SWAPPED` set.
     swapped_pages: u64,
+    /// Pages whose flag state may have changed since the last
+    /// checkpoint epoch (set conservatively by every mutating range
+    /// op, cleared by [`Mapping::clear_epoch_dirty`]). This is
+    /// durability-layer *tracking*, not memory state: it is excluded
+    /// from the canonical snapshot encoding so checkpoints of equal
+    /// memory states stay byte-identical whatever their checkpoint
+    /// history, and a restore starts it clean.
+    epoch_dirty: PageBits,
 }
 
 impl Mapping {
@@ -479,7 +487,26 @@ impl Mapping {
             resident_pages: 0,
             dirty_pages: 0,
             swapped_pages: 0,
+            // A mapping that did not exist at the last checkpoint is
+            // dirty in full.
+            epoch_dirty: PageBits::new_filled(npages),
         }
+    }
+
+    /// True if any page changed since the last checkpoint epoch.
+    pub fn is_epoch_dirty(&self) -> bool {
+        self.epoch_dirty.words().iter().any(|&w| w != 0)
+    }
+
+    /// Pages marked dirty-since-epoch.
+    pub fn epoch_dirty_pages(&self) -> u64 {
+        self.epoch_dirty.count()
+    }
+
+    /// Marks the whole epoch-dirty bitmap clean: called when a
+    /// checkpoint (full or delta) captures this mapping.
+    pub fn clear_epoch_dirty(&mut self) {
+        self.epoch_dirty = PageBits::new(self.page_count());
     }
 
     /// Length of the mapping in bytes.
@@ -542,6 +569,7 @@ impl Mapping {
     }
 
     fn set_flag_range(&mut self, flag: u8, first: usize, last: usize) -> u64 {
+        self.epoch_dirty.set_range(first, last);
         match flag {
             page_flags::RESIDENT => {
                 let n = self.resident.set_range(first, last);
@@ -564,6 +592,7 @@ impl Mapping {
     }
 
     fn clear_flag_range(&mut self, flag: u8, first: usize, last: usize) -> u64 {
+        self.epoch_dirty.set_range(first, last);
         match flag {
             page_flags::RESIDENT => {
                 let n = self.resident.clear_range(first, last);
@@ -674,6 +703,7 @@ impl Mapping {
             }
         }
         let mut out = TouchOutcome::default();
+        self.epoch_dirty.set_range(first, last);
         for (w, mask) in masked_words(first, last) {
             let resident = self.resident.word(w) & mask;
             let absent = mask & !resident;
@@ -751,6 +781,7 @@ impl Mapping {
     /// residency.
     fn swap_out_range(&mut self, files: &mut FileRegistry, first: usize, last: usize) -> u64 {
         let mut swapped_bytes = 0;
+        self.epoch_dirty.set_range(first, last);
         for (w, mask) in masked_words(first, last) {
             let resident = self.resident.word(w) & mask;
             if resident == 0 {
@@ -784,6 +815,13 @@ pub struct AddressSpace {
     next_addr: u64,
     /// Upper bound of the usable address range.
     limit: u64,
+    /// Whether the mapping *set* changed since the last checkpoint
+    /// epoch: set at creation and by `mmap`/`munmap`. Tracking state,
+    /// excluded from the canonical encoding (see [`Mapping`]).
+    structure_dirty: bool,
+    /// Start addresses unmapped since the last checkpoint epoch, so a
+    /// delta can erase them before upserting dirty mappings.
+    removed_since_epoch: BTreeSet<u64>,
 }
 
 /// Base of the `mmap` allocation area.
@@ -804,12 +842,46 @@ impl AddressSpace {
             mappings: BTreeMap::new(),
             next_addr: MMAP_BASE,
             limit: ADDR_LIMIT,
+            // A space that did not exist at the last checkpoint is
+            // structurally dirty until one captures it.
+            structure_dirty: true,
+            removed_since_epoch: BTreeSet::new(),
         }
     }
 
     /// Iterates over all mappings in address order.
     pub fn mappings(&self) -> impl Iterator<Item = &Mapping> {
         self.mappings.values()
+    }
+
+    /// True if anything here — mapping contents or the mapping set —
+    /// changed since the last checkpoint epoch.
+    pub fn is_epoch_dirty(&self) -> bool {
+        self.structure_dirty
+            || !self.removed_since_epoch.is_empty()
+            || self.mappings.values().any(Mapping::is_epoch_dirty)
+    }
+
+    /// Mappings with any page dirtied since the last checkpoint epoch,
+    /// keyed by start address (the delta-checkpoint upsert set).
+    pub fn epoch_dirty_mappings(&self) -> impl Iterator<Item = (&u64, &Mapping)> {
+        self.mappings.iter().filter(|(_, m)| m.is_epoch_dirty())
+    }
+
+    /// Start addresses unmapped since the last checkpoint epoch (the
+    /// delta-checkpoint erase set).
+    pub fn removed_since_epoch(&self) -> &BTreeSet<u64> {
+        &self.removed_since_epoch
+    }
+
+    /// Marks the whole space clean: called when a checkpoint (full or
+    /// delta) captures it.
+    pub fn clear_epoch_dirty(&mut self) {
+        self.structure_dirty = false;
+        self.removed_since_epoch.clear();
+        for m in self.mappings.values_mut() {
+            m.clear_epoch_dirty();
+        }
     }
 
     /// Looks up the mapping containing `addr`.
@@ -912,6 +984,7 @@ impl AddressSpace {
         let npages = crate::cast::to_usize(len / PAGE_SIZE);
         self.mappings
             .insert(addr.0, Mapping::new(addr, npages, kind, prot, name));
+        self.structure_dirty = true;
         Ok(())
     }
 
@@ -925,6 +998,8 @@ impl AddressSpace {
             .mappings
             .remove(&addr.0)
             .ok_or(SimOsError::UnmappedRange { addr, len: 0 })?;
+        self.structure_dirty = true;
+        self.removed_since_epoch.insert(addr.0);
         // Drop page-cache references held by this mapping.
         if let MappingKind::PrivateFile(file) = m.kind {
             m.for_each_clean_resident_page(|idx| files.dec_mapper(file, idx));
@@ -1003,6 +1078,19 @@ impl AddressSpace {
         let swapped = m.swap_out_range(files, first, last);
         m.verify_counters();
         Ok(swapped)
+    }
+
+    /// Next address non-fixed `mmap` would hand out. Exposed for the
+    /// delta-checkpoint encoder, which must carry it so a folded space
+    /// re-encodes byte-identically.
+    pub fn next_addr(&self) -> u64 {
+        self.next_addr
+    }
+
+    /// Upper bound of the usable address range (see
+    /// [`AddressSpace::next_addr`] for why it is exposed).
+    pub fn addr_limit(&self) -> u64 {
+        self.limit
     }
 
     /// Resident bytes across the whole address space.
@@ -1310,6 +1398,11 @@ mod snap_impls {
 
     impl Snapshot for Mapping {
         fn snap(&self, w: &mut Writer) {
+            // `epoch_dirty` is checkpoint *tracking*, not memory state:
+            // two runs at the same memory state must encode
+            // byte-identically even if their checkpoint cadences
+            // differed, so it stays out of the canonical bytes and a
+            // restore starts it clean.
             let Self {
                 start,
                 kind,
@@ -1321,6 +1414,7 @@ mod snap_impls {
                 resident_pages,
                 dirty_pages,
                 swapped_pages,
+                epoch_dirty: _,
             } = self;
             start.snap(w);
             kind.snap(w);
@@ -1372,16 +1466,24 @@ mod snap_impls {
                 resident_pages,
                 dirty_pages,
                 swapped_pages,
+                epoch_dirty: PageBits::new(npages),
             })
         }
     }
 
     impl Snapshot for AddressSpace {
         fn snap(&self, w: &mut Writer) {
+            // Tracking fields excluded — see the Mapping impl. NOTE:
+            // the platform's delta-checkpoint fold re-synthesizes this
+            // exact layout (mappings map, next_addr, limit) from
+            // per-mapping blobs; changing the order here requires
+            // changing `faas::platform`'s fold in lockstep.
             let Self {
                 mappings,
                 next_addr,
                 limit,
+                structure_dirty: _,
+                removed_since_epoch: _,
             } = self;
             mappings.snap(w);
             w.u64(*next_addr);
@@ -1401,7 +1503,67 @@ mod snap_impls {
                 mappings,
                 next_addr,
                 limit,
+                structure_dirty: false,
+                removed_since_epoch: BTreeSet::new(),
             })
+        }
+    }
+
+    /// The O(dirty) delta codec: what an incremental checkpoint carries
+    /// for one address space, against the state at the last epoch.
+    impl AddressSpace {
+        /// Serializes this space's changes since the last checkpoint
+        /// epoch: the scalars, the starts of mappings unmapped since,
+        /// and every epoch-dirty mapping in full (mappings are the
+        /// delta granule; pages are the dirtiness granule). The
+        /// counterpart of [`AddressSpace::restore_delta`].
+        pub fn snap_delta(&self, w: &mut Writer) {
+            w.u64(self.next_addr);
+            w.u64(self.limit);
+            w.usize(self.removed_since_epoch.len());
+            for a in &self.removed_since_epoch {
+                w.u64(*a);
+            }
+            let dirty: Vec<(&u64, &Mapping)> = self.epoch_dirty_mappings().collect();
+            w.usize(dirty.len());
+            for (start, m) in dirty {
+                w.u64(*start);
+                m.snap(w);
+            }
+        }
+
+        /// Folds a [`AddressSpace::snap_delta`] payload over `base` (or
+        /// an empty space, for a process spawned since the parent
+        /// epoch): removals apply first, then upserts — a mapping
+        /// unmapped and re-mapped at the same address within one epoch
+        /// ends up at its new contents. The result re-encodes (via
+        /// [`Snapshot::snap`]) byte-identically to a full checkpoint of
+        /// the same state; removing a start the base never had is a
+        /// tolerated no-op for exactly that reason.
+        pub fn restore_delta(
+            base: Option<AddressSpace>,
+            r: &mut Reader<'_>,
+        ) -> Result<AddressSpace, SnapError> {
+            let mut space = base.unwrap_or_default();
+            space.next_addr = r.u64()?;
+            space.limit = r.u64()?;
+            let removed = r.seq_len()?;
+            for _ in 0..removed {
+                let start = r.u64()?;
+                space.mappings.remove(&start);
+            }
+            let upserts = r.seq_len()?;
+            for _ in 0..upserts {
+                let start = r.u64()?;
+                let m = Mapping::restore(r)?;
+                if m.start.0 != start {
+                    return Err(SnapError::Corrupt("delta mapping key disagrees with start"));
+                }
+                space.mappings.insert(start, m);
+            }
+            space.structure_dirty = false;
+            space.removed_since_epoch.clear();
+            Ok(space)
         }
     }
 }

@@ -6,7 +6,7 @@
 //! mappings) stays consistent — that sharing is what distinguishes USS
 //! from PSS in the paper's measurements (§3.1, Figure 8).
 
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, BTreeSet};
 
 use crate::error::{SimOsError, SimOsResult};
 use crate::mem::{AddressSpace, Mapping, MappingKind, Prot, TouchOutcome, VirtAddr, PAGE_SIZE};
@@ -94,6 +94,10 @@ pub struct System {
     files: FileRegistry,
     spaces: BTreeMap<Pid, AddressSpace>,
     next_pid: u32,
+    /// Pids killed since the last checkpoint epoch, so a delta can
+    /// erase them before upserting dirty spaces. Tracking state: never
+    /// part of the canonical snapshot encoding.
+    removed_pids: BTreeSet<Pid>,
 }
 
 impl System {
@@ -117,6 +121,7 @@ impl System {
             .spaces
             .remove(&pid)
             .ok_or(SimOsError::NoSuchProcess(pid))?;
+        self.removed_pids.insert(pid);
         // Walk the mappings to release clean file pages from the cache;
         // the candidate pages come straight off the packed bitmaps.
         for m in space.mappings() {
@@ -252,6 +257,36 @@ impl System {
         self.space(pid)?.resident_bytes_in(addr, len)
     }
 
+    /// First pid [`System::spawn_process`] has not yet handed out.
+    /// Exposed for the delta-checkpoint encoder's control section.
+    pub fn next_pid(&self) -> u32 {
+        self.next_pid
+    }
+
+    /// Address spaces with any change since the last checkpoint epoch,
+    /// in pid order — the delta-checkpoint upsert set.
+    pub fn epoch_dirty_spaces(&self) -> impl Iterator<Item = (Pid, &AddressSpace)> {
+        self.spaces
+            .iter()
+            .filter(|(_, s)| s.is_epoch_dirty())
+            .map(|(pid, s)| (*pid, s))
+    }
+
+    /// Pids killed since the last checkpoint epoch — the
+    /// delta-checkpoint erase set.
+    pub fn removed_pids(&self) -> &BTreeSet<Pid> {
+        &self.removed_pids
+    }
+
+    /// Marks every space clean and forgets the removed-pid set: called
+    /// when a checkpoint (full or delta) captures the system.
+    pub fn clear_epoch_dirty(&mut self) {
+        self.removed_pids.clear();
+        for space in self.spaces.values_mut() {
+            space.clear_epoch_dirty();
+        }
+    }
+
     /// RSS of `pid` in bytes. See [`crate::metrics`] for definitions.
     pub fn rss(&self, pid: Pid) -> u64 {
         crate::metrics::rss(self, pid)
@@ -329,10 +364,17 @@ mod snap_impls {
 
     impl Snapshot for System {
         fn snap(&self, w: &mut Writer) {
+            // `removed_pids` is checkpoint tracking, excluded from the
+            // canonical bytes (see the Mapping impl in `mem`). NOTE:
+            // the platform's delta-checkpoint fold re-synthesizes this
+            // exact layout (files, spaces map, next_pid) from
+            // per-space blobs; change the order here and the fold in
+            // `faas::platform` in lockstep.
             let Self {
                 files,
                 spaces,
                 next_pid,
+                removed_pids: _,
             } = self;
             files.snap(w);
             spaces.snap(w);
@@ -350,6 +392,7 @@ mod snap_impls {
                 files,
                 spaces,
                 next_pid,
+                removed_pids: BTreeSet::new(),
             })
         }
     }

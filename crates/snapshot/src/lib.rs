@@ -32,6 +32,8 @@
 
 #![forbid(unsafe_code)]
 
+pub mod frame;
+
 use std::collections::{BTreeMap, BTreeSet, VecDeque};
 use std::fmt;
 
@@ -67,9 +69,34 @@ pub enum SnapError {
         /// Unconsumed byte count.
         remaining: usize,
     },
-    /// The blob was written for a different configuration (catalog,
-    /// platform config, manager kind) than the one restoring it.
-    Mismatch(&'static str),
+    /// The blob decoded cleanly but disagrees with the state restoring
+    /// it: a different configuration (catalog, platform config, manager
+    /// kind) or a failed cross-validation (cache-charge sum, event
+    /// order, fingerprint). Carries which validation failed and both
+    /// sides so a red run names its divergence instead of a bare tag.
+    Mismatch {
+        /// Which validation failed.
+        what: &'static str,
+        /// The value the restoring side required.
+        expected: String,
+        /// The value the blob actually carried.
+        actual: String,
+    },
+}
+
+impl SnapError {
+    /// Builds a [`SnapError::Mismatch`] from any displayable pair.
+    pub fn mismatch(
+        what: &'static str,
+        expected: impl fmt::Display,
+        actual: impl fmt::Display,
+    ) -> SnapError {
+        SnapError::Mismatch {
+            what,
+            expected: expected.to_string(),
+            actual: actual.to_string(),
+        }
+    }
 }
 
 impl fmt::Display for SnapError {
@@ -88,8 +115,15 @@ impl fmt::Display for SnapError {
             SnapError::Trailing { remaining } => {
                 write!(f, "snapshot has {remaining} trailing bytes after the last field")
             }
-            SnapError::Mismatch(what) => {
-                write!(f, "snapshot was taken under a different {what}")
+            SnapError::Mismatch {
+                what,
+                expected,
+                actual,
+            } => {
+                write!(
+                    f,
+                    "snapshot mismatch in {what}: expected {expected}, found {actual}"
+                )
             }
         }
     }
@@ -174,6 +208,14 @@ impl Writer {
         self.usize(v.len());
         self.buf.extend_from_slice(v);
     }
+
+    /// Appends bytes verbatim, with no length prefix. For splicing a
+    /// canonical sub-encoding (produced by another `Writer`) into a
+    /// larger stream — the delta-checkpoint fold reassembles full
+    /// checkpoints from per-section byte blobs this way.
+    pub fn raw(&mut self, v: &[u8]) {
+        self.buf.extend_from_slice(v);
+    }
 }
 
 /// Decoder: a cursor over an immutable byte slice. Every read is
@@ -196,41 +238,48 @@ impl<'a> Reader<'a> {
     }
 
     /// Takes exactly `n` bytes.
+    ///
+    /// Every access goes through `slice::get` — the decode path must
+    /// hold against arbitrary bytes, so the `unchecked-index` tidy rule
+    /// bans plain indexing in this crate.
     pub fn take(&mut self, n: usize) -> Result<&'a [u8], SnapError> {
-        if self.remaining() < n {
-            return Err(SnapError::Truncated {
-                needed: n,
-                remaining: self.remaining(),
-            });
-        }
-        let out = &self.buf[self.pos..self.pos + n];
-        self.pos += n;
+        let end = self
+            .pos
+            .checked_add(n)
+            .ok_or(SnapError::Corrupt("read length overflows the cursor"))?;
+        let out = self.buf.get(self.pos..end).ok_or(SnapError::Truncated {
+            needed: n,
+            remaining: self.remaining(),
+        })?;
+        self.pos = end;
         Ok(out)
+    }
+
+    /// Takes exactly `N` bytes as a fixed-size array.
+    fn take_array<const N: usize>(&mut self) -> Result<[u8; N], SnapError> {
+        <[u8; N]>::try_from(self.take(N)?)
+            .map_err(|_| SnapError::Corrupt("fixed-width read changed length"))
     }
 
     /// Reads one byte.
     pub fn u8(&mut self) -> Result<u8, SnapError> {
-        Ok(self.take(1)?[0])
+        let [b] = self.take_array()?;
+        Ok(b)
     }
 
     /// Reads a little-endian `u16`.
     pub fn u16(&mut self) -> Result<u16, SnapError> {
-        let b = self.take(2)?;
-        Ok(u16::from_le_bytes([b[0], b[1]]))
+        Ok(u16::from_le_bytes(self.take_array()?))
     }
 
     /// Reads a little-endian `u32`.
     pub fn u32(&mut self) -> Result<u32, SnapError> {
-        let b = self.take(4)?;
-        Ok(u32::from_le_bytes([b[0], b[1], b[2], b[3]]))
+        Ok(u32::from_le_bytes(self.take_array()?))
     }
 
     /// Reads a little-endian `u64`.
     pub fn u64(&mut self) -> Result<u64, SnapError> {
-        let b = self.take(8)?;
-        Ok(u64::from_le_bytes([
-            b[0], b[1], b[2], b[3], b[4], b[5], b[6], b[7],
-        ]))
+        Ok(u64::from_le_bytes(self.take_array()?))
     }
 
     /// Reads a `u64` and converts it to `usize`.

@@ -1,0 +1,11 @@
+// Fixture: one bare slice index in a (pretend) snapshot decode path.
+// `.get()` use and slice *types* must not fire.
+
+pub fn decode_len(bytes: &[u8]) -> Option<u64> {
+    // Fine: checked access with a typed fallback.
+    let first = *bytes.get(0)?;
+    let _ = first;
+    // Violation: panics when `bytes` is shorter than 8.
+    let raw: [u8; 8] = bytes[..8].try_into().ok()?;
+    Some(u64::from_le_bytes(raw))
+}

@@ -92,6 +92,14 @@ pub const RULES: &[Rule] = &[
                adding a field is a compile error at the codec instead of silent state loss",
     },
     Rule {
+        name: "unchecked-index",
+        family: "robustness",
+        summary: "bare `[...]` slice indexing in snapshot decode paths",
+        hint: "decode paths face arbitrary bytes: use .get()/.get_mut() and return a \
+               typed SnapError; for provably-in-bounds indexes add \
+               `// tidy:allow(unchecked-index) -- why`",
+    },
+    Rule {
         name: "hot-containers",
         family: "performance",
         summary: "BinaryHeap or BTreeMap<InstanceId, _> on a sim-state hot path",
@@ -223,6 +231,16 @@ const SNAPSHOT_EXTRA_DIRS: &[&str] = &["crates/gc-core/src/", "crates/workloads/
 
 fn in_snapshot_scope(path: &str) -> bool {
     in_sim_state_crate(path) || SNAPSHOT_EXTRA_DIRS.iter().any(|d| path.starts_with(d))
+}
+
+/// Decode paths that face arbitrary (possibly corrupt) bytes: the
+/// snapshot crate's flat codec and framed containers. A bare `[` index
+/// there turns a corrupt length into a panic instead of a typed
+/// `SnapError`.
+const UNCHECKED_INDEX_DIRS: &[&str] = &["crates/snapshot/src/"];
+
+fn in_unchecked_index_scope(path: &str) -> bool {
+    UNCHECKED_INDEX_DIRS.iter().any(|d| path.starts_with(d))
 }
 
 /// Crate roots that must carry `#![forbid(unsafe_code)]`: lib roots,
@@ -447,6 +465,10 @@ pub fn check_source(path: &str, source: &str) -> Vec<Finding> {
 
     if in_snapshot_scope(path) {
         check_snapshot_impls(path, &blanked.text, &starts, &mask, &mut raw);
+    }
+
+    if in_unchecked_index_scope(path) {
+        check_unchecked_index(path, &blanked.text, &starts, &mask, &mut raw);
     }
 
     if is_crate_root(path) && !has_forbid_unsafe(&blanked.text) {
@@ -725,6 +747,49 @@ fn destructure_style(block: &str, ty: &str) -> DestructureStyle {
         DestructureStyle::Exhaustive
     } else {
         DestructureStyle::Missing
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Unchecked-index checking
+// ---------------------------------------------------------------------------
+
+/// Flags bare `expr[...]` indexing in decode paths. Every such index
+/// panics when a corrupt length or offset lands out of bounds; decode
+/// code must use `.get()`/`.get_mut()` and surface a typed `SnapError`
+/// instead. Detection: a `[` whose *immediately* preceding byte is an
+/// identifier character, `)`, or `]` is an index expression — slice
+/// types (`&[u8]`), array literals, attributes, and `vec![…]` all have
+/// a different predecessor, and the no-whitespace-skip rule keeps
+/// `&'a [u8]` out.
+fn check_unchecked_index(
+    path: &str,
+    text: &str,
+    starts: &[usize],
+    mask: &[bool],
+    out: &mut Vec<Finding>,
+) {
+    let bytes = text.as_bytes();
+    for (i, &b) in bytes.iter().enumerate() {
+        if b != b'[' || i == 0 {
+            continue;
+        }
+        let prev = bytes[i - 1];
+        if !is_ident_byte(prev) && prev != b')' && prev != b']' {
+            continue;
+        }
+        let line = lexer::line_of(starts, i);
+        if is_test_line(mask, line) {
+            continue;
+        }
+        out.push(Finding::new(
+            path,
+            line,
+            "unchecked-index",
+            "bare slice index in a decode path: corrupt input panics here \
+             instead of returning a typed error"
+                .to_string(),
+        ));
     }
 }
 

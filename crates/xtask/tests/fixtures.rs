@@ -57,6 +57,11 @@ fn every_source_rule_fires_on_its_seeded_fixture() {
             "snapshot_coverage.rs",
             "crates/faas/src/fake.rs",
         ),
+        (
+            "unchecked-index",
+            "unchecked_index.rs",
+            "crates/snapshot/src/fake.rs",
+        ),
         ("forbid-unsafe", "forbid_unsafe.rs", "crates/fake/src/lib.rs"),
         (
             "hot-containers",
@@ -81,6 +86,7 @@ fn seeded_violations_vanish_outside_their_rule_scope() {
         ("no_panic.rs", "crates/faas/src/fake.rs"),
         ("lossy_casts.rs", "crates/faas/src/fake.rs"),
         ("snapshot_coverage.rs", "crates/xtask/src/fake.rs"),
+        ("unchecked_index.rs", "crates/xtask/src/fake.rs"),
         ("forbid_unsafe.rs", "crates/fake/src/notroot.rs"),
         ("hot_containers.rs", "crates/xtask/src/fake.rs"),
     ];
@@ -143,7 +149,7 @@ pub type T = HashMap<u64, u64>;
 
 #[test]
 fn every_rule_in_the_catalogue_has_family_and_hint() {
-    assert_eq!(RULES.len(), 11);
+    assert_eq!(RULES.len(), 12);
     for r in RULES {
         assert!(
             ["determinism", "robustness", "hygiene", "performance"].contains(&r.family),

@@ -5,10 +5,13 @@
 # Runs the `perf` harness in full mode (4M hold-model ops, best-of-5
 # replay rounds) and writes:
 #
-#   BENCH_eventloop.json — calendar vs. reference-heap hold model
-#   BENCH_replay.json    — replay_30s_sf15 wall time, both queue
-#                          impls, vanilla + desiccant, against the
-#                          fixed pre-PR baseline
+#   BENCH_eventloop.json  — calendar vs. reference-heap hold model
+#   BENCH_replay.json     — replay_30s_sf15 wall time, both queue
+#                           impls, vanilla + desiccant, against the
+#                           fixed pre-PR baseline
+#   BENCH_checkpoint.json — full vs. delta checkpoint bytes and wall
+#                           time at a ~2^16-frozen-instance steady
+#                           state
 #
 # Numbers are host-dependent: run on an idle machine and commit the
 # refreshed files together with the change that moved them, so the

@@ -51,4 +51,17 @@ echo "== kill-recover (crash-consistent checkpoint/restore) =="
 cargo run --release -q -p bench --bin chaos -- --quick --check \
     --fault-seed 11 --crash-every 400 >/dev/null
 
+echo "== kill-recover under storage faults (torn writes, bit rot) =="
+# Same gate, but the checkpoint store itself misbehaves. Torn-write
+# schedule: half the checkpoint puts lose their tail at a frame
+# boundary; recovery must fall back to older checkpoints (or the
+# journal alone) and still digest identical to the control.
+cargo run --release -q -p bench --bin chaos -- --quick --check \
+    --fault-seed 11 --crash-every 400 --torn-write >/dev/null
+# Bit-rot schedule: every checkpoint written gets one bit flipped at a
+# fixed offset, so no stored checkpoint ever verifies — recovery is a
+# from-scratch journal replay, and the digest must still match.
+cargo run --release -q -p bench --bin chaos -- --quick --check \
+    --fault-seed 11 --crash-at 500 --corrupt-at 64 >/dev/null
+
 echo "tier1 OK"
