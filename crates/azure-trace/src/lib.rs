@@ -42,10 +42,12 @@
 
 #![forbid(unsafe_code)]
 
+pub mod cluster_replay;
 pub mod generate;
 pub mod replay;
 pub mod resume;
 
+pub use cluster_replay::{replay_cluster, ClusterReplayOutcome};
 pub use generate::{build_trace, generate_arrivals, ArrivalPattern, TraceFunction};
 pub use replay::{replay, ReplayConfig, ReplayOutcome};
 pub use resume::{replay_resumable, RequestJournal, ResumeOptions, ResumeOutcome};

@@ -13,54 +13,14 @@
 //! matrix first and print afterwards, which keeps their stdout
 //! byte-identical between `--jobs 1` and `--jobs N`.
 
-use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Mutex;
-
 use workloads::FunctionSpec;
 
 use crate::singlefn::{run_study, Mode, StudyConfig, StudyOutcome};
 
-/// Runs `f` over every item on `jobs` worker threads, returning results
-/// in input order.
-///
-/// `jobs <= 1` (or a single item) degenerates to a plain serial loop on
-/// the calling thread — exactly the pre-pool behaviour. A worker panic
-/// propagates out of the scope and aborts the harness, as it would
-/// serially.
-pub fn run_jobs<I, T, F>(jobs: usize, items: &[I], f: F) -> Vec<T>
-where
-    I: Sync,
-    T: Send,
-    F: Fn(&I) -> T + Sync,
-{
-    let jobs = jobs.max(1).min(items.len().max(1));
-    if jobs == 1 {
-        return items.iter().map(&f).collect();
-    }
-    let next = AtomicUsize::new(0);
-    // Uncontended per-item slots; Mutex (rather than OnceLock) keeps the
-    // bound at `T: Send` without requiring `T: Sync`.
-    let slots: Vec<Mutex<Option<T>>> = items.iter().map(|_| Mutex::new(None)).collect();
-    std::thread::scope(|scope| {
-        for _ in 0..jobs {
-            scope.spawn(|| loop {
-                let idx = next.fetch_add(1, Ordering::Relaxed);
-                let Some(item) = items.get(idx) else { break };
-                let result = f(item);
-                let prev = slots[idx].lock().expect("slot lock poisoned").replace(result);
-                debug_assert!(prev.is_none(), "two workers claimed item {idx}");
-            });
-        }
-    });
-    slots
-        .into_iter()
-        .map(|slot| {
-            slot.into_inner()
-                .expect("slot lock poisoned")
-                .expect("worker filled every slot")
-        })
-        .collect()
-}
+/// The generic pool itself lives in the bottom-of-graph `parallel`
+/// crate (shared with the cluster engine, which `bench` sits above);
+/// re-exported here so harness code keeps its historical import path.
+pub use parallel::run_jobs;
 
 /// Runs an explicit list of `(function, mode, config)` studies and
 /// returns their outcomes in input order.
@@ -101,22 +61,6 @@ pub fn run_studies_parallel(
 #[cfg(test)]
 mod tests {
     use super::*;
-
-    #[test]
-    fn run_jobs_preserves_input_order() {
-        let items: Vec<usize> = (0..257).collect();
-        let doubled = run_jobs(8, &items, |&i| i * 2);
-        assert_eq!(doubled, items.iter().map(|i| i * 2).collect::<Vec<_>>());
-    }
-
-    #[test]
-    fn run_jobs_serial_and_empty_edge_cases() {
-        let items = [1, 2, 3];
-        assert_eq!(run_jobs(1, &items, |&i| i + 1), vec![2, 3, 4]);
-        assert_eq!(run_jobs(0, &items, |&i| i + 1), vec![2, 3, 4]);
-        let empty: [u32; 0] = [];
-        assert!(run_jobs(4, &empty, |&i| i).is_empty());
-    }
 
     #[test]
     fn parallel_matrix_matches_serial_exactly() {

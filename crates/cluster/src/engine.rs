@@ -1,0 +1,285 @@
+//! The deterministic parallel time-barrier replay engine.
+//!
+//! A [`Cluster`] advances all shards in coarse rounds. Each round:
+//!
+//! 1. **Place** (engine thread, serial): the round's arrivals — every
+//!    pending arrival at or before the next barrier — are routed in
+//!    canonical arrival order against the router's *last-barrier*
+//!    view. Nothing a shard does mid-round can influence this round's
+//!    placement, so the partition of work is a pure function of
+//!    history up to the previous barrier.
+//! 2. **Drain** (parallel): every shard independently executes the
+//!    round — journals the batch, maybe cuts a checkpoint, submits,
+//!    and drains its event queue up to the barrier — on the scoped
+//!    worker pool. Shards share no mutable state; each sits behind its
+//!    own `Mutex`, locked once per round by whichever worker claims
+//!    it. [`parallel::run_jobs`] returns the reports in input order.
+//! 3. **Merge** (engine thread, serial): the reports are folded into
+//!    the router in canonical shard order — stats views refresh,
+//!    migration offers become placement overrides.
+//!
+//! Because step 1 and 3 are serial folds over canonically ordered data
+//! and step 2 is a pure per-shard function of (journal, barrier), the
+//! entire trajectory — and therefore [`Cluster::digest`] — is
+//! byte-identical at `--jobs 1` and `--jobs N`, kills and recoveries
+//! included. The gates in `bench` and the crate's proptests pin
+//! exactly that.
+
+use std::collections::VecDeque;
+use std::sync::Mutex;
+
+use faas::fault::CrashPlan;
+use simos::{SimDuration, SimTime};
+
+use crate::fnv64_update;
+use crate::msg::{ClusterTotals, ShardReport};
+use crate::router::{Placement, Router};
+use crate::shard::{Shard, ShardDurability, ShardSetup};
+
+/// Shape of a cluster run.
+#[derive(Debug, Clone, Copy)]
+pub struct ClusterConfig {
+    /// Number of shards (simulated machines).
+    pub shards: u32,
+    /// Barrier period: shards run independently for this long per
+    /// round. Coarser rounds amortize barrier cost; placement reacts
+    /// one round late either way.
+    pub round: SimDuration,
+    /// Placement policy of the front-end router.
+    pub policy: Placement,
+    /// Worker threads draining shards each round (`1` = serial). Has
+    /// no effect on any simulation outcome, only on wall time.
+    pub jobs: usize,
+    /// Per-shard checkpoint cadence.
+    pub durability: ShardDurability,
+    /// Cache-occupancy fraction above which a shard offers migrations.
+    pub pressure: f64,
+    /// Migration offers per shard per barrier.
+    pub max_offers: usize,
+}
+
+impl Default for ClusterConfig {
+    fn default() -> ClusterConfig {
+        ClusterConfig {
+            shards: 8,
+            round: SimDuration::from_secs(2),
+            policy: Placement::HashAffinity,
+            jobs: 1,
+            durability: ShardDurability::default(),
+            pressure: 0.85,
+            max_offers: 2,
+        }
+    }
+}
+
+/// A cluster of shards behind a placement router.
+pub struct Cluster {
+    cfg: ClusterConfig,
+    shards: Vec<Mutex<Shard>>,
+    router: Router,
+    /// Arrivals accepted but not yet barrier-assigned, in canonical
+    /// (time, enqueue order) — enforced monotone on the way in.
+    pending: VecDeque<(SimTime, usize)>,
+    /// Time of the last completed barrier.
+    now: SimTime,
+    /// Rounds completed.
+    rounds: usize,
+    /// Stats reset requested for the start of the next round.
+    reset_pending: bool,
+    /// Reports of the last completed barrier.
+    last_reports: Vec<ShardReport>,
+}
+
+/// One round's work order for one shard — what a pool worker consumes.
+struct RoundWork<'a> {
+    shard: &'a Mutex<Shard>,
+    round: usize,
+    barrier: SimTime,
+    reset: bool,
+    batch: Vec<(SimTime, usize)>,
+    pressure: f64,
+    max_offers: usize,
+}
+
+impl Cluster {
+    /// Builds `cfg.shards` identically-configured shards.
+    pub fn new(cfg: ClusterConfig, setup: &ShardSetup) -> Cluster {
+        assert!(cfg.shards > 0, "a cluster needs at least one shard");
+        let shards: Vec<Mutex<Shard>> = (0..cfg.shards)
+            .map(|id| Mutex::new(Shard::new(id, setup.clone(), cfg.durability)))
+            .collect();
+        let now = shards[0].lock().expect("shard lock").now();
+        Cluster {
+            router: Router::new(cfg.policy, cfg.shards),
+            shards,
+            pending: VecDeque::new(),
+            now,
+            rounds: 0,
+            reset_pending: false,
+            last_reports: Vec::new(),
+            cfg,
+        }
+    }
+
+    /// The configuration the cluster runs under.
+    pub fn config(&self) -> &ClusterConfig {
+        &self.cfg
+    }
+
+    /// Time of the last completed barrier.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Rounds completed so far.
+    pub fn rounds(&self) -> usize {
+        self.rounds
+    }
+
+    /// Total arrivals routed.
+    pub fn routed(&self) -> u64 {
+        self.router.routed()
+    }
+
+    /// Migration overrides the router has accepted.
+    pub fn migrations(&self) -> u64 {
+        self.router.migrations()
+    }
+
+    /// Changes the worker count for subsequent rounds. Outcome-neutral
+    /// by construction (the determinism gates run the same cluster at
+    /// several job counts).
+    pub fn set_jobs(&mut self, jobs: usize) {
+        self.cfg.jobs = jobs;
+    }
+
+    /// Accepts an arrival for placement at the next barrier it falls
+    /// under. Arrivals must be enqueued in canonical order: time
+    /// non-decreasing, never behind the last completed barrier.
+    pub fn enqueue(&mut self, t: SimTime, fn_idx: usize) {
+        assert!(t >= self.now, "arrival behind the last barrier");
+        if let Some(&(last, _)) = self.pending.back() {
+            assert!(t >= last, "arrivals must be enqueued in time order");
+        }
+        self.pending.push_back((t, fn_idx));
+    }
+
+    /// Resets every shard's stats counters at the start of the next
+    /// round (the measured-window cut of the replay protocol). The
+    /// reset is journaled, so a kill-recovery replays it at the same
+    /// round.
+    pub fn reset_stats(&mut self) {
+        self.reset_pending = true;
+    }
+
+    /// Arms a kill schedule on one shard.
+    pub fn plan_kill(&mut self, shard: u32, plan: CrashPlan) {
+        self.shards[shard as usize]
+            .lock()
+            .expect("shard lock")
+            .plan_kill(plan);
+    }
+
+    /// Advances every shard to `t_end` in barrier rounds.
+    pub fn advance_to(&mut self, t_end: SimTime) {
+        assert!(t_end >= self.now, "cannot advance into the past");
+        while self.now < t_end {
+            let barrier = (self.now + self.cfg.round).min(t_end);
+            self.run_round(barrier);
+        }
+    }
+
+    /// One barrier round: place, drain in parallel, merge.
+    fn run_round(&mut self, barrier: SimTime) {
+        let n = self.cfg.shards as usize;
+        let mut batches: Vec<Vec<(SimTime, usize)>> = vec![Vec::new(); n];
+        while self.pending.front().is_some_and(|&(t, _)| t <= barrier) {
+            let (t, fn_idx) = self.pending.pop_front().expect("checked front");
+            let shard = self.router.route(fn_idx);
+            batches[shard as usize].push((t, fn_idx));
+        }
+        let reset = self.reset_pending;
+        self.reset_pending = false;
+        let round = self.rounds;
+        let (pressure, max_offers) = (self.cfg.pressure, self.cfg.max_offers);
+        let work: Vec<RoundWork<'_>> = self
+            .shards
+            .iter()
+            .zip(batches)
+            .map(|(shard, batch)| RoundWork {
+                shard,
+                round,
+                barrier,
+                reset,
+                batch,
+                pressure,
+                max_offers,
+            })
+            .collect();
+        // The parallel fan-out. Reports come back in input (= shard)
+        // order regardless of completion order, so the merge below is
+        // canonical at any job count.
+        let reports = parallel::run_jobs(self.cfg.jobs, &work, |w| {
+            w.shard.lock().expect("shard lock").advance(
+                w.round,
+                w.barrier,
+                w.reset,
+                &w.batch,
+                w.pressure,
+                w.max_offers,
+            )
+        });
+        self.router.absorb(&reports);
+        self.last_reports = reports;
+        self.rounds += 1;
+        self.now = barrier;
+    }
+
+    /// Reports of the last completed barrier (canonical shard order).
+    pub fn last_reports(&self) -> &[ShardReport] {
+        &self.last_reports
+    }
+
+    /// Total simulation events handled across all shards — the scale
+    /// against which event-count kill schedules are sized.
+    pub fn events_seen(&self) -> u64 {
+        self.shards
+            .iter()
+            .map(|m| m.lock().expect("shard lock").events_seen())
+            .sum()
+    }
+
+    /// FNV-1a digest over every shard's canonical state bytes (shard
+    /// order) and the router's state. Two runs of the same workload
+    /// produce the same digest if — and only if — every shard and the
+    /// router ended in identical states, whatever `jobs` was and
+    /// however many kills were recovered along the way.
+    pub fn digest(&self) -> u64 {
+        let mut h = 0xcbf2_9ce4_8422_2325;
+        for m in &self.shards {
+            let shard = m.lock().expect("shard lock");
+            fnv64_update(&mut h, &shard.state_bytes());
+        }
+        fnv64_update(&mut h, &self.router.state_bytes());
+        h
+    }
+
+    /// Aggregate counters summed over all shards.
+    pub fn totals(&self) -> ClusterTotals {
+        let mut out = ClusterTotals::default();
+        for m in &self.shards {
+            let shard = m.lock().expect("shard lock");
+            let t = shard.totals();
+            out.completed += t.completed;
+            out.failed += t.failed;
+            out.cold_boots += t.cold_boots;
+            out.evictions += t.evictions;
+            out.instances += t.instances;
+            out.frozen += t.frozen;
+            out.cache_used += t.cache_used;
+            out.recoveries += t.recoveries;
+            out.scratch_recoveries += t.scratch_recoveries;
+        }
+        out
+    }
+}

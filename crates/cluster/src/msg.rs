@@ -1,0 +1,135 @@
+//! Barrier messages: everything a shard tells the router.
+//!
+//! These are the *only* bytes that cross a shard boundary. A shard
+//! summarizes itself into a [`ShardReport`] at each barrier; the
+//! router folds the reports in canonical shard order. Nothing in here
+//! names an instance or any other piece of shard-local simulation
+//! state — placement works on aggregates, which is what makes the
+//! `shard-isolation` tidy rule enforceable at the token level.
+
+use std::collections::BTreeMap;
+
+use faas::FrozenFnSummary;
+use snapshot::Writer;
+
+/// One shard's barrier summary: load and warm-set signals for the
+/// placement policies, plus any migration offers made under memory
+/// pressure.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ShardReport {
+    /// The reporting shard.
+    pub shard: u32,
+    /// Requests somewhere between submission and completion.
+    pub in_flight: u64,
+    /// Bytes charged against the instance cache.
+    pub cache_used: u64,
+    /// The shard's cache budget (constant, but carried so the router
+    /// never has to reach into shard configuration).
+    pub cache_budget: u64,
+    /// Live instances (any status).
+    pub instances: u64,
+    /// Frozen (warm, thaw-able) instances.
+    pub frozen: u64,
+    /// Per-function summary of the frozen cache: the warm set the
+    /// cold-start-aware policy routes on.
+    pub warm: BTreeMap<usize, FrozenFnSummary>,
+    /// Functions this shard wants re-homed (memory pressure).
+    pub offers: Vec<MigrationOffer>,
+    /// Cumulative kill-recoveries on this shard.
+    pub recoveries: u64,
+    /// Cumulative recoveries that found no usable checkpoint chain.
+    pub scratch_recoveries: u64,
+}
+
+impl ShardReport {
+    /// Serializes the report into `w` deterministically — part of the
+    /// cluster digest and of the router's own state bytes.
+    ///
+    /// The recovery counters are deliberately *excluded*: they count
+    /// kills survived, not simulation state, and the kill-recover gates
+    /// demand a chaos run digest byte-identical to its uninterrupted
+    /// control. Encoding them would make that impossible by
+    /// construction.
+    pub fn encode(&self, w: &mut Writer) {
+        let ShardReport {
+            shard,
+            in_flight,
+            cache_used,
+            cache_budget,
+            instances,
+            frozen,
+            warm,
+            offers,
+            recoveries: _,
+            scratch_recoveries: _,
+        } = self;
+        w.u32(*shard);
+        w.u64(*in_flight);
+        w.u64(*cache_used);
+        w.u64(*cache_budget);
+        w.u64(*instances);
+        w.u64(*frozen);
+        w.usize(warm.len());
+        for (fn_idx, s) in warm {
+            w.usize(*fn_idx);
+            w.u64(s.count);
+            w.u64(s.charge);
+            w.u64(s.oldest_frozen.0);
+        }
+        w.usize(offers.len());
+        for o in offers {
+            o.encode(w);
+        }
+    }
+}
+
+/// A shard under memory pressure asking the router to re-home one
+/// function's *future* placements elsewhere.
+///
+/// Migration is affinity reassignment, not state surgery: the offering
+/// shard keeps (and eventually evicts or reclaims) the instances it
+/// already holds, while new arrivals of the function land on the
+/// target the router picks at the barrier. That keeps every byte of
+/// shard-local state shard-local.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MigrationOffer {
+    /// The overloaded shard making the offer.
+    pub from: u32,
+    /// Catalog index of the function to re-home.
+    pub fn_idx: usize,
+    /// USS charge the function's frozen instances hold on the offering
+    /// shard — the router's signal for how much pressure moves.
+    pub charge: u64,
+}
+
+impl MigrationOffer {
+    fn encode(&self, w: &mut Writer) {
+        let MigrationOffer { from, fn_idx, charge } = self;
+        w.u32(*from);
+        w.usize(*fn_idx);
+        w.u64(*charge);
+    }
+}
+
+/// End-of-run aggregate counters summed over shards by the engine.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ClusterTotals {
+    /// Requests completed across all shards.
+    pub completed: u64,
+    /// Requests that terminated with a failure.
+    pub failed: u64,
+    /// Cold boots started.
+    pub cold_boots: u64,
+    /// Frozen instances evicted under pressure.
+    pub evictions: u64,
+    /// Live instances at observation time.
+    pub instances: u64,
+    /// Frozen instances at observation time.
+    pub frozen: u64,
+    /// Cache bytes charged at observation time.
+    pub cache_used: u64,
+    /// Kill-recoveries across all shards.
+    pub recoveries: u64,
+    /// Recoveries that restarted from nothing (journal-only).
+    pub scratch_recoveries: u64,
+}

@@ -1,0 +1,231 @@
+//! The cluster front-end: placement policies and barrier-state folds.
+//!
+//! The router is the only component that sees more than one shard, and
+//! it sees shards *only* through their [`ShardReport`]s. Its decision
+//! inputs are therefore frozen at the last barrier: every arrival of a
+//! round is placed from the same snapshot, in the one canonical
+//! arrival order, on the engine's thread — which is what makes
+//! placement (and hence the whole replay) independent of `--jobs N`.
+//!
+//! Three policies:
+//!
+//! * **hash-affinity** — FNV-1a of the catalog index, modulo the shard
+//!   count. Stable, stateless, maximizes warm-instance reuse per
+//!   function; the baseline every FaaS front-end starts from.
+//! * **least-loaded** — the shard with the fewest in-flight requests
+//!   at the last barrier (plus the assignments already made this
+//!   round, so one round's burst cannot herd onto one shard).
+//! * **cold-start-aware** — COCOA-style: prefer a shard holding a
+//!   frozen (thaw-able) instance of the function; fall back to
+//!   hash-affinity when no shard is warm.
+//!
+//! Migration offers accepted at a barrier become *overrides*: the
+//! function's future placements re-home to the least-pressured other
+//! shard. Overrides take precedence under every policy — they exist to
+//! bleed pressure off a shard, which any policy must respect.
+
+use std::collections::BTreeMap;
+
+use snapshot::Writer;
+
+use crate::fnv64_bytes;
+use crate::msg::ShardReport;
+
+/// Placement policy of the cluster front-end.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Placement {
+    /// FNV(fn_idx) % shards.
+    HashAffinity,
+    /// Fewest in-flight requests at the last barrier.
+    LeastLoaded,
+    /// Prefer shards with a frozen instance of the function.
+    ColdStartAware,
+}
+
+impl Placement {
+    fn tag(self) -> u8 {
+        match self {
+            Placement::HashAffinity => 0,
+            Placement::LeastLoaded => 1,
+            Placement::ColdStartAware => 2,
+        }
+    }
+
+    /// Short name for reports and JSON.
+    pub fn name(self) -> &'static str {
+        match self {
+            Placement::HashAffinity => "hash-affinity",
+            Placement::LeastLoaded => "least-loaded",
+            Placement::ColdStartAware => "cold-start-aware",
+        }
+    }
+}
+
+/// The front-end router: placement state plus the last-barrier view of
+/// every shard.
+#[derive(Debug)]
+pub struct Router {
+    policy: Placement,
+    shards: u32,
+    /// Migration re-homes: `fn_idx -> shard`. Consulted before the
+    /// policy under every policy.
+    overrides: BTreeMap<usize, u32>,
+    /// Last-barrier report per shard (index = shard id). Empty until
+    /// the first barrier.
+    view: Vec<ShardReport>,
+    /// Assignments made in the current round, per shard — the
+    /// intra-round tie-breaker that stops least-loaded herding.
+    assigned: Vec<u64>,
+    /// Total arrivals routed.
+    routed: u64,
+    /// Migration offers accepted (overrides written).
+    migrations: u64,
+}
+
+impl Router {
+    /// A router over `shards` shards with the given policy.
+    pub fn new(policy: Placement, shards: u32) -> Router {
+        assert!(shards > 0, "a cluster needs at least one shard");
+        Router {
+            policy,
+            shards,
+            overrides: BTreeMap::new(),
+            view: Vec::new(),
+            assigned: vec![0; shards as usize],
+            routed: 0,
+            migrations: 0,
+        }
+    }
+
+    /// The configured policy.
+    pub fn policy(&self) -> Placement {
+        self.policy
+    }
+
+    /// Migration overrides currently in force.
+    pub fn migrations(&self) -> u64 {
+        self.migrations
+    }
+
+    /// Total arrivals routed so far.
+    pub fn routed(&self) -> u64 {
+        self.routed
+    }
+
+    /// Places one arrival, returning the shard it lands on. Must be
+    /// called in canonical arrival order on the engine thread.
+    pub fn route(&mut self, fn_idx: usize) -> u32 {
+        let shard = match self.overrides.get(&fn_idx) {
+            Some(&s) => s,
+            None => match self.policy {
+                Placement::HashAffinity => self.hash_shard(fn_idx),
+                Placement::LeastLoaded => self.least_loaded(),
+                Placement::ColdStartAware => self.warmest(fn_idx),
+            },
+        };
+        self.assigned[shard as usize] += 1;
+        self.routed += 1;
+        shard
+    }
+
+    fn hash_shard(&self, fn_idx: usize) -> u32 {
+        let h = fnv64_bytes(&(fn_idx as u64).to_le_bytes());
+        (h % u64::from(self.shards)) as u32
+    }
+
+    /// Effective load of shard `s`: last-barrier in-flight plus what
+    /// this round has already assigned to it.
+    fn load(&self, s: usize) -> u64 {
+        let at_barrier = self.view.get(s).map_or(0, |r| r.in_flight);
+        at_barrier + self.assigned[s]
+    }
+
+    fn least_loaded(&self) -> u32 {
+        (0..self.shards as usize)
+            .min_by_key(|&s| {
+                let cache = self.view.get(s).map_or(0, |r| r.cache_used);
+                (self.load(s), cache, s)
+            })
+            .map_or(0, |s| s as u32)
+    }
+
+    fn warmest(&self, fn_idx: usize) -> u32 {
+        let warm = (0..self.shards as usize)
+            .filter(|&s| self.view.get(s).is_some_and(|r| r.warm.contains_key(&fn_idx)))
+            .min_by_key(|&s| {
+                let cache = self.view.get(s).map_or(0, |r| r.cache_used);
+                (self.load(s), cache, s)
+            });
+        match warm {
+            Some(s) => s as u32,
+            None => self.hash_shard(fn_idx),
+        }
+    }
+
+    /// Folds the barrier's reports (canonical shard order) into the
+    /// routing view and accepts migration offers.
+    ///
+    /// An accepted offer re-homes the function to the least-pressured
+    /// shard other than the offerer; the target's viewed cache charge
+    /// is bumped by the offered charge immediately, so a barrier full
+    /// of offers spreads instead of dog-piling one target.
+    pub fn absorb(&mut self, reports: &[ShardReport]) {
+        assert_eq!(reports.len(), self.shards as usize, "one report per shard");
+        self.view = reports.to_vec();
+        for a in &mut self.assigned {
+            *a = 0;
+        }
+        let offers: Vec<_> = reports.iter().flat_map(|r| r.offers.iter().copied()).collect();
+        for offer in offers {
+            if self.shards == 1 {
+                break;
+            }
+            let target = (0..self.shards as usize)
+                .filter(|&s| s as u32 != offer.from)
+                .min_by_key(|&s| (self.view[s].cache_used, self.load(s), s))
+                .map_or(0, |s| s as u32);
+            // Re-homing to where the function already lives is a no-op
+            // offer; skip it so `migrations` counts real moves.
+            if self.overrides.get(&offer.fn_idx) == Some(&target) {
+                continue;
+            }
+            self.overrides.insert(offer.fn_idx, target);
+            self.view[target as usize].cache_used += offer.charge;
+            self.migrations += 1;
+        }
+    }
+
+    /// Serializes every routing-relevant byte of state. Folded into
+    /// the cluster digest: two runs that routed identically — and only
+    /// those — produce identical bytes.
+    pub fn state_bytes(&self) -> Vec<u8> {
+        let Router {
+            policy,
+            shards,
+            overrides,
+            view,
+            assigned,
+            routed,
+            migrations,
+        } = self;
+        let mut w = Writer::new();
+        w.u8(policy.tag());
+        w.u32(*shards);
+        w.usize(overrides.len());
+        for (fn_idx, shard) in overrides {
+            w.usize(*fn_idx);
+            w.u32(*shard);
+        }
+        w.usize(view.len());
+        for r in view {
+            r.encode(&mut w);
+        }
+        w.usize(assigned.len());
+        for a in assigned {
+            w.u64(*a);
+        }
+        w.u64(*routed);
+        w.u64(*migrations);
+        w.into_bytes()
+    }
+}

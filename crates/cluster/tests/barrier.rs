@@ -1,0 +1,191 @@
+//! Integration gates for the barrier engine: jobs-invariance,
+//! kill-recover digest identity, migration under pressure, and the
+//! placement policies' observable behaviour.
+
+use cluster::{Cluster, ClusterConfig, Placement, ShardDurability, ShardSetup};
+use desiccant::{Desiccant, DesiccantConfig};
+use faas::{CrashPlan, MemoryManager, PlatformConfig, StorageFaultPlan};
+use simos::SimTime;
+
+fn desiccant_manager(_shard: u32) -> Option<Box<dyn MemoryManager>> {
+    Some(Box::new(Desiccant::new(DesiccantConfig::default())))
+}
+
+fn setup(cache_budget: u64, desiccant: bool) -> ShardSetup {
+    let mut s = ShardSetup::vanilla();
+    s.platform = PlatformConfig {
+        cache_budget,
+        ..PlatformConfig::default()
+    };
+    if desiccant {
+        s.manager = desiccant_manager;
+    }
+    s
+}
+
+/// A small synthetic workload: a steady drizzle over the catalog, hot
+/// on a few functions, spanning `secs` simulated seconds.
+fn drizzle(catalog_len: usize, secs: u64, seed: u64) -> Vec<(SimTime, usize)> {
+    let mut out = Vec::new();
+    let mut state = seed;
+    let mut split = move || {
+        state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    };
+    let mut t = 0u64;
+    while t < secs * 1_000_000_000 {
+        t += 40_000_000 + split() % 120_000_000;
+        let fn_idx = (split() % catalog_len as u64) as usize;
+        out.push((SimTime(t), fn_idx));
+    }
+    out
+}
+
+fn run(
+    setup: &ShardSetup,
+    cfg: ClusterConfig,
+    arrivals: &[(SimTime, usize)],
+    end: SimTime,
+    kill: Option<(u32, CrashPlan)>,
+) -> (u64, cluster::ClusterTotals, u64) {
+    let mut c = Cluster::new(cfg, setup);
+    if let Some((shard, plan)) = kill {
+        c.plan_kill(shard, plan);
+    }
+    for &(t, f) in arrivals {
+        c.enqueue(t, f);
+    }
+    c.advance_to(end);
+    (c.digest(), c.totals(), c.migrations())
+}
+
+#[test]
+fn digest_identical_across_job_counts() {
+    let s = setup(6 << 30, true);
+    let arrivals = drizzle(s.catalog.len(), 30, 3);
+    let end = SimTime(36_000_000_000);
+    let base = ClusterConfig {
+        shards: 8,
+        policy: Placement::ColdStartAware,
+        ..ClusterConfig::default()
+    };
+    let mut digests = Vec::new();
+    for jobs in [1, 2, 4, 8] {
+        let cfg = ClusterConfig { jobs, ..base };
+        let (digest, totals, _) = run(&s, cfg, &arrivals, end, None);
+        assert!(totals.completed > 0);
+        digests.push(digest);
+    }
+    assert!(
+        digests.windows(2).all(|w| w[0] == w[1]),
+        "digest varies with job count: {digests:?}"
+    );
+}
+
+#[test]
+fn killed_shard_recovers_to_control_digest() {
+    let s = setup(6 << 30, true);
+    let arrivals = drizzle(s.catalog.len(), 30, 5);
+    let end = SimTime(36_000_000_000);
+    let cfg = ClusterConfig {
+        shards: 4,
+        jobs: 2,
+        ..ClusterConfig::default()
+    };
+    let (control, control_totals, _) = run(&s, cfg, &arrivals, end, None);
+    let (chaos, chaos_totals, _) = run(&s, cfg, &arrivals, end, Some((2, CrashPlan::every(60))));
+    assert!(chaos_totals.recoveries > 0, "kill schedule never fired");
+    assert_eq!(control_totals.completed, chaos_totals.completed);
+    assert_eq!(
+        control, chaos,
+        "recovered cluster diverged from the uninterrupted control"
+    );
+}
+
+#[test]
+fn storage_faults_on_one_shard_cost_recency_not_correctness() {
+    let mut s = setup(6 << 30, false);
+    let arrivals = drizzle(s.catalog.len(), 24, 7);
+    let end = SimTime(30_000_000_000);
+    let cfg = ClusterConfig {
+        shards: 3,
+        jobs: 3,
+        durability: ShardDurability {
+            checkpoint_every: 2,
+            base_every: 2,
+        },
+        ..ClusterConfig::default()
+    };
+    let (control, ..) = run(&s, cfg, &arrivals, end, None);
+    // Every checkpoint write bit-flips at a fixed offset: no stored
+    // chain ever verifies, so the killed shard recovers from nothing
+    // and replays its whole journal.
+    s.storage_faults = Some(StorageFaultPlan::corrupt_at(13, 80));
+    let (chaos, totals, _) = run(&s, cfg, &arrivals, end, Some((1, CrashPlan::at(100))));
+    assert_eq!(totals.recoveries, 1);
+    assert_eq!(totals.scratch_recoveries, 1);
+    assert_eq!(control, chaos, "journal-only recovery diverged");
+}
+
+#[test]
+fn pressure_triggers_migration_offers_and_rehoming() {
+    // A tiny cache and a hash policy that keeps hammering the same
+    // shards: pressure must produce accepted migration offers.
+    let s = setup(768 << 20, false);
+    let arrivals = drizzle(s.catalog.len(), 40, 11);
+    let end = SimTime(48_000_000_000);
+    let cfg = ClusterConfig {
+        shards: 2,
+        jobs: 1,
+        pressure: 0.5,
+        ..ClusterConfig::default()
+    };
+    let (_, totals, migrations) = run(&s, cfg, &arrivals, end, None);
+    assert!(totals.completed > 0);
+    assert!(migrations > 0, "no migration offer was ever accepted");
+}
+
+#[test]
+fn single_shard_cluster_matches_itself() {
+    let s = setup(4 << 30, true);
+    let arrivals = drizzle(s.catalog.len(), 20, 13);
+    let end = SimTime(26_000_000_000);
+    let cfg = ClusterConfig {
+        shards: 1,
+        ..ClusterConfig::default()
+    };
+    let (a, ta, _) = run(&s, cfg, &arrivals, end, None);
+    let (b, tb, _) = run(&s, cfg, &arrivals, end, None);
+    assert_eq!(a, b);
+    assert_eq!(ta, tb);
+    assert!(ta.completed > 0);
+}
+
+#[test]
+fn policies_spread_load_differently() {
+    let s = setup(6 << 30, false);
+    let arrivals = drizzle(s.catalog.len(), 24, 17);
+    let end = SimTime(30_000_000_000);
+    let mut digests = Vec::new();
+    for policy in [
+        Placement::HashAffinity,
+        Placement::LeastLoaded,
+        Placement::ColdStartAware,
+    ] {
+        let cfg = ClusterConfig {
+            shards: 4,
+            policy,
+            jobs: 2,
+            ..ClusterConfig::default()
+        };
+        let (digest, totals, _) = run(&s, cfg, &arrivals, end, None);
+        assert!(totals.completed > 0, "{policy:?} completed nothing");
+        digests.push(digest);
+    }
+    digests.sort_unstable();
+    digests.dedup();
+    assert_eq!(digests.len(), 3, "placement policies were indistinguishable");
+}

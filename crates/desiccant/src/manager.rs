@@ -107,7 +107,7 @@ impl MemoryManager for Desiccant {
                 let mut scored: Vec<(f64, &FrozenView)> = candidates
                     .iter()
                     .map(|f| {
-                        let est = self.profiles.estimate(f.id, &f.function, f.heap_resident);
+                        let est = self.profiles.estimate(f.id, f.function, f.heap_resident);
                         (est.throughput, *f)
                     })
                     .filter(|(thr, _)| *thr > 0.0)
@@ -244,10 +244,16 @@ mod tests {
     use super::*;
     use simos::SimDuration;
 
-    fn view(id: u64, function: &str, frozen_ms: u64, heap_resident: u64, charge: u64) -> FrozenView {
+    fn view(
+        id: u64,
+        function: &'static str,
+        frozen_ms: u64,
+        heap_resident: u64,
+        charge: u64,
+    ) -> FrozenView {
         FrozenView {
             id: InstanceId(id),
-            function: function.to_string(),
+            function,
             stage: 0,
             frozen_since: SimTime(frozen_ms * 1_000_000),
             heap_resident,

@@ -68,6 +68,6 @@ pub use fault::{CrashPlan, FaultInjector, FaultPlan, StorageFault, StorageFaultI
 pub use store::CheckpointStore;
 pub use histogram::LatencyHistogram;
 pub use manager::{FrozenView, MemoryManager, ReclaimProfile};
-pub use platform::{FailReason, GcMode, InstanceId, Platform};
+pub use platform::{FailReason, FrozenFnSummary, GcMode, InstanceId, Platform};
 pub use queue::{EventQueue, QueueImpl};
 pub use stats::PlatformStats;

@@ -12,13 +12,19 @@ use simos::{SimDuration, SimTime};
 use crate::platform::InstanceId;
 
 /// What the platform exposes about one frozen instance.
-#[derive(Debug, Clone)]
+///
+/// `Copy`: the platform rebuilds this view for every frozen instance
+/// on every sweep tick, so the view must not drag a heap allocation
+/// per instance per sweep — the function name borrows the
+/// `&'static str` from the catalog's `FunctionSpec` instead of
+/// cloning it.
+#[derive(Debug, Clone, Copy)]
 pub struct FrozenView {
     /// Platform-level identifier.
     pub id: InstanceId,
     /// Function name (instances of the same function share memory
     /// behaviour, §4.5.2).
-    pub function: String,
+    pub function: &'static str,
     /// Chain stage this instance runs.
     pub stage: u8,
     /// When the instance was frozen.
@@ -45,7 +51,13 @@ pub struct ReclaimProfile {
 }
 
 /// A freeze-aware memory manager (Desiccant, or an ablation variant).
-pub trait MemoryManager {
+///
+/// `Send`: the cluster layer parks each shard's platform — manager
+/// included — behind a `Mutex` and advances shards on scoped worker
+/// threads, so a manager must be movable across threads. Managers are
+/// plain data (profiles, thresholds, counters); none holds
+/// thread-affine state.
+pub trait MemoryManager: Send {
     /// Short name for reports.
     fn name(&self) -> &'static str;
 

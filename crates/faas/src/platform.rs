@@ -53,6 +53,18 @@ pub struct InstanceId(pub u64);
 /// Kinds start at [`Platform::FRAME_EXTRA_BASE`].
 pub type ExtraFrames = Vec<(u32, Vec<u8>)>;
 
+/// Aggregate view of one function's frozen instances on this host
+/// (see [`Platform::frozen_by_function`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FrozenFnSummary {
+    /// Frozen instances of the function.
+    pub count: u64,
+    /// Their summed USS charge against the cache.
+    pub charge: u64,
+    /// The earliest `frozen_since` among them.
+    pub oldest_frozen: SimTime,
+}
+
 /// How the platform treats GC at function exit.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum GcMode {
@@ -340,6 +352,30 @@ impl Platform {
             .iter()
             .filter(|(_, s)| s.status == Status::Frozen)
             .count()
+    }
+
+    /// Per-function summary of the frozen (warm, thaw-able) cache:
+    /// `fn_idx -> (instance count, total USS charge, oldest freeze
+    /// time)`, in catalog-index order.
+    ///
+    /// This is the warm-set signal a cluster front-end routes on
+    /// (cold-start-aware placement) and the pressure signal migration
+    /// offers are built from; it deliberately exposes no instance
+    /// identities, so placement can never reach into shard-local
+    /// state.
+    pub fn frozen_by_function(&self) -> BTreeMap<usize, FrozenFnSummary> {
+        let mut out: BTreeMap<usize, FrozenFnSummary> = BTreeMap::new();
+        for (_, s) in self.slots.iter().filter(|(_, s)| s.status == Status::Frozen) {
+            let e = out.entry(s.fn_idx).or_insert(FrozenFnSummary {
+                count: 0,
+                charge: 0,
+                oldest_frozen: s.frozen_since,
+            });
+            e.count += 1;
+            e.charge += s.charge;
+            e.oldest_frozen = e.oldest_frozen.min(s.frozen_since);
+        }
+        out
     }
 
     /// The slot of instance `id`, if it is still alive.
@@ -1176,7 +1212,7 @@ impl Platform {
             .filter(|(_, s)| s.status == Status::Frozen)
             .map(|(_, s)| FrozenView {
                 id: s.id,
-                function: self.catalog[s.fn_idx].name.to_string(),
+                function: self.catalog[s.fn_idx].name,
                 stage: s.stage,
                 frozen_since: s.frozen_since,
                 heap_resident: s.inst.heap().resident_heap_bytes(&self.sys),

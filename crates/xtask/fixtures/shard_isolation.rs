@@ -1,0 +1,10 @@
+//! Seeded violation: cluster code outside `shard.rs` reaching into a
+//! shard's platform internals.
+//! Scanned by the self-test as `crates/cluster/src/fake.rs`.
+
+/// The commented-out `restore_chain` call below must NOT count; only
+/// the real `Platform` token in the signature may be flagged.
+// fn shadow(p: &mut faas::Platform) { let _ = p.restore_chain(&[]); }
+pub fn peek(p: &faas::Platform) -> u64 {
+    p.frozen_count()
+}

@@ -108,6 +108,14 @@ pub const RULES: &[Rule] = &[
                provably off the per-event path, add `// tidy:allow(hot-containers) -- why`",
     },
     Rule {
+        name: "shard-isolation",
+        family: "hygiene",
+        summary: "cluster code outside shard.rs touching Platform internals",
+        hint: "the barrier protocol is the only legal cross-shard channel: route the \
+               access through cluster::shard::Shard's API (advance/report/state_bytes) \
+               instead of reaching into the platform",
+    },
+    Rule {
         name: "forbid-unsafe",
         family: "hygiene",
         summary: "crate root missing #![forbid(unsafe_code)]",
@@ -173,11 +181,35 @@ const SIM_STATE_CRATES: &[&str] = &[
     "goruntime",
     "runtime",
     "azure-trace",
+    "cluster",
 ];
 
 /// Files allowed to touch real threads and wall clocks (the scoped
-/// worker pool whose output is byte-identical at any job count).
-const THREAD_EXEMPT: &[&str] = &["crates/bench/src/parallel.rs"];
+/// worker pool whose output is byte-identical at any job count, plus
+/// its historical re-export site in bench).
+const THREAD_EXEMPT: &[&str] = &[
+    "crates/parallel/src/lib.rs",
+    "crates/bench/src/parallel.rs",
+];
+
+/// The quarantine boundary of the cluster crate: every module except
+/// `shard.rs` must treat a shard as opaque. These idents are the
+/// platform surface `shard.rs` wraps; seeing one elsewhere in the
+/// crate means the barrier protocol has been bypassed.
+const SHARD_INTERNAL_IDENTS: &[&str] = &[
+    "Platform",
+    "submit",
+    "run_until",
+    "try_run_until",
+    "checkpoint_base",
+    "checkpoint_delta",
+    "restore_chain",
+    "arm_kill",
+];
+
+fn in_shard_isolation_scope(path: &str) -> bool {
+    path.starts_with("crates/cluster/src/") && path != "crates/cluster/src/shard.rs"
+}
 
 /// The platform/desiccant/simos hot paths where panicking is banned in
 /// favor of typed errors (PR 2's idiom).
@@ -494,6 +526,7 @@ fn scan_tokens(
     let no_panic = in_no_panic_scope(path);
     let casts = in_cast_scope(path);
     let threads_ok = thread_exempt(path);
+    let shard_iso = in_shard_isolation_scope(path);
     for (s, e) in idents(text) {
         let word = &text[s..e];
         let line = lexer::line_of(starts, s);
@@ -578,6 +611,14 @@ fn scan_tokens(
                     "`BTreeMap<InstanceId, _>` per-event lookup table \
                      (the slab arena replaced it)"
                         .to_string(),
+                ));
+            }
+            w if shard_iso && SHARD_INTERNAL_IDENTS.contains(&w) => {
+                out.push(Finding::new(
+                    path,
+                    line,
+                    "shard-isolation",
+                    format!("`{w}` outside shard.rs pierces the shard quarantine"),
                 ));
             }
             "as" if casts && !is_test_line(mask, line) => {

@@ -12,6 +12,10 @@
 #   BENCH_checkpoint.json — full vs. delta checkpoint bytes and wall
 #                           time at a ~2^16-frozen-instance steady
 #                           state
+#   BENCH_cluster.json    — sharded replay at 1/2/4 worker threads:
+#                           wall time, speedup vs. the serial run, and
+#                           the kill-recover digest oracle (written by
+#                           the separate `cluster_replay` harness)
 #
 # Numbers are host-dependent: run on an idle machine and commit the
 # refreshed files together with the change that moved them, so the
@@ -21,6 +25,7 @@
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-cargo build --release -q -p bench --bin perf
+cargo build --release -q -p bench --bin perf --bin cluster_replay
 ./target/release/perf --out-dir . "$@"
+./target/release/cluster_replay --out-dir . "$@"
 echo "bench OK — review and commit BENCH_*.json"

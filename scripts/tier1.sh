@@ -36,6 +36,15 @@ echo "== perf smoke (hold model + replay, quick, checked) =="
 cargo run --release -q -p bench --bin perf -- --quick --check \
     --out-dir target/bench-smoke >/dev/null
 
+echo "== cluster smoke (sharded replay, digests across job counts) =="
+# Small trace over 8 shards: the digest must be byte-identical at
+# --jobs 1/2/4, and a run with one shard killed and recovered
+# mid-replay must digest identical to the uninterrupted control. The
+# scaling floor (1.5x at 4 jobs) is enforced only on hosts with >= 4
+# cores; the harness waives it (and records host_cores) elsewhere.
+cargo run --release -q -p bench --bin cluster_replay -- --quick --check \
+    --out-dir target/bench-smoke >/dev/null
+
 echo "== chaos (fault-free + seeded fault schedules) =="
 # Default sweep: fault-free baselines plus seeds 11/23/47 at a 1 %
 # fault rate, with termination/accounting/determinism checks on.
