@@ -123,7 +123,9 @@ impl Router {
                 Placement::ColdStartAware => self.warmest(fn_idx),
             },
         };
-        self.assigned[shard as usize] += 1;
+        if let Some(count) = self.assigned.get_mut(shard as usize) {
+            *count += 1;
+        }
         self.routed += 1;
         shard
     }
@@ -137,7 +139,7 @@ impl Router {
     /// this round has already assigned to it.
     fn load(&self, s: usize) -> u64 {
         let at_barrier = self.view.get(s).map_or(0, |r| r.in_flight);
-        at_barrier + self.assigned[s]
+        at_barrier + self.assigned.get(s).copied().unwrap_or(0)
     }
 
     fn least_loaded(&self) -> u32 {
@@ -182,7 +184,10 @@ impl Router {
             }
             let target = (0..self.shards as usize)
                 .filter(|&s| s as u32 != offer.from)
-                .min_by_key(|&s| (self.view[s].cache_used, self.load(s), s))
+                .min_by_key(|&s| {
+                    let cached = self.view.get(s).map_or(0, |r| r.cache_used);
+                    (cached, self.load(s), s)
+                })
                 .map_or(0, |s| s as u32);
             // Re-homing to where the function already lives is a no-op
             // offer; skip it so `migrations` counts real moves.
@@ -190,7 +195,9 @@ impl Router {
                 continue;
             }
             self.overrides.insert(offer.fn_idx, target);
-            self.view[target as usize].cache_used += offer.charge;
+            if let Some(row) = self.view.get_mut(target as usize) {
+                row.cache_used += offer.charge;
+            }
             self.migrations += 1;
         }
     }

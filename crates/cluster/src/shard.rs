@@ -157,6 +157,7 @@ fn build_platform(setup: &ShardSetup, id: u32) -> Platform {
         (setup.manager)(id),
     );
     p.set_queue_impl(setup.queue)
+        // tidy:allow(panic-reachability) -- a fresh, empty platform always accepts a queue swap
         .expect("a fresh platform's queue always converts");
     p
 }
@@ -245,17 +246,18 @@ impl Shard {
             if r.is_multiple_of(self.durability.checkpoint_every) {
                 self.cut_checkpoint(r);
             }
-            if self.journal[r].reset {
+            let Some(round) = self.journal.get(r) else { break };
+            if round.reset {
                 self.platform.reset_stats();
             }
-            for i in 0..self.journal[r].batch.len() {
-                let (t, fn_idx) = self.journal[r].batch[i];
+            for &(t, fn_idx) in &round.batch {
                 self.platform.submit(t, fn_idx);
             }
-            let end = self.journal[r].barrier;
+            let end = round.barrier;
             match self.platform.try_run_until(end) {
                 Ok(()) => self.cursor = r + 1,
                 Err(PlatformError::Killed { events_handled }) => self.recover(events_handled),
+                // tidy:allow(panic-reachability) -- any non-Killed error is a simulator bug; replay must not continue
                 Err(e) => panic!(
                     "shard {} platform invariant violated: {e} (round {r}, \
                      events_handled={})",
@@ -292,6 +294,7 @@ impl Shard {
         match self.store.recover() {
             Some((head_epoch, chain)) => {
                 let (_, extra) = self.platform.restore_chain(&chain).unwrap_or_else(|e| {
+                    // tidy:allow(panic-reachability) -- the chain passed CRC verification; failure here is a codec bug
                     panic!(
                         "shard {}: verified chain (head epoch {head_epoch}) failed to \
                          restore: {e} (killed at events_handled={events_handled})",
@@ -302,6 +305,7 @@ impl Shard {
                     .iter()
                     .find(|(kind, _)| *kind == FRAME_SHARD)
                     .unwrap_or_else(|| {
+                        // tidy:allow(panic-reachability) -- every shard checkpoint embeds its cursor frame at cut time
                         panic!(
                             "shard {}: checkpoint epoch {head_epoch} carries no cursor \
                              frame (killed at events_handled={events_handled})",
@@ -309,6 +313,7 @@ impl Shard {
                         )
                     });
                 self.cursor = decode_cursor(&frame.1).unwrap_or_else(|e| {
+                    // tidy:allow(panic-reachability) -- frame bytes already passed the checkpoint CRCs
                     panic!(
                         "shard {}: cursor frame of epoch {head_epoch} is corrupt past \
                          its CRCs: {e}",

@@ -384,6 +384,42 @@ impl Platform {
         self.by_id.get(id).and_then(|h| self.slots.get(h))
     }
 
+    /// The catalog spec for `fn_idx`. Function indices are positions in
+    /// the catalog the platform was built with; every externally
+    /// supplied index (trace replay, checkpoint restore) is validated
+    /// against `catalog.len()` before it reaches the tables, so the
+    /// lookup cannot miss. Funneling every catalog access through this
+    /// accessor keeps that invariant in one place.
+    #[inline]
+    fn spec(&self, fn_idx: usize) -> FunctionSpec {
+        // tidy:allow(panic-reachability) -- fn_idx is validated against the catalog at admission/restore
+        self.catalog[fn_idx]
+    }
+
+    /// The request record for `req`. Request ids are indices into
+    /// `requests` that [`Platform::submit`] itself allocated by pushing
+    /// the record, and restore validates every persisted id, so the
+    /// lookup cannot miss.
+    #[inline]
+    fn request(&self, req: usize) -> &Request {
+        // tidy:allow(panic-reachability) -- req ids are indices submit() itself allocated
+        &self.requests[req]
+    }
+
+    #[inline]
+    fn request_mut(&mut self, req: usize) -> &mut Request {
+        // tidy:allow(panic-reachability) -- req ids are indices submit() itself allocated
+        &mut self.requests[req]
+    }
+
+    /// The circuit breaker for `fn_idx` (`breakers` is sized to the
+    /// catalog at construction and at restore).
+    #[inline]
+    fn breaker_mut(&mut self, fn_idx: usize) -> &mut Breaker {
+        // tidy:allow(panic-reachability) -- breakers is sized to the catalog it is indexed by
+        &mut self.breakers[fn_idx]
+    }
+
     /// Records that `id`'s slot is about to be mutated, so the next
     /// delta checkpoint re-serializes it. Call before *every*
     /// `slots.get_mut` — an unmarked mutation silently diverges the
@@ -532,7 +568,7 @@ impl Platform {
     /// to handle it instead.
     pub fn run_until(&mut self, t_end: SimTime) {
         if let Err(e) = self.try_run_until(t_end) {
-            // tidy:allow(no-panic) -- documented panicking wrapper over try_run_until
+            // tidy:allow(panic-reachability) -- documented panicking wrapper over try_run_until
             panic!("platform invariant violated: {e}");
         }
     }
@@ -688,7 +724,7 @@ impl Platform {
     /// Attempts to start `work` now.
     fn try_start_stage(&mut self, work: PendingStage) -> StartOutcome {
         let req = work.req;
-        let fn_idx = self.requests[req].fn_idx;
+        let fn_idx = self.request(req).fn_idx;
         if !self.breaker_allows(fn_idx) {
             self.batch.breaker_fast_fails += 1;
             self.fail_request(req, FailReason::BreakerOpen);
@@ -751,13 +787,17 @@ impl Platform {
         if !self.make_room(self.boot_footprint, None) {
             return StartOutcome::Queued;
         }
-        let spec = self.catalog[fn_idx];
+        let spec = self.spec(fn_idx);
         let image = match self.config.env {
             EnvFlavor::OpenWhisk => RuntimeImage::openwhisk(spec.language),
             EnvFlavor::Lambda => RuntimeImage::lambda(spec.language),
         };
         let libs = match self.config.env {
-            EnvFlavor::OpenWhisk => self.shared_libs[&spec.language].clone(),
+            EnvFlavor::OpenWhisk => self
+                .shared_libs
+                .get(&spec.language)
+                .cloned()
+                .unwrap_or(SharedLibs { files: Vec::new() }),
             EnvFlavor::Lambda => image.register_files(&mut self.sys),
         };
         let inst = match Instance::launch(
@@ -858,7 +898,7 @@ impl Platform {
     fn evict(&mut self, id: InstanceId) {
         self.batch.evictions += 1;
         if let Some(slot) = self.slot(id) {
-            let name = self.catalog[slot.fn_idx].name;
+            let name = self.spec(slot.fn_idx).name;
             if let Some(m) = self.manager.as_mut() {
                 m.note_eviction(self.now, name);
             }
@@ -909,7 +949,7 @@ impl Platform {
         if let Some(vid) = victim {
             self.batch.oom_kills += 1;
             if let Some(slot) = self.slot(vid) {
-                let name = self.catalog[slot.fn_idx].name;
+                let name = self.spec(slot.fn_idx).name;
                 if let Some(m) = self.manager.as_mut() {
                     m.note_eviction(self.now, name);
                 }
@@ -991,6 +1031,14 @@ impl Platform {
     /// (or its crash, injected or genuine).
     fn start_execution(&mut self, id: InstanceId, req: usize, extra: SimDuration) -> PlatformResult<()> {
         self.mark_slot_dirty(id);
+        let (fn_idx, stage) = {
+            let slot = self.slot(id).ok_or(PlatformError::StaleInstance {
+                id,
+                context: "start-execution",
+            })?;
+            (slot.fn_idx, slot.stage)
+        };
+        let spec = self.spec(fn_idx);
         let slot = self
             .by_id
             .get(id)
@@ -999,8 +1047,6 @@ impl Platform {
                 id,
                 context: "start-execution",
             })?;
-        let (fn_idx, stage) = (slot.fn_idx, slot.stage);
-        let spec = self.catalog[fn_idx];
         // Intermediates from the previous request were transferred.
         slot.state.complete_transfer(slot.inst.heap_mut().graph_mut());
         let state = &mut slot.state;
@@ -1048,7 +1094,7 @@ impl Platform {
             (slot.fn_idx, slot.stage)
         };
         self.record_breaker_success(fn_idx);
-        let chain_len = self.catalog[fn_idx].chain_len;
+        let chain_len = self.spec(fn_idx).chain_len;
         // Advance the request.
         if stage + 1 < chain_len {
             self.pending.push_back(PendingStage {
@@ -1056,10 +1102,11 @@ impl Platform {
                 stage: stage + 1,
             });
         } else {
-            let r = &mut self.requests[req];
+            let now = self.now;
+            let r = self.request_mut(req);
             debug_assert!(r.outcome == Outcome::Pending);
             r.outcome = Outcome::Completed;
-            let latency = self.now.since(r.arrival);
+            let latency = now.since(r.arrival);
             self.stats.latency.record(latency);
             self.batch.completed += 1;
         }
@@ -1126,7 +1173,7 @@ impl Platform {
 
     /// Terminally fails `req`.
     fn fail_request(&mut self, req: usize, why: FailReason) {
-        let r = &mut self.requests[req];
+        let r = self.request_mut(req);
         debug_assert!(r.outcome == Outcome::Pending);
         r.outcome = Outcome::Failed(why);
         self.batch.failed += 1;
@@ -1135,7 +1182,7 @@ impl Platform {
     /// Retries `req` at `stage` with capped exponential backoff, or
     /// fails it if the retry budget or deadline is exhausted.
     fn fail_or_retry(&mut self, req: usize, stage: u8, why: FailReason) {
-        let attempts = self.requests[req].attempts;
+        let attempts = self.request(req).attempts;
         if attempts >= self.config.max_retries {
             self.batch.retry_gave_up += 1;
             self.fail_request(req, why);
@@ -1145,11 +1192,11 @@ impl Platform {
         let backoff = (self.config.retry_backoff * (1u64 << shift))
             .min(self.config.retry_backoff_cap);
         let at = self.now + backoff;
-        if at > self.requests[req].arrival + self.config.request_deadline {
+        if at > self.request(req).arrival + self.config.request_deadline {
             self.fail_request(req, FailReason::DeadlineExceeded);
             return;
         }
-        self.requests[req].attempts += 1;
+        self.request_mut(req).attempts += 1;
         self.batch.retries += 1;
         self.schedule(at, Event::Retry { req, stage });
     }
@@ -1160,10 +1207,11 @@ impl Platform {
         if self.config.breaker_threshold == 0 {
             return true;
         }
-        let b = &mut self.breakers[fn_idx];
+        let now = self.now;
+        let b = self.breaker_mut(fn_idx);
         match b.state {
             BreakerState::Closed | BreakerState::HalfOpen => true,
-            BreakerState::Open(until) if self.now >= until => {
+            BreakerState::Open(until) if now >= until => {
                 b.state = BreakerState::HalfOpen;
                 true
             }
@@ -1177,7 +1225,7 @@ impl Platform {
             return;
         }
         let until = self.now + self.config.breaker_cooldown;
-        let b = &mut self.breakers[fn_idx];
+        let b = self.breaker_mut(fn_idx);
         b.consecutive += 1;
         let trips = match b.state {
             // A failed half-open probe re-opens immediately.
@@ -1195,7 +1243,7 @@ impl Platform {
         if self.config.breaker_threshold == 0 {
             return;
         }
-        let b = &mut self.breakers[fn_idx];
+        let b = self.breaker_mut(fn_idx);
         b.consecutive = 0;
         b.state = BreakerState::Closed;
     }
@@ -1212,6 +1260,7 @@ impl Platform {
             .filter(|(_, s)| s.status == Status::Frozen)
             .map(|(_, s)| FrozenView {
                 id: s.id,
+                // tidy:allow(panic-reachability) -- fn_idx is validated against the catalog at admission/restore
                 function: self.catalog[s.fn_idx].name,
                 stage: s.stage,
                 frozen_since: s.frozen_since,
@@ -1273,7 +1322,7 @@ impl Platform {
             self.batch.reclaimed_bytes += released;
             self.stats
                 .record_core_time(CoreTimeKind::Reclaim, wall, cpus);
-            let name = self.catalog[fn_idx].name;
+            let name = self.spec(fn_idx).name;
             let profile = ReclaimProfile {
                 live_bytes: report.live_bytes,
                 released_bytes: released,
@@ -1295,7 +1344,7 @@ impl Platform {
         self.used_cores += cpus;
         self.batch.reclaim_failures += 1;
         self.stats.record_core_time(CoreTimeKind::Reclaim, wall, cpus);
-        let name = self.catalog[fn_idx].name;
+        let name = self.spec(fn_idx).name;
         if let Some(m) = self.manager.as_mut() {
             m.note_reclaim_failed(self.now, id, name);
         }
@@ -1531,14 +1580,16 @@ impl Platform {
         }
         let mut charge_sum = 0u64;
         for (i, slot) in slot_rows.iter().enumerate() {
-            if i > 0 && slot_rows[i - 1].id >= slot.id {
+            if i.checked_sub(1).and_then(|j| slot_rows.get(j)).is_some_and(|p| p.id >= slot.id) {
                 return Err(SnapError::Corrupt("instance table not id-sorted").into());
             }
             if slot.id.0 >= next_instance {
                 return Err(SnapError::Corrupt("instance id >= next_instance").into());
             }
-            if slot.fn_idx >= self.catalog.len()
-                || slot.stage >= self.catalog[slot.fn_idx].chain_len
+            if self
+                .catalog
+                .get(slot.fn_idx)
+                .is_none_or(|spec| slot.stage >= spec.chain_len)
             {
                 return Err(SnapError::Corrupt("slot names unknown function/stage").into());
             }
@@ -1849,7 +1900,7 @@ impl Platform {
             .into());
         }
         for pair in containers.windows(2) {
-            let (prev, next) = (&pair[0], &pair[1]);
+            let [prev, next] = pair else { continue };
             if next.parent != Some(prev.epoch) {
                 return Err(SnapError::mismatch(
                     "delta parent epoch",

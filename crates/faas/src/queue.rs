@@ -134,6 +134,23 @@ impl<T> CalendarQueue<T> {
         at.0 >> self.shift
     }
 
+    /// The bucket holding virtual day `idx`. Callers derive `idx` as
+    /// `day & self.mask`, and `mask` is `buckets.len() - 1` with a
+    /// power-of-two length, so the index is in bounds by construction;
+    /// funneling every bucket access through these two accessors keeps
+    /// that invariant in one place.
+    #[inline]
+    fn bucket(&self, idx: usize) -> &Vec<Item<T>> {
+        // tidy:allow(panic-reachability) -- idx is `day & mask`, always < buckets.len()
+        &self.buckets[idx]
+    }
+
+    #[inline]
+    fn bucket_mut(&mut self, idx: usize) -> &mut Vec<Item<T>> {
+        // tidy:allow(panic-reachability) -- idx is `day & mask`, always < buckets.len()
+        &mut self.buckets[idx]
+    }
+
     /// The day width that suits `items` (sorted by `(time, seq)`): two
     /// median inter-event gaps per day, so a typical day holds a couple
     /// of items regardless of whether the schedule is spaced in
@@ -147,10 +164,12 @@ impl<T> CalendarQueue<T> {
     /// followed by a quiet millisecond would pick nanosecond days and
     /// pay a global scan to cross every inter-burst gap.
     fn choose_shift(items: &[Item<T>]) -> u32 {
-        let front = &items[..items.len().min(SCAN_LIMIT + 1)];
+        let k = items.len().min(SCAN_LIMIT + 1);
+        let front = items.get(..k).unwrap_or(items);
         let mut gaps: Vec<u64> = front
-            .windows(2)
-            .map(|w| w[1].at.0 - w[0].at.0)
+            .iter()
+            .zip(front.iter().skip(1))
+            .map(|(a, b)| b.at.0 - a.at.0)
             .filter(|&g| g > 0)
             .collect();
         if gaps.is_empty() {
@@ -198,7 +217,7 @@ impl<T> CalendarQueue<T> {
                 q.cur_vday = q.vday(item.at);
                 q.cached = Some((idx, 0, item.at, item.seq));
             }
-            q.buckets[idx].push(item);
+            q.bucket_mut(idx).push(item);
             q.len += 1;
         }
         q
@@ -217,7 +236,8 @@ impl<T> CalendarQueue<T> {
         let k = items.len().min(SCAN_LIMIT + 1);
         if k > 1 {
             items.select_nth_unstable_by_key(k - 1, |i| (i.at, i.seq));
-            items[..k].sort_unstable_by_key(|i| (i.at, i.seq));
+            let (front, _) = items.split_at_mut(k);
+            front.sort_unstable_by_key(|i| (i.at, i.seq));
         }
         *self = Self::build(items);
     }
@@ -249,8 +269,8 @@ impl<T> CalendarQueue<T> {
             // Keep the drain bucket's descending order: binary-insert,
             // and shift the cached slot if it sits at or after the
             // insertion point.
-            let pos = self.buckets[idx].partition_point(|i| (i.at, i.seq) > (at, seq));
-            self.buckets[idx].insert(pos, Item { at, seq, payload });
+            let pos = self.bucket(idx).partition_point(|i| (i.at, i.seq) > (at, seq));
+            self.bucket_mut(idx).insert(pos, Item { at, seq, payload });
             if let Some((cb, cs, _, _)) = self.cached.as_mut() {
                 if *cb == idx && *cs >= pos {
                     *cs += 1;
@@ -258,8 +278,8 @@ impl<T> CalendarQueue<T> {
             }
             pos
         } else {
-            let slot = self.buckets[idx].len();
-            self.buckets[idx].push(Item { at, seq, payload });
+            let slot = self.bucket(idx).len();
+            self.bucket_mut(idx).push(Item { at, seq, payload });
             slot
         };
         self.len += 1;
@@ -280,40 +300,43 @@ impl<T> CalendarQueue<T> {
     /// Removes and returns the minimum-`(time, seq)` item.
     pub fn pop(&mut self) -> Option<(SimTime, u64, T)> {
         if let Some((bucket, slot, at, _)) = self.cached {
-            if self.sorted_bucket == Some(bucket) && slot + 1 == self.buckets[bucket].len() {
+            if self.sorted_bucket == Some(bucket) && slot + 1 == self.bucket(bucket).len() {
                 // Fast path: the cached minimum is the sorted drain
                 // bucket's tail, so removal is a plain `Vec::pop`. If
                 // the new tail is still in the current day it is the
                 // next global minimum — every earlier day is exhausted
                 // and a day lives in exactly one bucket — so cache it
-                // and skip `locate` on the next pop too.
-                let item = self.buckets[bucket].pop().expect("cached tail exists");
-                self.len -= 1;
-                self.pops += 1;
-                self.cur_vday = self.vday(at);
-                self.cached = self.buckets[bucket].last().and_then(|next| {
-                    if self.vday(next.at) == self.cur_vday {
-                        Some((bucket, self.buckets[bucket].len() - 1, next.at, next.seq))
-                    } else {
-                        None
+                // and skip `locate` on the next pop too. (`pop` always
+                // yields here — the cached slot is the tail — but a
+                // `None` just falls through to the full `locate` path.)
+                if let Some(item) = self.bucket_mut(bucket).pop() {
+                    self.len -= 1;
+                    self.pops += 1;
+                    self.cur_vday = self.vday(at);
+                    self.cached = None;
+                    if let Some(next) = self.bucket(bucket).last() {
+                        if self.vday(next.at) == self.cur_vday {
+                            let slot = self.bucket(bucket).len() - 1;
+                            self.cached = Some((bucket, slot, next.at, next.seq));
+                        }
                     }
-                });
-                return Some((item.at, item.seq, item.payload));
+                    return Some((item.at, item.seq, item.payload));
+                }
             }
         }
         let (bucket, slot, at, _) = self.locate()?;
-        let item = self.buckets[bucket].swap_remove(slot);
+        let item = self.bucket_mut(bucket).swap_remove(slot);
         self.len -= 1;
         self.cur_vday = self.vday(at);
         self.cached = None;
         self.pops += 1;
         if self.sorted_bucket == Some(bucket) {
-            if slot == self.buckets[bucket].len() {
+            if slot == self.bucket(bucket).len() {
                 // Popped the sorted bucket's tail; same next-tail
                 // caching as the fast path above.
-                if let Some(next) = self.buckets[bucket].last() {
+                if let Some(next) = self.bucket(bucket).last() {
                     if self.vday(next.at) == self.cur_vday {
-                        let slot = self.buckets[bucket].len() - 1;
+                        let slot = self.bucket(bucket).len() - 1;
                         self.cached = Some((bucket, slot, next.at, next.seq));
                     }
                 }
@@ -357,26 +380,25 @@ impl<T> CalendarQueue<T> {
                 break;
             }
             let bucket = (day & self.mask) as usize;
-            let n = self.buckets[bucket].len();
+            let n = self.bucket(bucket).len();
             work += 1 + n;
-            if n > 0 {
-                if n > 1 && self.sorted_bucket != Some(bucket) {
-                    // Sort the candidate bucket min-last once; draining
-                    // the rest of its day is then one `Vec::pop` per
-                    // event. A singleton bucket is trivially sorted and
-                    // skips the marker churn (about half of all days at
-                    // the steady-state density).
-                    self.buckets[bucket]
-                        .sort_unstable_by_key(|i| std::cmp::Reverse((i.at, i.seq)));
-                    self.sorted_bucket = Some(bucket);
-                }
-                let item = &self.buckets[bucket][n - 1];
-                // The tail is the bucket's minimum; items of congruent
-                // later days sort toward the front, so a tail from a
-                // later day means this day has nothing queued.
-                if self.vday(item.at) == day {
+            if n > 1 && self.sorted_bucket != Some(bucket) {
+                // Sort the candidate bucket min-last once; draining
+                // the rest of its day is then one `Vec::pop` per
+                // event. A singleton bucket is trivially sorted and
+                // skips the marker churn (about half of all days at
+                // the steady-state density).
+                self.bucket_mut(bucket)
+                    .sort_unstable_by_key(|i| std::cmp::Reverse((i.at, i.seq)));
+                self.sorted_bucket = Some(bucket);
+            }
+            // The tail is the bucket's minimum; items of congruent
+            // later days sort toward the front, so a tail from a
+            // later day means this day has nothing queued.
+            if let Some((at, seq)) = self.bucket(bucket).last().map(|i| (i.at, i.seq)) {
+                if self.vday(at) == day {
                     self.cur_vday = day;
-                    found = Some((bucket, n - 1, item.at, item.seq));
+                    found = Some((bucket, n - 1, at, seq));
                     break;
                 }
             }

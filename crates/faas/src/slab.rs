@@ -80,12 +80,14 @@ impl<T> Slab<T> {
         self.len += 1;
         if self.free_head != u32::MAX {
             let idx = self.free_head;
+            // tidy:allow(panic-reachability) -- free_head is only ever set from indices this slab allocated
             let slot = &mut self.entries[idx as usize];
             let gen = match *slot {
                 Entry::Vacant { gen, next_free } => {
                     self.free_head = next_free;
                     gen
                 }
+                // tidy:allow(panic-reachability) -- the free list links vacant entries by construction
                 Entry::Occupied { .. } => unreachable!("free list points at occupied slot"),
             };
             *slot = Entry::Occupied { gen, value };
@@ -114,6 +116,7 @@ impl<T> Slab<T> {
                 self.len -= 1;
                 match next {
                     Entry::Occupied { value, .. } => Some(value),
+                    // tidy:allow(panic-reachability) -- `next` was matched Occupied before the swap
                     Entry::Vacant { .. } => unreachable!(),
                 }
             }
@@ -199,6 +202,7 @@ impl IdMap {
         if idx >= self.handles.len() {
             self.handles.resize(idx + 1, Handle::NULL);
         }
+        // tidy:allow(panic-reachability) -- the resize above guarantees idx is in bounds
         self.handles[idx] = h;
     }
 

@@ -16,7 +16,7 @@ where
     u64: TryFrom<T>,
     <u64 as TryFrom<T>>::Error: core::fmt::Debug,
 {
-    u64::try_from(v).expect("accounting value exceeds u64")
+    u64::try_from(v).expect("accounting value exceeds u64") // tidy:allow(panic-reachability) -- deliberately-checked accounting cast; overflow means simulator state corruption
 }
 
 /// Converts to `usize`; panics if the value cannot be represented
@@ -27,7 +27,7 @@ where
     usize: TryFrom<T>,
     <usize as TryFrom<T>>::Error: core::fmt::Debug,
 {
-    usize::try_from(v).expect("accounting index exceeds usize")
+    usize::try_from(v).expect("accounting index exceeds usize") // tidy:allow(panic-reachability) -- deliberately-checked accounting cast; overflow means simulator state corruption
 }
 
 /// Narrows to `u32`; panics instead of truncating.
@@ -37,7 +37,7 @@ where
     u32: TryFrom<T>,
     <u32 as TryFrom<T>>::Error: core::fmt::Debug,
 {
-    u32::try_from(v).expect("accounting value exceeds u32")
+    u32::try_from(v).expect("accounting value exceeds u32") // tidy:allow(panic-reachability) -- deliberately-checked accounting cast; overflow means simulator state corruption
 }
 
 /// Narrows to `u16`; panics instead of truncating.
@@ -47,7 +47,7 @@ where
     u16: TryFrom<T>,
     <u16 as TryFrom<T>>::Error: core::fmt::Debug,
 {
-    u16::try_from(v).expect("accounting value exceeds u16")
+    u16::try_from(v).expect("accounting value exceeds u16") // tidy:allow(panic-reachability) -- deliberately-checked accounting cast; overflow means simulator state corruption
 }
 
 /// Converts a finite, non-negative `f64` (a sizing heuristic's output)

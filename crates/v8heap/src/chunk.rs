@@ -86,12 +86,12 @@ impl Chunk {
     /// address, or `None` if no run is large enough.
     pub fn alloc(&mut self, len: u32) -> Option<VirtAddr> {
         for i in 0..self.free_runs.len() {
-            let (off, run) = self.free_runs[i];
+            let (off, run) = self.free_runs[i]; // tidy:allow(panic-reachability) -- the run index comes from the scan loop over free_runs itself
             if run >= len {
                 if run == len {
                     self.free_runs.remove(i);
                 } else {
-                    self.free_runs[i] = (off + len, run - len);
+                    self.free_runs[i] = (off + len, run - len); // tidy:allow(panic-reachability) -- the run index comes from the scan loop over free_runs itself
                 }
                 return Some(self.addr.offset(u64::from(off)));
             }

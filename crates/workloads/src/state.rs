@@ -126,7 +126,7 @@ impl FunctionState {
             self.state_queue.push_back((id, size));
             self.state_bytes += size as u64;
             while self.state_bytes > mem.state_cap {
-                let (old, sz) = self.state_queue.pop_front().expect("bytes imply entries");
+                let (old, sz) = self.state_queue.pop_front().expect("bytes imply entries"); // tidy:allow(panic-reachability) -- positive state_bytes implies the queue holds at least one entry
                 ctx.drop_global(old);
                 self.state_bytes -= sz as u64;
             }

@@ -166,7 +166,15 @@ fn blank_plain_string(source: &str, start: usize, out: &mut Vec<u8>, line: &mut 
     let mut i = start + 1;
     while i < bytes.len() {
         match bytes[i] {
-            b'\\' => i += 2,
+            // An escaped newline is a line continuation: the escape
+            // consumes the newline, but the line counter must not
+            // miss it or every later marker drifts.
+            b'\\' => {
+                if bytes.get(i + 1) == Some(&b'\n') {
+                    *line += 1;
+                }
+                i += 2;
+            }
             b'"' => {
                 i += 1;
                 break;
@@ -446,5 +454,14 @@ mod tests {
     fn marker_line_is_recorded() {
         let b = blank("line1();\nline2(); // tidy:allow(wall-clock) -- bench timing only\n");
         assert_eq!(b.allows[0].line, 2);
+    }
+
+    #[test]
+    fn string_line_continuation_keeps_line_count() {
+        // The `\` + newline continuation inside the string must still
+        // advance the line counter, or markers after it drift.
+        let src = "let s = \"a \\\n   b\";\n// tidy:allow(wall-clock) -- counted correctly\n";
+        let b = blank(src);
+        assert_eq!(b.allows[0].line, 3);
     }
 }

@@ -11,20 +11,36 @@
 //!
 //! The crate is std-only by necessity (no crates.io access), so it is
 //! modelled on rustc's `tidy`: a small lexer blanks comments and
-//! literals, then rule passes scan real tokens. Run it with
+//! literals ([`lexer`]), token rule passes scan one file at a time
+//! ([`rules`]), and — beyond what rustc's tidy does — an item parser
+//! ([`parse`]) feeds a workspace call graph ([`graph`]) whose
+//! analyses see *across* files: panic-reachability from hot-path
+//! roots, determinism dataflow into canonical bytes, and barrier
+//! discipline in the cluster layer. An incremental content-hash cache
+//! ([`cache`]) keeps warm runs fast. Run it with
 //! `cargo run -p xtask -- tidy` (tier1.sh does, before the tests).
 
 #![forbid(unsafe_code)]
 
+pub mod cache;
+pub mod graph;
 pub mod lexer;
+pub mod parse;
 pub mod rules;
 pub mod walk;
 
 pub use rules::{check_manifest, check_source, Finding, Rule, RULES};
+pub use walk::{check_files, RunOpts, TidyReport};
 
 use std::path::Path;
 
-/// Runs the full audit over `root`; findings come back sorted.
+/// Runs the full audit over `root` with no cache; findings come back
+/// sorted by (path, line, rule, message).
 pub fn tidy(root: &Path) -> Result<Vec<Finding>, String> {
     walk::run(root)
+}
+
+/// Runs the full audit with explicit options (cache location).
+pub fn tidy_with(root: &Path, opts: &RunOpts) -> Result<TidyReport, String> {
+    walk::run_with(root, opts)
 }

@@ -1,21 +1,28 @@
-//! CLI driver: `cargo run -p xtask -- tidy [--fix-hints] [--root DIR]`.
+//! CLI driver: `cargo run -p xtask -- tidy [flags]`.
 
 #![forbid(unsafe_code)]
 
 use std::path::PathBuf;
 use std::process::ExitCode;
 
-use xtask::RULES;
+use xtask::{RunOpts, TidyReport, RULES};
 
 const USAGE: &str = "usage: cargo run -p xtask -- <command>
 
 commands:
-  tidy [--fix-hints] [--root DIR]   audit the workspace; exit 1 on any violation
-  rules                             list every rule with its family and rationale
+  tidy [flags]   audit the workspace; exit 1 on any violation
+  rules          list every rule with its family and rationale
 
 tidy flags:
-  --fix-hints   print the suggested replacement under each finding
-  --root DIR    audit DIR instead of this workspace";
+  --fix-hints        print the suggested replacement under each finding
+  --root DIR         audit DIR instead of this workspace
+  --format text|json findings format (default text)
+  --out FILE         also write the findings (in --format) to FILE
+  --no-cache         disable the incremental cache (cold run)
+  --cache-file FILE  cache location (default target/tidy-cache.tsv under the root)
+  --budget-ms N      exit 3 if the run exceeds N milliseconds
+
+exit codes: 0 clean, 1 findings, 2 usage/io error, 3 over time budget";
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -23,7 +30,7 @@ fn main() -> ExitCode {
         Some("tidy") => tidy(&args[1..]),
         Some("rules") => {
             for r in RULES {
-                println!("{:<18} [{}] {}", r.name, r.family, r.summary);
+                println!("{:<22} [{}] {}", r.name, r.family, r.summary);
             }
             ExitCode::SUCCESS
         }
@@ -37,17 +44,42 @@ fn main() -> ExitCode {
 fn tidy(flags: &[String]) -> ExitCode {
     let mut fix_hints = false;
     let mut root: Option<PathBuf> = None;
+    let mut format = "text".to_string();
+    let mut out_file: Option<PathBuf> = None;
+    let mut no_cache = false;
+    let mut cache_file: Option<PathBuf> = None;
+    let mut budget_ms: Option<u64> = None;
     let mut it = flags.iter();
     while let Some(flag) = it.next() {
         match flag.as_str() {
             "--fix-hints" => fix_hints = true,
-            "--root" => match it.next() {
-                Some(dir) => root = Some(PathBuf::from(dir)),
-                None => {
-                    eprintln!("--root needs a directory\n{USAGE}");
+            "--no-cache" => no_cache = true,
+            "--root" | "--format" | "--out" | "--cache-file" | "--budget-ms" => {
+                let Some(value) = it.next() else {
+                    eprintln!("{flag} needs a value\n{USAGE}");
                     return ExitCode::from(2);
+                };
+                match flag.as_str() {
+                    "--root" => root = Some(PathBuf::from(value)),
+                    "--out" => out_file = Some(PathBuf::from(value)),
+                    "--cache-file" => cache_file = Some(PathBuf::from(value)),
+                    "--format" => {
+                        if value != "text" && value != "json" {
+                            eprintln!("--format must be text or json\n{USAGE}");
+                            return ExitCode::from(2);
+                        }
+                        format = value.clone();
+                    }
+                    "--budget-ms" => match value.parse() {
+                        Ok(ms) => budget_ms = Some(ms),
+                        Err(_) => {
+                            eprintln!("--budget-ms needs an integer\n{USAGE}");
+                            return ExitCode::from(2);
+                        }
+                    },
+                    _ => unreachable!(),
                 }
-            },
+            }
             other => {
                 eprintln!("unknown flag `{other}`\n{USAGE}");
                 return ExitCode::from(2);
@@ -60,30 +92,122 @@ fn tidy(flags: &[String]) -> ExitCode {
             .join("..")
             .join("..")
     });
+    let opts = RunOpts {
+        cache_file: if no_cache {
+            None
+        } else {
+            Some(cache_file.unwrap_or_else(|| root.join("target").join("tidy-cache.tsv")))
+        },
+    };
 
-    let findings = match xtask::tidy(&root) {
-        Ok(f) => f,
+    #[allow(clippy::disallowed_methods)]
+    // tidy:allow(wall-clock) -- measuring the analyzer itself, not simulation time
+    let started = std::time::Instant::now();
+    let report = match xtask::tidy_with(&root, &opts) {
+        Ok(r) => r,
         Err(e) => {
             eprintln!("tidy: {e}");
             return ExitCode::from(2);
         }
     };
-    if findings.is_empty() {
-        println!("tidy: OK ({} rules enforced)", RULES.len());
-        return ExitCode::SUCCESS;
+    let elapsed_ms = started.elapsed().as_millis();
+
+    let rendered = match format.as_str() {
+        "json" => render_json(&report),
+        _ => render_text(&report, fix_hints),
+    };
+    print!("{rendered}");
+    if let Some(out) = out_file {
+        if let Some(dir) = out.parent() {
+            let _ = std::fs::create_dir_all(dir);
+        }
+        if let Err(e) = std::fs::write(&out, &rendered) {
+            eprintln!("tidy: write {}: {e}", out.display());
+            return ExitCode::from(2);
+        }
     }
-    for f in &findings {
-        println!("{}:{}: [{}] {}", f.path, f.line, f.rule, f.message);
+    eprintln!(
+        "tidy: {} file(s), {} cache hit(s), {} miss(es), {elapsed_ms} ms",
+        report.files, report.cache_hits, report.cache_misses
+    );
+    if let Some(budget) = budget_ms {
+        if elapsed_ms > u128::from(budget) {
+            eprintln!("tidy: exceeded --budget-ms {budget} ({elapsed_ms} ms)");
+            return ExitCode::from(3);
+        }
+    }
+    if report.findings.is_empty() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}
+
+fn render_text(report: &TidyReport, fix_hints: bool) -> String {
+    let mut out = String::new();
+    if report.findings.is_empty() {
+        out.push_str(&format!("tidy: OK ({} rules enforced)\n", RULES.len()));
+        return out;
+    }
+    for f in &report.findings {
+        out.push_str(&format!("{}:{}: [{}] {}\n", f.path, f.line, f.rule, f.message));
         if fix_hints && !f.hint.is_empty() {
-            println!("    fix: {}", f.hint);
+            out.push_str(&format!("    fix: {}\n", f.hint));
         }
     }
     let files: std::collections::BTreeSet<&str> =
-        findings.iter().map(|f| f.path.as_str()).collect();
-    println!(
-        "tidy: {} violation(s) across {} file(s)",
-        findings.len(),
+        report.findings.iter().map(|f| f.path.as_str()).collect();
+    out.push_str(&format!(
+        "tidy: {} violation(s) across {} file(s)\n",
+        report.findings.len(),
         files.len()
-    );
-    ExitCode::FAILURE
+    ));
+    out
+}
+
+/// Renders findings as a deterministic JSON document. Deliberately
+/// excludes timing and cache statistics so artifacts from identical
+/// trees are byte-identical and diff cleanly.
+fn render_json(report: &TidyReport) -> String {
+    let mut out = String::from("{\n  \"findings\": [");
+    for (i, f) in report.findings.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!(
+            "\n    {{\"path\": {}, \"line\": {}, \"rule\": {}, \"message\": {}, \"hint\": {}}}",
+            json_str(&f.path),
+            f.line,
+            json_str(f.rule),
+            json_str(&f.message),
+            json_str(f.hint)
+        ));
+    }
+    if !report.findings.is_empty() {
+        out.push_str("\n  ");
+    }
+    out.push_str(&format!(
+        "],\n  \"total\": {},\n  \"rules_enforced\": {}\n}}\n",
+        report.findings.len(),
+        RULES.len()
+    ));
+    out
+}
+
+fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
 }

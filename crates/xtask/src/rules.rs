@@ -5,12 +5,15 @@
 //! workspace-relative path (forward slashes). Three families:
 //!
 //! * **determinism** — `hash-collections`, `wall-clock`, `ambient-rng`,
-//!   `raw-threads`: nothing order-sensitive or wall-clock-dependent may
-//!   leak into simulation state or selection.
-//! * **robustness** — `no-panic`, `lossy-casts`, `snapshot-coverage`:
-//!   platform/desiccant and simos hot paths must use typed errors;
-//!   memory accounting must use checked conversions; checkpoint codecs
-//!   must destructure every field they serialize.
+//!   `raw-threads`, plus the call-graph rules `determinism-dataflow`
+//!   and `barrier-discipline` (see [`crate::graph`]): nothing
+//!   order-sensitive or wall-clock-dependent may leak into simulation
+//!   state, selection, or canonical byte production.
+//! * **robustness** — `panic-reachability` (call-graph, see
+//!   [`crate::graph`]), `lossy-casts`, `snapshot-coverage`: nothing a
+//!   hot-path root can reach may panic; memory accounting must use
+//!   checked conversions; checkpoint codecs must destructure every
+//!   field they serialize.
 //! * **hygiene** — `forbid-unsafe`, `path-deps`, `shim-surface`: every
 //!   crate forbids `unsafe`, manifests carry only path dependencies,
 //!   vendored shims export nothing dead.
@@ -71,11 +74,27 @@ pub const RULES: &[Rule] = &[
                at any --jobs N",
     },
     Rule {
-        name: "no-panic",
+        name: "panic-reachability",
         family: "robustness",
-        summary: "unwrap/expect/panic! in platform, desiccant, or simos hot paths",
-        hint: "return a typed error (faas::PlatformError / simos::SimError) or \
-               restructure with let-else / match",
+        summary: "panic!/unwrap/expect/bare-index transitively reachable from a hot-path root",
+        hint: "return a typed error (faas::PlatformError / simos::SimError / SnapError), \
+               restructure with let-else / match / .get(), or justify the invariant with \
+               `// tidy:allow(panic-reachability) -- why`",
+    },
+    Rule {
+        name: "determinism-dataflow",
+        family: "determinism",
+        summary: "order-sensitive f64 accumulation or unordered iteration feeding canonical bytes",
+        hint: "fix the reduction order (sorted keys, Vec in canonical order, total_cmp) or \
+               prove the order invariant with `// tidy:allow(determinism-dataflow) -- why`",
+    },
+    Rule {
+        name: "barrier-discipline",
+        family: "determinism",
+        summary: "shard-mutating call outside the barrier round's drain",
+        hint: "route shard mutation through `Cluster::run_round` (or the sanctioned \
+               forwarding method); mid-round mutation breaks the byte-identical \
+               replay guarantee",
     },
     Rule {
         name: "lossy-casts",
@@ -142,8 +161,18 @@ pub fn rule(name: &str) -> Option<&'static Rule> {
     RULES.iter().find(|r| r.name == name)
 }
 
+/// Interns a rule name back to its `&'static str` form (the incremental
+/// cache stores names as text). `stale-allow` is the one finding kind
+/// that is not itself a catalogued rule.
+pub fn static_rule_name(name: &str) -> Option<&'static str> {
+    if name == "stale-allow" {
+        return Some("stale-allow");
+    }
+    rule(name).map(|r| r.name)
+}
+
 /// One violation (or marker problem) the auditor found.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Finding {
     pub path: String,
     pub line: usize,
@@ -162,6 +191,11 @@ impl Finding {
             message,
             hint,
         }
+    }
+
+    /// Public constructor for the cross-file passes (`crate::graph`).
+    pub fn raw(path: &str, line: usize, rule: &'static str, message: String) -> Finding {
+        Finding::new(path, line, rule, message)
     }
 }
 
@@ -211,18 +245,6 @@ fn in_shard_isolation_scope(path: &str) -> bool {
     path.starts_with("crates/cluster/src/") && path != "crates/cluster/src/shard.rs"
 }
 
-/// The platform/desiccant/simos hot paths where panicking is banned in
-/// favor of typed errors (PR 2's idiom).
-const NO_PANIC_FILES: &[&str] = &[
-    "crates/faas/src/platform.rs",
-    "crates/simos/src/mem.rs",
-    "crates/simos/src/swap.rs",
-    "crates/simos/src/system.rs",
-    "crates/simos/src/cpu.rs",
-    "crates/simos/src/clock.rs",
-];
-const NO_PANIC_DIRS: &[&str] = &["crates/desiccant/src/"];
-
 /// Memory-accounting modules where a silently-truncating `as` cast can
 /// corrupt byte totals: simos::mem, the stats modules, and the four
 /// managed-heap crates.
@@ -238,7 +260,9 @@ const INT_TYPES: &[&str] = &[
     "u8", "u16", "u32", "u64", "u128", "usize", "i8", "i16", "i32", "i64", "i128", "isize",
 ];
 
-fn in_sim_state_crate(path: &str) -> bool {
+/// Is `path` inside a crate whose state feeds simulation outcomes?
+/// (Public: the graph analyses share this scoping.)
+pub fn in_sim_state_crate(path: &str) -> bool {
     SIM_STATE_CRATES
         .iter()
         .any(|c| path.starts_with(&format!("crates/{c}/src/")))
@@ -246,10 +270,6 @@ fn in_sim_state_crate(path: &str) -> bool {
 
 fn thread_exempt(path: &str) -> bool {
     THREAD_EXEMPT.contains(&path)
-}
-
-fn in_no_panic_scope(path: &str) -> bool {
-    NO_PANIC_FILES.contains(&path) || NO_PANIC_DIRS.iter().any(|d| path.starts_with(d))
 }
 
 fn in_cast_scope(path: &str) -> bool {
@@ -420,17 +440,6 @@ fn next_nonspace(bytes: &[u8], mut i: usize) -> Option<(usize, u8)> {
     None
 }
 
-fn prev_nonspace(bytes: &[u8], i: usize) -> Option<u8> {
-    let mut j = i;
-    while j > 0 {
-        j -= 1;
-        if !bytes[j].is_ascii_whitespace() {
-            return Some(bytes[j]);
-        }
-    }
-    None
-}
-
 /// After an ident ending at `end`, matches `:: segment` (with optional
 /// whitespace) and returns the segment.
 fn path_segment_after(text: &str, end: usize) -> Option<&str> {
@@ -473,22 +482,24 @@ fn first_generic_arg(text: &str, end: usize) -> Option<&str> {
     Some(&text[s..e])
 }
 
-/// Is the ident at `(start, end)` a method call receiver position:
-/// `.name(` ?
-fn is_method_call(text: &str, start: usize, end: usize) -> bool {
-    let bytes = text.as_bytes();
-    prev_nonspace(bytes, start) == Some(b'.')
-        && matches!(next_nonspace(bytes, end), Some((_, b'(')))
-}
-
 // ---------------------------------------------------------------------------
 // Source checking
 // ---------------------------------------------------------------------------
 
-/// Runs every applicable rule over one source file. `path` is the
-/// workspace-relative path with forward slashes.
+/// Runs every applicable per-file rule over one source file and
+/// applies its allow markers. `path` is the workspace-relative path
+/// with forward slashes. (The production pipeline in [`crate::walk`]
+/// uses [`scan_blanked`] instead so that graph findings and per-file
+/// findings share one allow-application pass.)
 pub fn check_source(path: &str, source: &str) -> Vec<Finding> {
     let blanked = lexer::blank(source);
+    let raw = scan_blanked(path, &blanked);
+    apply_allows(path, &blanked.allows, raw)
+}
+
+/// The per-file rule passes over already-blanked text, returning raw
+/// findings (no allow markers applied).
+pub fn scan_blanked(path: &str, blanked: &lexer::Blanked) -> Vec<Finding> {
     let starts = lexer::line_starts(&blanked.text);
     let mask = test_mask(&blanked.text);
     let mut raw = Vec::new();
@@ -512,7 +523,7 @@ pub fn check_source(path: &str, source: &str) -> Vec<Finding> {
         ));
     }
 
-    apply_allows(path, &blanked.allows, raw)
+    raw
 }
 
 fn scan_tokens(
@@ -523,7 +534,6 @@ fn scan_tokens(
     out: &mut Vec<Finding>,
 ) {
     let sim_state = in_sim_state_crate(path);
-    let no_panic = in_no_panic_scope(path);
     let casts = in_cast_scope(path);
     let threads_ok = thread_exempt(path);
     let shard_iso = in_shard_isolation_scope(path);
@@ -567,26 +577,6 @@ fn scan_tokens(
                             format!("`thread::{seg}` outside bench::parallel"),
                         ));
                     }
-                }
-            }
-            "unwrap" | "expect"
-                if no_panic && !is_test_line(mask, line) && is_method_call(text, s, e) =>
-            {
-                out.push(Finding::new(
-                    path,
-                    line,
-                    "no-panic",
-                    format!("`.{word}()` in a hot path that must degrade, not die"),
-                ));
-            }
-            "panic" if no_panic && !is_test_line(mask, line) => {
-                if matches!(next_nonspace(text.as_bytes(), e), Some((_, b'!'))) {
-                    out.push(Finding::new(
-                        path,
-                        line,
-                        "no-panic",
-                        "`panic!` in a hot path that must degrade, not die".to_string(),
-                    ));
                 }
             }
             "BinaryHeap" if sim_state && !is_test_line(mask, line) => {
@@ -864,10 +854,17 @@ pub fn apply_allows(path: &str, allows: &[AllowSite], raw: Vec<Finding>) -> Vec<
     let mut consumed = vec![false; allows.len()];
     let mut out = Vec::new();
     for f in raw {
-        let site = allows.iter().enumerate().find(|(_, a)| {
-            a.rule == f.rule
-                && (f.rule == "forbid-unsafe" || a.line == f.line || a.line + 1 == f.line)
-        });
+        // Prefer a same-line marker over one on the preceding line, so
+        // two adjacent flagged lines with their own markers each
+        // consume their own (neither goes stale).
+        let site = allows
+            .iter()
+            .enumerate()
+            .filter(|(_, a)| {
+                a.rule == f.rule
+                    && (f.rule == "forbid-unsafe" || a.line == f.line || a.line + 1 == f.line)
+            })
+            .min_by_key(|(idx, a)| (usize::from(a.line != f.line), *idx));
         match site {
             Some((idx, _)) => consumed[idx] = true,
             None => out.push(f),
@@ -989,7 +986,7 @@ fn section_is_single_dep(section: &str) -> bool {
 // ---------------------------------------------------------------------------
 
 /// A top-level-ish `pub` item exported from a shim.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct ShimItem {
     pub name: String,
     pub line: usize,

@@ -1,0 +1,59 @@
+//! Incremental-cache behaviour against the real workspace: a cold run
+//! populates the cache, a warm run hits it for every file and is
+//! substantially faster, and editing one file invalidates exactly
+//! that file. One test function: the steps share (and briefly
+//! mutate) the real workspace, so they must not run concurrently.
+
+use std::fs;
+use std::path::{Path, PathBuf};
+
+use xtask::{tidy_with, RunOpts};
+
+fn workspace_root() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("..").join("..")
+}
+
+#[test]
+fn cache_invalidation_and_warm_speedup() {
+    let root = workspace_root();
+    let cache = root.join("target").join("tidy-cache-test.tsv");
+    let _ = fs::remove_file(&cache);
+    let opts = RunOpts { cache_file: Some(cache.clone()) };
+
+    #[allow(clippy::disallowed_methods)]
+    // tidy:allow(wall-clock) -- this test measures the analyzer's own speed, not simulation time
+    let t0 = std::time::Instant::now();
+    let cold = tidy_with(&root, &opts).expect("cold run");
+    let cold_elapsed = t0.elapsed();
+    assert!(cold.findings.is_empty(), "workspace must be clean: {:?}", cold.findings);
+    assert_eq!(cold.cache_hits, 0, "cold run starts from nothing");
+    assert_eq!(cold.cache_misses, cold.files);
+
+    #[allow(clippy::disallowed_methods)]
+    // tidy:allow(wall-clock) -- this test measures the analyzer's own speed, not simulation time
+    let t1 = std::time::Instant::now();
+    let warm = tidy_with(&root, &opts).expect("warm run");
+    let warm_elapsed = t1.elapsed();
+    assert_eq!(warm.cache_misses, 0, "nothing changed, nothing re-analyzed");
+    assert_eq!(warm.cache_hits, warm.files);
+    assert_eq!(warm.findings, cold.findings, "cache must not change results");
+    assert!(
+        warm_elapsed * 3 <= cold_elapsed,
+        "warm run ({warm_elapsed:?}) must be at least 3x faster than cold ({cold_elapsed:?})"
+    );
+
+    // Append one comment line to one source: exactly one miss, and
+    // the findings are unchanged (a comment means nothing).
+    let victim = root.join("crates").join("parallel").join("src").join("lib.rs");
+    let original = fs::read_to_string(&victim).expect("read victim");
+    let edited = format!("{original}// cache probe\n");
+    fs::write(&victim, &edited).expect("edit victim");
+    let result = tidy_with(&root, &opts);
+    fs::write(&victim, &original).expect("restore victim");
+    let after = result.expect("post-edit run");
+    assert_eq!(after.cache_misses, 1, "only the edited file re-analyzes");
+    assert_eq!(after.cache_hits, after.files - 1);
+    assert_eq!(after.findings, cold.findings, "a trailing comment changes nothing");
+
+    let _ = fs::remove_file(&cache);
+}

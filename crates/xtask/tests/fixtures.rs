@@ -10,7 +10,7 @@ use std::fs;
 use std::path::Path;
 
 use xtask::rules::{self, Finding};
-use xtask::{check_manifest, check_source, RULES};
+use xtask::{check_files, check_manifest, check_source, RULES};
 
 fn fixture(name: &str) -> String {
     let p = Path::new(env!("CARGO_MANIFEST_DIR"))
@@ -50,7 +50,6 @@ fn every_source_rule_fires_on_its_seeded_fixture() {
             "crates/workloads/src/fake.rs",
         ),
         ("raw-threads", "raw_threads.rs", "crates/bench/src/fake.rs"),
-        ("no-panic", "no_panic.rs", "crates/desiccant/src/fake.rs"),
         ("lossy-casts", "lossy_casts.rs", "crates/v8heap/src/fake.rs"),
         (
             "snapshot-coverage",
@@ -83,12 +82,11 @@ fn every_source_rule_fires_on_its_seeded_fixture() {
 #[test]
 fn seeded_violations_vanish_outside_their_rule_scope() {
     // The same sources are clean where the rule does not apply: a
-    // HashMap outside the sim-state crates, an unwrap outside the
-    // no-panic files, a cast outside the accounting modules. (The
-    // forbid-unsafe fixture is scanned as a non-root file.)
+    // HashMap outside the sim-state crates, a cast outside the
+    // accounting modules. (The forbid-unsafe fixture is scanned as a
+    // non-root file.)
     let cases = [
         ("hash_collections.rs", "crates/xtask/src/fake.rs"),
-        ("no_panic.rs", "crates/faas/src/fake.rs"),
         ("lossy_casts.rs", "crates/faas/src/fake.rs"),
         ("snapshot_coverage.rs", "crates/xtask/src/fake.rs"),
         ("unchecked_index.rs", "crates/xtask/src/fake.rs"),
@@ -158,7 +156,7 @@ pub type T = HashMap<u64, u64>;
 
 #[test]
 fn every_rule_in_the_catalogue_has_family_and_hint() {
-    assert_eq!(RULES.len(), 13);
+    assert_eq!(RULES.len(), 15);
     for r in RULES {
         assert!(
             ["determinism", "robustness", "hygiene", "performance"].contains(&r.family),
@@ -169,6 +167,68 @@ fn every_rule_in_the_catalogue_has_family_and_hint() {
         assert!(!r.summary.is_empty() && !r.hint.is_empty(), "{}", r.name);
         assert!(rules::rule(r.name).is_some());
     }
+}
+
+#[test]
+fn panic_reachability_fires_through_the_call_graph() {
+    let src = fixture("panic_reachability.rs");
+    let findings = check_files(&[("crates/faas/src/platform.rs", &src)]);
+    assert_single(&findings, "panic-reachability");
+    assert!(findings[0].message.contains(".unwrap()"), "{findings:?}");
+    assert!(
+        findings[0].message.contains("try_run_until"),
+        "finding should carry the call chain from the root: {findings:?}"
+    );
+}
+
+#[test]
+fn determinism_dataflow_fires_on_digest_feeding_float_accum() {
+    let src = fixture("determinism_dataflow.rs");
+    let findings = check_files(&[("crates/gc-core/src/fake.rs", &src)]);
+    assert_single(&findings, "determinism-dataflow");
+    assert!(findings[0].message.contains("digest"), "{findings:?}");
+}
+
+#[test]
+fn barrier_discipline_fires_outside_the_round_drain() {
+    let src = fixture("barrier_discipline.rs");
+    let findings = check_files(&[("crates/cluster/src/steal.rs", &src)]);
+    assert_single(&findings, "barrier-discipline");
+    assert!(findings[0].message.contains("sneak_work"), "{findings:?}");
+}
+
+#[test]
+fn graph_rules_respect_their_scopes() {
+    // The same seeded sources are clean where the analyses do not
+    // apply: harness code is graph-exempt, non-digest crates are
+    // outside the dataflow scope, and shard.rs owns the barrier.
+    let cases = [
+        ("panic_reachability.rs", "crates/bench/src/fake.rs"),
+        ("determinism_dataflow.rs", "crates/parallel/src/fake.rs"),
+        ("barrier_discipline.rs", "crates/faas/src/fake.rs"),
+    ];
+    for (file, path) in cases {
+        let src = fixture(file);
+        let findings = check_files(&[(path, &src)]);
+        assert!(
+            findings.is_empty(),
+            "{file} as {path} should be clean, got: {findings:?}"
+        );
+    }
+    // The sanctioned owner of the shard drain may call `advance`.
+    let sanctioned = fixture("barrier_discipline.rs").replace("sneak_work", "run_round");
+    let findings = check_files(&[("crates/cluster/src/fake.rs", &sanctioned)]);
+    assert!(findings.is_empty(), "run_round owns the barrier: {findings:?}");
+}
+
+#[test]
+fn justified_marker_suppresses_a_graph_finding() {
+    let src = fixture("panic_reachability.rs").replace(
+        "slots.first().unwrap().id",
+        "// tidy:allow(panic-reachability) -- fixture invariant\n    slots.first().unwrap().id",
+    );
+    let findings = check_files(&[("crates/faas/src/platform.rs", &src)]);
+    assert!(findings.is_empty(), "{findings:?}");
 }
 
 #[test]
