@@ -2,16 +2,19 @@
 //!
 //! Same three phases as [`replay`](crate::replay::replay) — warm-up,
 //! measured window, drain — but arrivals flow through a
-//! [`Cluster`]'s front-end router instead of a single platform's
-//! submit call. The trace is *not* pre-partitioned: every arrival is
-//! placed by the router at the barrier round it falls into, so the
-//! partition of work across shards is itself an output of the
-//! placement policy under test.
+//! [`Cluster`]'s front end instead of a single platform's submit
+//! call. The trace is *not* pre-partitioned: every arrival is placed
+//! by the router at the barrier round it falls into, so the partition
+//! of work across shards is itself an output of the placement policy
+//! under test.
 //!
-//! The outcome carries the cluster digest (shard checkpoints + router
-//! state). Two runs of the same configuration must produce the same
-//! digest regardless of worker count or kill schedule — that is the
-//! determinism contract the cluster gates enforce.
+//! The outcome carries the cluster digest (shard checkpoints plus the
+//! fleet-level front-end bytes). Two runs of the same configuration
+//! must produce the same digest regardless of worker count, kill
+//! schedule, or outage plan — that is the determinism contract the
+//! cluster gates enforce. Every replay additionally asserts the
+//! request-conservation invariant: each routed request terminated in
+//! exactly one typed outcome (or is still queued for retry).
 
 use cluster::Cluster;
 
@@ -21,15 +24,16 @@ use crate::replay::ReplayConfig;
 /// Aggregate outcome of one cluster replay.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct ClusterReplayOutcome {
-    /// The determinism oracle: FNV-1a over shard states and router
-    /// state at the final barrier.
+    /// The determinism oracle: FNV-1a over shard states and fleet
+    /// front-end state at the final barrier.
     pub digest: u64,
-    /// Arrivals routed (warm-up + measured window).
+    /// Requests that entered front-end placement (warm-up + measured
+    /// window).
     pub submitted: u64,
     /// Requests completed across all shards (since the measured-window
     /// stats reset).
     pub completed: u64,
-    /// Requests that terminated with a failure.
+    /// Requests that terminated with a failure inside a platform.
     pub failed: u64,
     /// Cold boots started since the reset.
     pub cold_boots: u64,
@@ -39,10 +43,28 @@ pub struct ClusterReplayOutcome {
     pub recoveries: u64,
     /// Recoveries that restarted a shard from nothing.
     pub scratch_recoveries: u64,
+    /// Outage heals: durable-store re-admissions after `Down` windows.
+    pub heals: u64,
+    /// Shard-rounds spent unreachable.
+    pub outage_rounds: u64,
     /// Migration overrides the router accepted.
     pub migrations: u64,
     /// Barrier rounds executed.
     pub rounds: u64,
+    /// Requests handed to a reachable shard.
+    pub delivered: u64,
+    /// Requests shed at admission (overload + unroutable).
+    pub shed: u64,
+    /// Requests failed at the front end (deadline + retry cap).
+    pub failed_frontend: u64,
+    /// Retry placements performed.
+    pub retries: u64,
+    /// Hedge copies placed.
+    pub hedges: u64,
+    /// Deliveries that succeeded only through the hedge copy.
+    pub hedge_wins: u64,
+    /// Requests still queued for retry at the final barrier.
+    pub pending_retries: u64,
 }
 
 /// Runs the warm-up / measured-window / drain protocol over `cluster`.
@@ -50,7 +72,8 @@ pub struct ClusterReplayOutcome {
 /// Shard stats reset at the warm-up boundary (journaled, so a
 /// kill-recovery replays the reset at the same round); the outcome's
 /// completion counters therefore cover the measured window and drain,
-/// as in the single-platform driver.
+/// as in the single-platform driver. Front-end lifecycle counters are
+/// run-lifetime, so the conservation check asserted here is exact.
 pub fn replay_cluster(
     cluster: &mut Cluster,
     trace: &[TraceFunction],
@@ -79,6 +102,15 @@ pub fn replay_cluster(
     cluster.advance_to(drain_end);
 
     let totals = cluster.totals();
+    assert!(
+        totals.conservation(),
+        "request conservation violated: routed={} delivered={} shed={} failed={} pending={}",
+        totals.routed,
+        totals.delivered,
+        totals.shed(),
+        totals.frontend_failed(),
+        totals.pending_retries,
+    );
     ClusterReplayOutcome {
         digest: cluster.digest(),
         submitted: cluster.routed(),
@@ -88,8 +120,17 @@ pub fn replay_cluster(
         evictions: totals.evictions,
         recoveries: totals.recoveries,
         scratch_recoveries: totals.scratch_recoveries,
+        heals: totals.heals,
+        outage_rounds: totals.outage_rounds,
         migrations: cluster.migrations(),
         rounds: cluster.rounds() as u64,
+        delivered: totals.delivered,
+        shed: totals.shed(),
+        failed_frontend: totals.frontend_failed(),
+        retries: totals.retries,
+        hedges: totals.hedges,
+        hedge_wins: totals.hedge_wins,
+        pending_retries: totals.pending_retries,
     }
 }
 
@@ -98,6 +139,7 @@ mod tests {
     use super::*;
     use crate::generate::build_trace;
     use cluster::{ClusterConfig, Placement, ShardSetup};
+    use faas::{OutageKind, OutagePlan, OutageWindow};
     use simos::SimDuration;
 
     fn quick_config() -> ReplayConfig {
@@ -147,5 +189,37 @@ mod tests {
         let a = run_once(Placement::HashAffinity, 2);
         let b = run_once(Placement::LeastLoaded, 2);
         assert_ne!(a.digest, b.digest);
+    }
+
+    fn run_outage(kind: OutageKind, jobs: usize) -> ClusterReplayOutcome {
+        let trace = build_trace(&workloads::catalog(), 9);
+        let cfg = ClusterConfig {
+            shards: 4,
+            policy: Placement::HashAffinity,
+            jobs,
+            ..ClusterConfig::default()
+        };
+        let mut c = Cluster::new(cfg, &ShardSetup::vanilla());
+        c.set_outage_plan(OutagePlan {
+            windows: vec![OutageWindow { shard: 1, start: 4, rounds: 3, kind, planned: false }],
+        });
+        replay_cluster(&mut c, &trace, &quick_config())
+    }
+
+    #[test]
+    fn outage_replay_is_jobs_invariant_and_conserves_requests() {
+        for kind in [OutageKind::Down, OutageKind::Partitioned] {
+            let serial = run_outage(kind, 1);
+            let parallel = run_outage(kind, 4);
+            assert_eq!(serial, parallel, "{kind:?} outcome diverged between job counts");
+            assert!(serial.outage_rounds == 3, "{kind:?}: expected 3 dark rounds");
+            assert!(serial.retries > 0, "{kind:?}: stranded requests must retry");
+            match kind {
+                OutageKind::Down => assert!(serial.heals > 0, "Down must heal via the store"),
+                OutageKind::Partitioned => {
+                    assert_eq!(serial.heals, 0, "a partition needs no state rebuild")
+                }
+            }
+        }
     }
 }

@@ -15,27 +15,45 @@
 //! and merge are serial folds over canonically ordered data; the
 //! parallel section is a pure per-shard function. [`Cluster::digest`]
 //! — FNV-1a over every shard's canonical checkpoint bytes plus the
-//! router state — is the oracle the determinism gates compare at
-//! `--jobs 1/2/N`, and it also survives killing any shard mid-round:
-//! each shard carries its own incremental-checkpoint store and
-//! write-ahead round journal, and recovers through the same lattice
-//! the single-machine resumable replay uses.
+//! fleet-level front-end bytes — is the oracle the determinism gates
+//! compare at `--jobs 1/2/N`, and it also survives killing any shard
+//! mid-round: each shard carries its own incremental-checkpoint store
+//! and write-ahead round journal, and recovers through the same
+//! lattice the single-machine resumable replay uses.
+//!
+//! # Failure domains
+//!
+//! Fleet-level faults layer on top of per-shard kills: a seeded
+//! outage plan darkens whole shard-rounds (down or partitioned), a
+//! per-shard [`Health`] machine on the router turns missing barrier
+//! reports into Up → Suspect → Down → Probing transitions, every
+//! placement policy routes around `Down` shards, and a [`FrontEnd`]
+//! gives each request a deadline, capped retries, optional same-round
+//! hedging, and typed load shedding — with the conservation invariant
+//! (`routed == delivered + shed + failed + pending`) checked in
+//! [`ClusterTotals`] and asserted by the chaos gates.
 //!
 //! Module layout mirrors the isolation boundary the `shard-isolation`
 //! tidy rule enforces: [`shard`] is the only module allowed to name
-//! the platform; [`router`], [`msg`], and [`engine`] deal in plain
-//! data.
+//! the platform; [`router`], [`msg`], [`health`], [`frontend`], and
+//! [`engine`] deal in plain data.
 
 #![forbid(unsafe_code)]
 
 pub mod engine;
+pub mod frontend;
+pub mod health;
 pub mod msg;
 pub mod router;
 pub mod shard;
 
 pub use engine::{Cluster, ClusterConfig};
+pub use frontend::{
+    AvailabilityReport, FrontEnd, FrontEndConfig, FrontReq, FrontStats, ShedReason,
+};
+pub use health::{Health, HealthPolicy, HealthState};
 pub use msg::{ClusterTotals, MigrationOffer, ShardReport};
-pub use router::{Placement, Router};
+pub use router::{Placement, Router, Routing};
 pub use shard::{ManagerFn, Shard, ShardDurability, ShardSetup};
 
 /// FNV-1a over `bytes` from the standard offset basis.

@@ -10,11 +10,12 @@
 use std::collections::BTreeMap;
 
 use faas::FrozenFnSummary;
-use snapshot::Writer;
+use simos::SimTime;
+use snapshot::{Reader, SnapError, Writer};
 
 /// One shard's barrier summary: load and warm-set signals for the
 /// placement policies, plus any migration offers made under memory
-/// pressure.
+/// pressure or ahead of a planned outage.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct ShardReport {
     /// The reporting shard.
@@ -33,23 +34,44 @@ pub struct ShardReport {
     /// Per-function summary of the frozen cache: the warm set the
     /// cold-start-aware policy routes on.
     pub warm: BTreeMap<usize, FrozenFnSummary>,
-    /// Functions this shard wants re-homed (memory pressure).
+    /// Functions this shard wants re-homed (memory pressure or a
+    /// planned-outage drain).
     pub offers: Vec<MigrationOffer>,
     /// Cumulative kill-recoveries on this shard.
     pub recoveries: u64,
     /// Cumulative recoveries that found no usable checkpoint chain.
     pub scratch_recoveries: u64,
+    /// Cumulative outage heals (durable-store re-admissions).
+    pub heals: u64,
 }
 
 impl ShardReport {
+    /// The all-zero report the router's view starts from for a shard
+    /// that has never reported (same routing behavior as no view row).
+    pub fn empty(shard: u32) -> ShardReport {
+        ShardReport {
+            shard,
+            in_flight: 0,
+            cache_used: 0,
+            cache_budget: 0,
+            instances: 0,
+            frozen: 0,
+            warm: BTreeMap::new(),
+            offers: Vec::new(),
+            recoveries: 0,
+            scratch_recoveries: 0,
+            heals: 0,
+        }
+    }
+
     /// Serializes the report into `w` deterministically — part of the
     /// cluster digest and of the router's own state bytes.
     ///
-    /// The recovery counters are deliberately *excluded*: they count
-    /// kills survived, not simulation state, and the kill-recover gates
-    /// demand a chaos run digest byte-identical to its uninterrupted
-    /// control. Encoding them would make that impossible by
-    /// construction.
+    /// The recovery and heal counters are deliberately *excluded*:
+    /// they count kills and outages survived, not simulation state,
+    /// and the chaos gates demand a faulted run digest byte-identical
+    /// to its uninterrupted control. Encoding them would make that
+    /// impossible by construction.
     pub fn encode(&self, w: &mut Writer) {
         let ShardReport {
             shard,
@@ -62,6 +84,7 @@ impl ShardReport {
             offers,
             recoveries: _,
             scratch_recoveries: _,
+            heals: _,
         } = self;
         w.u32(*shard);
         w.u64(*in_flight);
@@ -81,10 +104,54 @@ impl ShardReport {
             o.encode(w);
         }
     }
+
+    /// Decodes a report encoded by [`ShardReport::encode`]. The
+    /// excluded counters come back zero.
+    pub fn decode(r: &mut Reader<'_>) -> Result<ShardReport, SnapError> {
+        let shard = r.u32()?;
+        let in_flight = r.u64()?;
+        let cache_used = r.u64()?;
+        let cache_budget = r.u64()?;
+        let instances = r.u64()?;
+        let frozen = r.u64()?;
+        let n_warm = r.seq_len()?;
+        let mut warm = BTreeMap::new();
+        for _ in 0..n_warm {
+            let fn_idx = r.usize()?;
+            let summary = FrozenFnSummary {
+                count: r.u64()?,
+                charge: r.u64()?,
+                oldest_frozen: SimTime(r.u64()?),
+            };
+            if warm.insert(fn_idx, summary).is_some() {
+                return Err(SnapError::Corrupt("duplicate warm-set key"));
+            }
+        }
+        let n_offers = r.seq_len()?;
+        let mut offers = Vec::with_capacity(n_offers);
+        for _ in 0..n_offers {
+            offers.push(MigrationOffer::decode(r)?);
+        }
+        Ok(ShardReport {
+            shard,
+            in_flight,
+            cache_used,
+            cache_budget,
+            instances,
+            frozen,
+            warm,
+            offers,
+            recoveries: 0,
+            scratch_recoveries: 0,
+            heals: 0,
+        })
+    }
 }
 
-/// A shard under memory pressure asking the router to re-home one
-/// function's *future* placements elsewhere.
+/// A shard asking the router to re-home one function's *future*
+/// placements elsewhere — because of memory pressure, or because the
+/// shard is about to enter a planned outage and is draining its warm
+/// set.
 ///
 /// Migration is affinity reassignment, not state surgery: the offering
 /// shard keeps (and eventually evicts or reclaims) the instances it
@@ -93,30 +160,45 @@ impl ShardReport {
 /// shard-local state shard-local.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct MigrationOffer {
-    /// The overloaded shard making the offer.
+    /// The offering shard.
     pub from: u32,
     /// Catalog index of the function to re-home.
     pub fn_idx: usize,
     /// USS charge the function's frozen instances hold on the offering
     /// shard — the router's signal for how much pressure moves.
     pub charge: u64,
+    /// True when the offer is a planned-outage drain: the router
+    /// remembers the origin and restores hash affinity once the shard
+    /// heals.
+    pub drain: bool,
 }
 
 impl MigrationOffer {
     fn encode(&self, w: &mut Writer) {
-        let MigrationOffer { from, fn_idx, charge } = self;
+        let MigrationOffer { from, fn_idx, charge, drain } = self;
         w.u32(*from);
         w.usize(*fn_idx);
         w.u64(*charge);
+        w.bool(*drain);
+    }
+
+    fn decode(r: &mut Reader<'_>) -> Result<MigrationOffer, SnapError> {
+        Ok(MigrationOffer {
+            from: r.u32()?,
+            fn_idx: r.usize()?,
+            charge: r.u64()?,
+            drain: r.bool()?,
+        })
     }
 }
 
-/// End-of-run aggregate counters summed over shards by the engine.
+/// End-of-run aggregate counters summed over shards by the engine,
+/// plus the front end's request-lifecycle accounting.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct ClusterTotals {
     /// Requests completed across all shards.
     pub completed: u64,
-    /// Requests that terminated with a failure.
+    /// Requests that terminated with a failure inside a platform.
     pub failed: u64,
     /// Cold boots started.
     pub cold_boots: u64,
@@ -132,4 +214,114 @@ pub struct ClusterTotals {
     pub recoveries: u64,
     /// Recoveries that restarted from nothing (journal-only).
     pub scratch_recoveries: u64,
+    /// Outage heals: durable-store re-admissions after `Down` windows.
+    pub heals: u64,
+    /// Shard-rounds spent unreachable (down or partitioned).
+    pub outage_rounds: u64,
+    /// Requests that entered front-end placement.
+    pub routed: u64,
+    /// Requests handed to a reachable shard.
+    pub delivered: u64,
+    /// Requests shed at admission: chosen shard over budget.
+    pub shed_overload: u64,
+    /// Requests shed at admission: no routable shard.
+    pub shed_unroutable: u64,
+    /// Requests whose deadline expired while stranded.
+    pub failed_deadline: u64,
+    /// Requests stranded past the retry cap.
+    pub failed_retries: u64,
+    /// Retry placements performed.
+    pub retries: u64,
+    /// Hedge copies placed.
+    pub hedges: u64,
+    /// Deliveries that succeeded only through the hedge copy.
+    pub hedge_wins: u64,
+    /// Hedge copies that duplicated a live primary.
+    pub hedge_extra: u64,
+    /// Requests still queued for retry at observation time.
+    pub pending_retries: u64,
+}
+
+impl ClusterTotals {
+    /// Requests shed, all reasons.
+    pub fn shed(&self) -> u64 {
+        self.shed_overload + self.shed_unroutable
+    }
+
+    /// Requests failed at the front end, all reasons.
+    pub fn frontend_failed(&self) -> u64 {
+        self.failed_deadline + self.failed_retries
+    }
+
+    /// The conservation invariant: every request that entered
+    /// placement terminated in exactly one typed outcome (or is still
+    /// queued for retry at observation time).
+    pub fn conservation(&self) -> bool {
+        self.routed == self.delivered + self.shed() + self.frontend_failed() + self.pending_retries
+    }
+
+    /// Serializes every counter (diagnostic codec, not digest-fed, so
+    /// the fault counters are included).
+    pub fn encode(&self, w: &mut Writer) {
+        let ClusterTotals {
+            completed,
+            failed,
+            cold_boots,
+            evictions,
+            instances,
+            frozen,
+            cache_used,
+            recoveries,
+            scratch_recoveries,
+            heals,
+            outage_rounds,
+            routed,
+            delivered,
+            shed_overload,
+            shed_unroutable,
+            failed_deadline,
+            failed_retries,
+            retries,
+            hedges,
+            hedge_wins,
+            hedge_extra,
+            pending_retries,
+        } = self;
+        for v in [
+            completed, failed, cold_boots, evictions, instances, frozen, cache_used, recoveries,
+            scratch_recoveries, heals, outage_rounds, routed, delivered, shed_overload,
+            shed_unroutable, failed_deadline, failed_retries, retries, hedges, hedge_wins,
+            hedge_extra, pending_retries,
+        ] {
+            w.u64(*v);
+        }
+    }
+
+    /// Decodes totals encoded by [`ClusterTotals::encode`].
+    pub fn decode(r: &mut Reader<'_>) -> Result<ClusterTotals, SnapError> {
+        Ok(ClusterTotals {
+            completed: r.u64()?,
+            failed: r.u64()?,
+            cold_boots: r.u64()?,
+            evictions: r.u64()?,
+            instances: r.u64()?,
+            frozen: r.u64()?,
+            cache_used: r.u64()?,
+            recoveries: r.u64()?,
+            scratch_recoveries: r.u64()?,
+            heals: r.u64()?,
+            outage_rounds: r.u64()?,
+            routed: r.u64()?,
+            delivered: r.u64()?,
+            shed_overload: r.u64()?,
+            shed_unroutable: r.u64()?,
+            failed_deadline: r.u64()?,
+            failed_retries: r.u64()?,
+            retries: r.u64()?,
+            hedges: r.u64()?,
+            hedge_wins: r.u64()?,
+            hedge_extra: r.u64()?,
+            pending_retries: r.u64()?,
+        })
+    }
 }

@@ -29,16 +29,29 @@
 //! recovered shard retraces the dead run's trajectory event for event
 //! and its barrier state bytes are identical to an uninterrupted
 //! control — the cluster digest cannot tell the difference.
+//!
+//! # Outages
+//!
+//! [`Shard::advance_dark`] executes a round the router cannot see.
+//! A **partitioned** shard keeps executing (the machine is fine, the
+//! network is not) — only its report is withheld. A **down** shard is
+//! frozen: the round is journaled but nothing runs, and the first
+//! reachable round afterwards *heals* — fresh platform, durable-store
+//! restore, journal catch-up — exactly the kill-recovery path, which
+//! is why both outage kinds converge to state bytes identical to an
+//! uninterrupted control.
 
 use faas::fault::CrashPlan;
 use faas::platform::Platform;
 use faas::{
-    CheckpointStore, GcMode, MemoryManager, PlatformConfig, PlatformError, QueueImpl,
-    StorageFaultPlan,
+    CheckpointStore, GcMode, LatencyHistogram, MemoryManager, PlatformConfig, PlatformError,
+    QueueImpl, StorageFaultPlan,
 };
 use simos::SimTime;
 use snapshot::{Reader, SnapError, Writer};
 use workloads::FunctionSpec;
+
+use faas::fault::OutageKind;
 
 use crate::msg::{ClusterTotals, MigrationOffer, ShardReport};
 
@@ -111,12 +124,21 @@ struct RoundEntry {
     reset: bool,
     /// The round's arrival batch, in canonical order.
     batch: Vec<(SimTime, usize)>,
+    /// Engine front-end bytes to embed in the checkpoint cut at the
+    /// start of this round (shard 0 only, on cut rounds). Journaled so
+    /// replay re-cuts byte-identical checkpoints.
+    front: Option<Vec<u8>>,
 }
 
 /// Container frame kind of the shard's round cursor. Anything at or
 /// above `FRAME_EXTRA_BASE` is opaque to the platform and comes back
 /// verbatim from a chain restore.
 const FRAME_SHARD: u32 = Platform::FRAME_EXTRA_BASE;
+
+/// Container frame kind of the engine's front-end bytes (router +
+/// retry queue + lifecycle counters), riding shard 0's cuts so fleet
+/// state is durable alongside shard state.
+const FRAME_FRONT: u32 = Platform::FRAME_EXTRA_BASE + 1;
 
 fn encode_cursor(round: usize) -> Vec<u8> {
     let mut w = Writer::new();
@@ -145,8 +167,16 @@ pub struct Shard {
     /// Epoch of the last checkpoint cut (parent of the next delta).
     parent_epoch: Option<u64>,
     crash: Option<CrashPlan>,
+    /// The machine is in a `Down` outage window: rounds are journaled
+    /// but nothing executes until a heal.
+    needs_restore: bool,
     recoveries: u64,
     scratch_recoveries: u64,
+    heals: u64,
+    outage_rounds: u64,
+    /// Front-end bytes recovered from the newest restored checkpoint,
+    /// if that cut carried a [`FRAME_FRONT`] frame.
+    recovered_front: Option<Vec<u8>>,
 }
 
 fn build_platform(setup: &ShardSetup, id: u32) -> Platform {
@@ -185,8 +215,12 @@ impl Shard {
             cursor: 0,
             parent_epoch: None,
             crash: None,
+            needs_restore: false,
             recoveries: 0,
             scratch_recoveries: 0,
+            heals: 0,
+            outage_rounds: 0,
+            recovered_front: None,
         }
     }
 
@@ -216,15 +250,18 @@ impl Shard {
         }
     }
 
-    /// Executes barrier round `round`: journal, optional checkpoint
-    /// cut, optional stats reset, submit the batch, drain to the
-    /// barrier — recovering from kills until the round completes —
-    /// then report.
+    /// Executes barrier round `round`: journal, heal if the shard is
+    /// coming back from a `Down` window, optional checkpoint cut,
+    /// optional stats reset, submit the batch, drain to the barrier —
+    /// recovering from kills until the round completes — then report.
     ///
     /// `pressure` and `max_offers` shape the migration offers in the
     /// report: when the cache is charged above `pressure × budget`,
     /// up to `max_offers` of the heaviest frozen functions are offered
-    /// away.
+    /// away. `drain` instead offers the *entire* warm set (the shard is
+    /// about to enter a planned outage). `front` is the engine's
+    /// front-end frame for this round's checkpoint cut, if any.
+    #[allow(clippy::too_many_arguments)]
     pub fn advance(
         &mut self,
         round: usize,
@@ -233,14 +270,69 @@ impl Shard {
         batch: &[(SimTime, usize)],
         pressure: f64,
         max_offers: usize,
+        drain: bool,
+        front: Option<Vec<u8>>,
     ) -> ShardReport {
         assert_eq!(round, self.journal.len(), "rounds must advance in order");
-        assert_eq!(round, self.cursor, "previous round left incomplete");
+        assert!(
+            self.cursor == round || self.needs_restore,
+            "previous round left incomplete"
+        );
         self.journal.push(RoundEntry {
             barrier,
             reset,
             batch: batch.to_vec(),
+            front,
         });
+        if self.needs_restore {
+            self.heal();
+        }
+        self.execute_rounds();
+        self.report(pressure, max_offers, drain)
+    }
+
+    /// Executes one barrier round the router cannot observe. Returns
+    /// no report — the missing report *is* the router's signal.
+    ///
+    /// `Partitioned` keeps executing (only the report is withheld);
+    /// `Down` freezes the machine: the round is journaled so the heal
+    /// can replay it, but nothing runs until a reachable round.
+    pub fn advance_dark(
+        &mut self,
+        round: usize,
+        barrier: SimTime,
+        reset: bool,
+        batch: &[(SimTime, usize)],
+        kind: OutageKind,
+        front: Option<Vec<u8>>,
+    ) {
+        assert_eq!(round, self.journal.len(), "rounds must advance in order");
+        assert!(
+            self.cursor == round || self.needs_restore,
+            "previous round left incomplete"
+        );
+        self.journal.push(RoundEntry {
+            barrier,
+            reset,
+            batch: batch.to_vec(),
+            front,
+        });
+        self.outage_rounds += 1;
+        match kind {
+            OutageKind::Down => {
+                self.needs_restore = true;
+            }
+            OutageKind::Partitioned => {
+                if self.needs_restore {
+                    self.heal();
+                }
+                self.execute_rounds();
+            }
+        }
+    }
+
+    /// Replays journaled rounds from the cursor to the journal head.
+    fn execute_rounds(&mut self) {
         while self.cursor < self.journal.len() {
             let r = self.cursor;
             if r.is_multiple_of(self.durability.checkpoint_every) {
@@ -266,7 +358,6 @@ impl Shard {
                 ),
             }
         }
-        self.report(pressure, max_offers)
     }
 
     /// Cuts an incremental checkpoint at the start of round `r`.
@@ -274,7 +365,10 @@ impl Shard {
         // Epoch = puts + 1: derivable from durable state alone and
         // strictly monotonic across recoveries.
         let epoch = self.store.len() as u64 + 1;
-        let extra = vec![(FRAME_SHARD, encode_cursor(r))];
+        let mut extra = vec![(FRAME_SHARD, encode_cursor(r))];
+        if let Some(front) = self.journal.get(r).and_then(|e| e.front.clone()) {
+            extra.push((FRAME_FRONT, front));
+        }
         let bytes = match self.parent_epoch {
             Some(parent) if !self.store.len().is_multiple_of(self.durability.base_every) => {
                 self.platform.checkpoint_delta(epoch, parent, &extra)
@@ -286,10 +380,42 @@ impl Shard {
     }
 
     /// Kill recovery: fresh platform, newest verifiable chain (or
-    /// scratch), cursor rewound; the `advance` loop replays the
-    /// journal from there.
+    /// scratch), cursor rewound; the execution loop replays the journal
+    /// from there.
     fn recover(&mut self, events_handled: u64) {
         self.recoveries += 1;
+        self.rebuild_from_store(events_handled);
+        if let Some(plan) = self.crash {
+            match plan.next_after(events_handled) {
+                Some(at) => self.platform.arm_kill(at),
+                None => self.platform.disarm_kill(),
+            }
+        }
+    }
+
+    /// Outage heal: the machine comes back from a `Down` window with
+    /// nothing but its durable store and journal — the same rebuild
+    /// path as a kill, entered from a round boundary. Kill schedules
+    /// re-arm from the rebuilt platform's event count (replayed kills
+    /// are state-neutral: each one recovers to the same trajectory).
+    fn heal(&mut self) {
+        self.heals += 1;
+        self.needs_restore = false;
+        let events_handled = self.platform.events_handled();
+        self.rebuild_from_store(events_handled);
+        if let Some(plan) = self.crash {
+            match plan.next_after(self.platform.events_handled()) {
+                Some(at) => self.platform.arm_kill(at),
+                None => self.platform.disarm_kill(),
+            }
+        }
+    }
+
+    /// Discards the live platform and rebuilds from the newest
+    /// verifiable checkpoint chain (or from scratch when storage
+    /// faults destroyed every chain), rewinding the cursor for journal
+    /// replay.
+    fn rebuild_from_store(&mut self, events_handled: u64) {
         self.platform = build_platform(&self.setup, self.id);
         match self.store.recover() {
             Some((head_epoch, chain)) => {
@@ -297,7 +423,7 @@ impl Shard {
                     // tidy:allow(panic-reachability) -- the chain passed CRC verification; failure here is a codec bug
                     panic!(
                         "shard {}: verified chain (head epoch {head_epoch}) failed to \
-                         restore: {e} (killed at events_handled={events_handled})",
+                         restore: {e} (rebuilt at events_handled={events_handled})",
                         self.id
                     )
                 });
@@ -308,7 +434,7 @@ impl Shard {
                         // tidy:allow(panic-reachability) -- every shard checkpoint embeds its cursor frame at cut time
                         panic!(
                             "shard {}: checkpoint epoch {head_epoch} carries no cursor \
-                             frame (killed at events_handled={events_handled})",
+                             frame (rebuilt at events_handled={events_handled})",
                             self.id
                         )
                     });
@@ -320,6 +446,10 @@ impl Shard {
                         self.id
                     )
                 });
+                self.recovered_front = extra
+                    .iter()
+                    .find(|(kind, _)| *kind == FRAME_FRONT)
+                    .map(|(_, bytes)| bytes.clone());
                 self.parent_epoch = Some(head_epoch);
             }
             None => {
@@ -331,32 +461,36 @@ impl Shard {
                 self.parent_epoch = None;
             }
         }
-        if let Some(plan) = self.crash {
-            match plan.next_after(events_handled) {
-                Some(at) => self.platform.arm_kill(at),
-                None => self.platform.disarm_kill(),
-            }
-        }
     }
 
     /// The shard's barrier summary.
-    fn report(&self, pressure: f64, max_offers: usize) -> ShardReport {
+    fn report(&self, pressure: f64, max_offers: usize, drain: bool) -> ShardReport {
         let warm = self.platform.frozen_by_function();
         let cache_budget = self.platform.config().cache_budget;
         let cache_used = self.platform.cache_used();
         let mut offers = Vec::new();
-        let budget_f = cache_budget as f64;
-        if max_offers > 0 && cache_used as f64 > pressure * budget_f {
-            // Offer the heaviest frozen functions away, oldest freeze
-            // first among equals — deterministic and aligned with what
-            // LRU eviction would shed anyway.
-            let mut ranked: Vec<(&usize, &faas::FrozenFnSummary)> = warm.iter().collect();
-            ranked.sort_by(|a, b| {
-                b.1.charge
-                    .cmp(&a.1.charge)
-                    .then(a.1.oldest_frozen.cmp(&b.1.oldest_frozen))
-                    .then(a.0.cmp(b.0))
-            });
+        let mut ranked: Vec<(&usize, &faas::FrozenFnSummary)> = warm.iter().collect();
+        // Heaviest charge first, oldest freeze first among equals —
+        // deterministic and aligned with what LRU eviction would shed.
+        ranked.sort_by(|a, b| {
+            b.1.charge
+                .cmp(&a.1.charge)
+                .then(a.1.oldest_frozen.cmp(&b.1.oldest_frozen))
+                .then(a.0.cmp(b.0))
+        });
+        if drain {
+            // Planned outage next round: offer the whole warm set away
+            // so the fleet keeps its thaw-able instances reachable.
+            offers = ranked
+                .into_iter()
+                .map(|(&fn_idx, s)| MigrationOffer {
+                    from: self.id,
+                    fn_idx,
+                    charge: s.charge,
+                    drain: true,
+                })
+                .collect();
+        } else if max_offers > 0 && cache_used as f64 > pressure * cache_budget as f64 {
             offers = ranked
                 .into_iter()
                 .take(max_offers)
@@ -364,6 +498,7 @@ impl Shard {
                     from: self.id,
                     fn_idx,
                     charge: s.charge,
+                    drain: false,
                 })
                 .collect();
         }
@@ -378,18 +513,43 @@ impl Shard {
             offers,
             recoveries: self.recoveries,
             scratch_recoveries: self.scratch_recoveries,
+            heals: self.heals,
         }
     }
 
     /// Canonical state bytes: the platform's full checkpoint. Equal
     /// shard states yield equal bytes — the unit the cluster digest is
     /// built from.
-    pub fn state_bytes(&self) -> Vec<u8> {
+    ///
+    /// A shard frozen inside a `Down` window heals first (the digest
+    /// is only sampled at reachable points, and a healed shard must be
+    /// indistinguishable from an uninterrupted control).
+    pub fn state_bytes(&mut self) -> Vec<u8> {
+        if self.needs_restore {
+            self.heal();
+            self.execute_rounds();
+        }
         self.platform.checkpoint()
     }
 
-    /// End-of-run aggregate counters.
-    pub fn totals(&self) -> ClusterTotals {
+    /// The measured-window latency distribution of this shard.
+    pub fn latency_histogram(&self) -> LatencyHistogram {
+        self.platform.stats().latency.clone()
+    }
+
+    /// Front-end bytes recovered by the most recent store rebuild (the
+    /// [`FRAME_FRONT`] frame of the restored cut), if any.
+    pub fn recovered_front(&self) -> Option<&[u8]> {
+        self.recovered_front.as_deref()
+    }
+
+    /// End-of-run aggregate counters (the engine layers front-end
+    /// accounting on top).
+    pub fn totals(&mut self) -> ClusterTotals {
+        if self.needs_restore {
+            self.heal();
+            self.execute_rounds();
+        }
         let stats = self.platform.stats();
         ClusterTotals {
             completed: stats.completed,
@@ -401,6 +561,9 @@ impl Shard {
             cache_used: self.platform.cache_used(),
             recoveries: self.recoveries,
             scratch_recoveries: self.scratch_recoveries,
+            heals: self.heals,
+            outage_rounds: self.outage_rounds,
+            ..ClusterTotals::default()
         }
     }
 }

@@ -1,11 +1,18 @@
 //! Integration gates for the barrier engine: jobs-invariance,
-//! kill-recover digest identity, migration under pressure, and the
-//! placement policies' observable behaviour.
+//! kill-recover digest identity, migration under pressure, placement
+//! policy behaviour, and the fleet failure domains — outages, router
+//! failover, deadlines/retries/hedging, admission control, and the
+//! durability of fleet state across checkpoint cuts.
 
-use cluster::{Cluster, ClusterConfig, Placement, ShardDurability, ShardSetup};
+use cluster::{
+    Cluster, ClusterConfig, FrontEndConfig, Placement, ShardDurability, ShardSetup,
+};
 use desiccant::{Desiccant, DesiccantConfig};
-use faas::{CrashPlan, MemoryManager, PlatformConfig, StorageFaultPlan};
-use simos::SimTime;
+use faas::{
+    CrashPlan, MemoryManager, OutageKind, OutagePlan, OutageWindow, PlatformConfig,
+    StorageFaultPlan,
+};
+use simos::{SimDuration, SimTime};
 
 fn desiccant_manager(_shard: u32) -> Option<Box<dyn MemoryManager>> {
     Some(Box::new(Desiccant::new(DesiccantConfig::default())))
@@ -188,4 +195,257 @@ fn policies_spread_load_differently() {
     digests.sort_unstable();
     digests.dedup();
     assert_eq!(digests.len(), 3, "placement policies were indistinguishable");
+}
+
+// ---------------------------------------------------------------------------
+// Fleet failure domains
+// ---------------------------------------------------------------------------
+
+/// Runs a fleet under an optional outage plan and kill schedule,
+/// returning the cluster itself so tests can interrogate availability,
+/// health, and recovered fleet state.
+fn run_fleet(
+    setup: &ShardSetup,
+    cfg: ClusterConfig,
+    arrivals: &[(SimTime, usize)],
+    end: SimTime,
+    plan: Option<OutagePlan>,
+    kill: Option<(u32, CrashPlan)>,
+) -> Cluster {
+    let mut c = Cluster::new(cfg, setup);
+    if let Some(plan) = plan {
+        c.set_outage_plan(plan);
+    }
+    if let Some((shard, kill_plan)) = kill {
+        c.plan_kill(shard, kill_plan);
+    }
+    for &(t, f) in arrivals {
+        c.enqueue(t, f);
+    }
+    c.advance_to(end);
+    let totals = c.totals();
+    assert!(
+        totals.conservation(),
+        "conservation violated: routed={} delivered={} shed={} failed={} pending={}",
+        totals.routed,
+        totals.delivered,
+        totals.shed(),
+        totals.frontend_failed(),
+        totals.pending_retries
+    );
+    c
+}
+
+fn down_window(shard: u32, start: u64, rounds: u64) -> OutagePlan {
+    OutagePlan::new(vec![OutageWindow {
+        shard,
+        start,
+        rounds,
+        kind: OutageKind::Down,
+        planned: false,
+    }])
+}
+
+#[test]
+fn outage_digest_matches_across_jobs_and_kill_schedules() {
+    let s = setup(6 << 30, true);
+    let arrivals = drizzle(s.catalog.len(), 30, 19);
+    let end = SimTime(36_000_000_000);
+    let base = ClusterConfig {
+        shards: 4,
+        ..ClusterConfig::default()
+    };
+    let plan = down_window(2, 4, 3);
+    let mut digests = Vec::new();
+    for jobs in [1, 2, 4] {
+        let cfg = ClusterConfig { jobs, ..base };
+        let c = run_fleet(&s, cfg, &arrivals, end, Some(plan.clone()), None);
+        let avail = c.availability();
+        assert_eq!(avail.down_rounds, vec![0, 0, 3, 0]);
+        assert!(avail.stats.retries > 0, "stranded requests never retried");
+        assert!(c.totals().heals > 0, "a Down window must heal via the store");
+        assert!(avail.conservation_holds(), "{}", avail.conservation_line());
+        digests.push(c.digest());
+    }
+    assert!(
+        digests.windows(2).all(|w| w[0] == w[1]),
+        "outage digest varies with job count: {digests:?}"
+    );
+    // A kill layered on top of the outage recovers to the same digest:
+    // the kill-free run with the same plan is the control.
+    let cfg = ClusterConfig { jobs: 2, ..base };
+    let chaos = run_fleet(
+        &s,
+        cfg,
+        &arrivals,
+        end,
+        Some(plan),
+        Some((1, CrashPlan::every(80))),
+    );
+    assert!(chaos.totals().recoveries > 0, "kill schedule never fired");
+    assert_eq!(
+        chaos.digest(),
+        digests[0],
+        "kill + outage diverged from the kill-free control with the same plan"
+    );
+}
+
+#[test]
+fn partitioned_shard_drains_in_place_without_heal() {
+    let s = setup(6 << 30, false);
+    let arrivals = drizzle(s.catalog.len(), 24, 23);
+    let end = SimTime(30_000_000_000);
+    let cfg = ClusterConfig {
+        shards: 4,
+        jobs: 2,
+        ..ClusterConfig::default()
+    };
+    let plan = OutagePlan::new(vec![OutageWindow {
+        shard: 3,
+        start: 3,
+        rounds: 4,
+        kind: OutageKind::Partitioned,
+        planned: false,
+    }]);
+    let c = run_fleet(&s, cfg, &arrivals, end, Some(plan), None);
+    let totals = c.totals();
+    assert_eq!(totals.outage_rounds, 4);
+    assert_eq!(totals.heals, 0, "a partition keeps executing; no rebuild");
+    assert!(totals.retries > 0, "requests placed onto the partition must strand");
+    assert!(totals.delivered > 0);
+}
+
+#[test]
+fn planned_outage_drains_the_warm_set_before_going_dark() {
+    let s = setup(6 << 30, true);
+    let arrivals = drizzle(s.catalog.len(), 40, 29);
+    let end = SimTime(48_000_000_000);
+    let cfg = ClusterConfig {
+        shards: 2,
+        jobs: 2,
+        policy: Placement::ColdStartAware,
+        ..ClusterConfig::default()
+    };
+    let plan = OutagePlan::new(vec![OutageWindow {
+        shard: 1,
+        start: 10,
+        rounds: 3,
+        kind: OutageKind::Down,
+        planned: true,
+    }]);
+    let calm = run_fleet(&s, cfg, &arrivals, end, None, None);
+    let drained = run_fleet(&s, cfg, &arrivals, end, Some(plan), None);
+    assert!(
+        drained.migrations() > calm.migrations(),
+        "the drain round must re-home warm functions beyond pressure migration \
+         (drained {} vs calm {})",
+        drained.migrations(),
+        calm.migrations()
+    );
+}
+
+#[test]
+fn queue_budget_sheds_with_typed_reasons() {
+    let s = setup(6 << 30, false);
+    let arrivals = drizzle(s.catalog.len(), 24, 31);
+    let end = SimTime(30_000_000_000);
+    let cfg = ClusterConfig {
+        shards: 2,
+        jobs: 1,
+        frontend: FrontEndConfig {
+            queue_budget: 2,
+            ..FrontEndConfig::default()
+        },
+        ..ClusterConfig::default()
+    };
+    let c = run_fleet(&s, cfg, &arrivals, end, None, None);
+    let stats = c.front_stats();
+    assert!(stats.shed_overload > 0, "a 2-deep budget must shed under drizzle");
+    assert!(stats.delivered > 0, "shedding everything means the budget is broken");
+}
+
+#[test]
+fn hedging_rescues_requests_that_otherwise_fail() {
+    let s = setup(6 << 30, false);
+    let arrivals = drizzle(s.catalog.len(), 30, 37);
+    let end = SimTime(36_000_000_000);
+    let plan = down_window(1, 4, 4);
+    let run_with = |hedge: bool| {
+        let cfg = ClusterConfig {
+            shards: 4,
+            jobs: 2,
+            frontend: FrontEndConfig {
+                hedge,
+                max_retries: 0,
+                ..FrontEndConfig::default()
+            },
+            ..ClusterConfig::default()
+        };
+        run_fleet(&s, cfg, &arrivals, end, Some(plan.clone()), None)
+    };
+    let bare = run_with(false).front_stats();
+    let hedged = run_with(true).front_stats();
+    assert!(bare.failed_retries > 0, "without retries, strandings must fail");
+    assert_eq!(bare.hedges, 0);
+    assert!(hedged.hedge_wins > 0, "hedges never rescued a stranded request");
+    assert!(
+        hedged.failed_retries < bare.failed_retries,
+        "hedging must strictly reduce failures ({} vs {})",
+        hedged.failed_retries,
+        bare.failed_retries
+    );
+}
+
+#[test]
+fn short_deadlines_expire_while_stranded() {
+    let s = setup(6 << 30, false);
+    let arrivals = drizzle(s.catalog.len(), 30, 41);
+    let end = SimTime(36_000_000_000);
+    let cfg = ClusterConfig {
+        shards: 4,
+        jobs: 2,
+        frontend: FrontEndConfig {
+            deadline: SimDuration::from_secs(1),
+            max_retries: 10,
+            ..FrontEndConfig::default()
+        },
+        ..ClusterConfig::default()
+    };
+    let c = run_fleet(&s, cfg, &arrivals, end, Some(down_window(2, 4, 4)), None);
+    let stats = c.front_stats();
+    assert!(
+        stats.failed_deadline > 0,
+        "a 1s deadline cannot survive a multi-round stranding"
+    );
+    assert!(stats.delivered > 0);
+}
+
+#[test]
+fn fleet_state_rides_shard_zero_checkpoints() {
+    let s = setup(6 << 30, true);
+    let arrivals = drizzle(s.catalog.len(), 30, 43);
+    let end = SimTime(36_000_000_000);
+    let cfg = ClusterConfig {
+        shards: 4,
+        jobs: 2,
+        ..ClusterConfig::default()
+    };
+    // Kill shard 0 repeatedly: the last recovery restores a cut late
+    // in the run, after several front-end frames have been embedded.
+    let c = run_fleet(&s, cfg, &arrivals, end, None, Some((0, CrashPlan::every(60))));
+    assert!(c.totals().recoveries > 0, "kill never fired");
+    let bytes = c
+        .recovered_front(0)
+        .expect("restored cut carries no front-end frame");
+    let (router, front, rounds) = Cluster::decode_front(&bytes).expect("front frame decodes");
+    assert!(rounds > 0, "recovery restored the round-zero cut");
+    assert!(
+        rounds.is_multiple_of(cfg.durability.checkpoint_every as u64),
+        "front frame must come from a cut round (got round {rounds})"
+    );
+    assert!(front.stats.routed > 0, "checkpointed front end saw no traffic");
+    // The decoded router re-encodes to the same canonical bytes.
+    let mut r = snapshot::Reader::new(&bytes);
+    let router_bytes = r.blob().expect("router blob").to_vec();
+    assert_eq!(router.state_bytes(), router_bytes);
 }

@@ -1,0 +1,201 @@
+//! Property tests for the fleet failure domains: arbitrary outage
+//! schedules must leave the cluster digest invariant under worker
+//! count and mid-run kills, every routed request must be conserved
+//! into exactly one typed outcome, and the fleet-level front-end
+//! bytes (router health, retry queue, hedge counters) must survive a
+//! real checkpoint chain — base, delta, restore — at arbitrary cut
+//! points.
+
+use cluster::{Cluster, ClusterConfig, FrontEndConfig, Placement, ShardSetup};
+use faas::platform::Platform;
+use faas::{CrashPlan, OutageKind, OutagePlan, OutageWindow, PlatformConfig};
+use proptest::prelude::*;
+use simos::{SimDuration, SimTime};
+
+/// A randomized fleet schedule with one outage window.
+#[derive(Debug, Clone)]
+struct FleetSchedule {
+    /// `(arrival offset ms, function index)` pairs, sorted before use.
+    arrivals: Vec<(u64, usize)>,
+    shards: u32,
+    /// Never shard 0, so the fleet always stays collectively routable.
+    dark_shard: u32,
+    start: u64,
+    len: u64,
+    down: bool,
+    planned: bool,
+    hedge: bool,
+    max_retries: u32,
+    queue_budget: u64,
+    round_ms: u64,
+    /// Kill the dark shard after this many events (`None` = no kill).
+    kill_after: Option<u64>,
+}
+
+fn schedule() -> impl Strategy<Value = FleetSchedule> {
+    (
+        prop::collection::vec((0u64..20_000, 0usize..20), 12..60),
+        (2u32..5, 0u32..4, 1u64..8, 1u64..4),
+        (any::<bool>(), any::<bool>(), any::<bool>()),
+        (0u32..4, prop_oneof![Just(0u64), Just(3u64)]),
+        800u64..3_000,
+        (any::<bool>(), 20u64..200),
+    )
+        .prop_map(
+            |(
+                arrivals,
+                (shards, dark_pick, start, len),
+                (down, planned, hedge),
+                (max_retries, queue_budget),
+                round_ms,
+                (chaos, kill_n),
+            )| FleetSchedule {
+                arrivals,
+                shards,
+                dark_shard: 1 + dark_pick % (shards - 1),
+                start,
+                len,
+                down,
+                planned: planned && down,
+                hedge,
+                max_retries,
+                queue_budget,
+                round_ms,
+                kill_after: chaos.then_some(kill_n),
+            },
+        )
+}
+
+fn build(s: &FleetSchedule, jobs: usize, with_kill: bool) -> Cluster {
+    let mut setup = ShardSetup::vanilla();
+    setup.platform = PlatformConfig {
+        cache_budget: 2 << 30,
+        ..PlatformConfig::default()
+    };
+    let cfg = ClusterConfig {
+        shards: s.shards,
+        policy: Placement::HashAffinity,
+        jobs,
+        round: SimDuration::from_millis(s.round_ms),
+        frontend: FrontEndConfig {
+            hedge: s.hedge,
+            max_retries: s.max_retries,
+            queue_budget: s.queue_budget,
+            ..FrontEndConfig::default()
+        },
+        ..ClusterConfig::default()
+    };
+    let mut c = Cluster::new(cfg, &setup);
+    c.set_outage_plan(OutagePlan::new(vec![OutageWindow {
+        shard: s.dark_shard,
+        start: s.start,
+        rounds: s.len,
+        kind: if s.down { OutageKind::Down } else { OutageKind::Partitioned },
+        planned: s.planned,
+    }]));
+    if with_kill {
+        if let Some(n) = s.kill_after {
+            c.plan_kill(s.dark_shard, CrashPlan::every(n));
+        }
+    }
+    c
+}
+
+fn run(s: &FleetSchedule, jobs: usize, with_kill: bool) -> Cluster {
+    let mut c = build(s, jobs, with_kill);
+    let mut sorted = s.arrivals.clone();
+    sorted.sort_unstable();
+    for &(t_ms, f) in &sorted {
+        c.enqueue(SimTime(t_ms * 1_000_000), f);
+    }
+    // Horizon generous enough for the outage to heal and every
+    // surviving request to drain.
+    c.advance_to(SimTime(20_000_000_000) + SimDuration::from_secs(120));
+    c
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// Post-heal, the digest — shard states plus fleet front-end
+    /// bytes — is a pure function of (schedule, outage plan): worker
+    /// count must not leak into it, a kill layered on the outage must
+    /// recover to the same bytes, and request conservation must hold
+    /// on every variant.
+    #[test]
+    fn outage_digest_is_invariant_under_jobs_and_kills(s in schedule()) {
+        let serial = run(&s, 1, false);
+        let parallel = run(&s, 4, false);
+        let t = serial.totals();
+        prop_assert!(t.conservation(),
+            "conservation violated: routed={} delivered={} shed={} failed={} pending={}",
+            t.routed, t.delivered, t.shed(), t.frontend_failed(), t.pending_retries);
+        prop_assert!(t.outage_rounds > 0, "the window never darkened a round");
+        prop_assert_eq!(parallel.totals(), t, "totals diverged across worker counts");
+        prop_assert_eq!(parallel.digest(), serial.digest(), "digest depends on worker count");
+        if s.kill_after.is_some() {
+            let chaos = run(&s, 2, true);
+            prop_assert!(chaos.totals().conservation());
+            prop_assert_eq!(
+                chaos.digest(), serial.digest(),
+                "kill + outage diverged from the kill-free control with the same plan"
+            );
+        }
+    }
+
+    /// The fleet front-end bytes at an arbitrary barrier survive a
+    /// real incremental checkpoint chain — embedded as an extra frame
+    /// in a base, superseded in a delta, and restored on a fresh
+    /// platform — and decode back to the same router and counters.
+    #[test]
+    fn front_bytes_survive_a_real_checkpoint_chain(s in schedule(), cut_ms in 2_000u64..18_000) {
+        // Drive the fleet to an arbitrary mid-run barrier and snapshot
+        // its front-end bytes there, then to the end for a second cut.
+        let mut fleet = build(&s, 1, false);
+        let mut sorted = s.arrivals.clone();
+        sorted.sort_unstable();
+        for &(t_ms, f) in &sorted {
+            fleet.enqueue(SimTime(t_ms * 1_000_000), f);
+        }
+        fleet.advance_to(SimTime(cut_ms * 1_000_000));
+        let mid = fleet.frontend_bytes();
+        fleet.advance_to(SimTime(20_000_000_000) + SimDuration::from_secs(120));
+        let fin = fleet.frontend_bytes();
+
+        // Push both through a real platform chain: base carries the
+        // mid-run frame, the delta supersedes it with the final frame.
+        let frame = Platform::FRAME_EXTRA_BASE + 1;
+        let setup = ShardSetup::vanilla();
+        let mk = || Platform::new(
+            PlatformConfig::default(), setup.catalog.clone(), setup.mode, None,
+        );
+        let mut live = mk();
+        for (i, &(_, f)) in sorted.iter().take(8).enumerate() {
+            live.submit(SimTime(i as u64 * 1_000_000), f % setup.catalog.len());
+        }
+        live.try_run_until(SimTime(50_000_000)).expect("drain");
+        let base = live.checkpoint_base(1, &[(frame, mid.clone())]);
+        live.try_run_until(SimTime(250_000_000)).expect("drain");
+        let delta = live.checkpoint_delta(2, 1, &[(frame, fin.clone())]);
+
+        let mut restored = mk();
+        let (epoch, extra) = restored.restore_chain(&[base, delta]).expect("chain restores");
+        prop_assert_eq!(epoch, 2);
+        let carried = extra.iter().find(|(k, _)| *k == frame).expect("front frame survives");
+        prop_assert_eq!(&carried.1, &fin, "chain restore mangled the front bytes");
+
+        let (router, front, rounds) = Cluster::decode_front(&carried.1).expect("decodes");
+        prop_assert_eq!(rounds, fleet.rounds() as u64);
+        prop_assert_eq!(front.stats, fleet.front_stats());
+        prop_assert_eq!(front.pending(), fleet.pending_retries());
+        for shard in 0..s.shards {
+            prop_assert_eq!(router.health(shard), fleet.health(shard),
+                "restored health state diverged on shard {}", shard);
+        }
+        // And the mid-run frame decodes too (a heal may restore an
+        // older cut than the newest barrier).
+        let (_, mid_front, mid_rounds) = Cluster::decode_front(&mid).expect("mid decodes");
+        prop_assert!(mid_rounds <= rounds);
+        prop_assert!(mid_front.stats.routed <= front.stats.routed);
+    }
+}

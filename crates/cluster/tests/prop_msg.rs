@@ -1,0 +1,137 @@
+//! Property tests for the barrier-message codecs: arbitrary
+//! [`ShardReport`]s and [`ClusterTotals`] must survive
+//! encode → decode → encode with byte-identical output. The report
+//! bytes feed the cluster digest and the router's canonical state, so
+//! a codec asymmetry here would silently break every determinism gate
+//! downstream.
+
+use cluster::{ClusterTotals, MigrationOffer, ShardReport};
+use faas::FrozenFnSummary;
+use proptest::prelude::*;
+use simos::SimTime;
+use snapshot::{Reader, Writer};
+
+fn summary() -> impl Strategy<Value = FrozenFnSummary> {
+    (1u64..50, 1u64..(8 << 30), 0u64..100_000_000_000).prop_map(|(count, charge, t)| {
+        FrozenFnSummary {
+            count,
+            charge,
+            oldest_frozen: SimTime(t),
+        }
+    })
+}
+
+fn offer() -> impl Strategy<Value = MigrationOffer> {
+    (0u32..16, 0usize..64, 0u64..(8 << 30), any::<bool>()).prop_map(
+        |(from, fn_idx, charge, drain)| MigrationOffer {
+            from,
+            fn_idx,
+            charge,
+            drain,
+        },
+    )
+}
+
+fn report() -> impl Strategy<Value = ShardReport> {
+    (
+        0u32..16,
+        (0u64..10_000, 0u64..(8 << 30), 1u64..(16u64 << 30)),
+        (0u64..500, 0u64..500),
+        prop::collection::vec((0usize..64, summary()), 0..12)
+            .prop_map(|pairs| pairs.into_iter().collect::<std::collections::BTreeMap<_, _>>()),
+        prop::collection::vec(offer(), 0..6),
+        (0u64..20, 0u64..20, 0u64..20),
+    )
+        .prop_map(
+            |(
+                shard,
+                (in_flight, cache_used, cache_budget),
+                (instances, frozen),
+                warm,
+                offers,
+                (recoveries, scratch_recoveries, heals),
+            )| ShardReport {
+                shard,
+                in_flight,
+                cache_used,
+                cache_budget,
+                instances,
+                frozen,
+                warm,
+                offers,
+                recoveries,
+                scratch_recoveries,
+                heals,
+            },
+        )
+}
+
+fn totals() -> impl Strategy<Value = ClusterTotals> {
+    prop::collection::vec(0u64..1_000_000, 22).prop_map(|v| ClusterTotals {
+        completed: v[0],
+        failed: v[1],
+        cold_boots: v[2],
+        evictions: v[3],
+        instances: v[4],
+        frozen: v[5],
+        cache_used: v[6],
+        recoveries: v[7],
+        scratch_recoveries: v[8],
+        heals: v[9],
+        outage_rounds: v[10],
+        routed: v[11],
+        delivered: v[12],
+        shed_overload: v[13],
+        shed_unroutable: v[14],
+        failed_deadline: v[15],
+        failed_retries: v[16],
+        retries: v[17],
+        hedges: v[18],
+        hedge_wins: v[19],
+        hedge_extra: v[20],
+        pending_retries: v[21],
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// encode → decode → encode is the identity on bytes. (Full struct
+    /// equality cannot hold: the fault counters are deliberately
+    /// excluded from the encoding so chaos runs digest like their
+    /// controls — they come back zero.)
+    #[test]
+    fn shard_report_codec_round_trips_bytes(rep in report()) {
+        let mut w = Writer::new();
+        rep.encode(&mut w);
+        let bytes = w.into_bytes();
+        let mut r = Reader::new(&bytes);
+        let back = ShardReport::decode(&mut r).expect("decode");
+        r.finish().expect("no trailing bytes");
+        let mut w2 = Writer::new();
+        back.encode(&mut w2);
+        prop_assert_eq!(w2.into_bytes(), bytes, "re-encoded report differs");
+        // Everything the encoding carries survives.
+        prop_assert_eq!(back.shard, rep.shard);
+        prop_assert_eq!(back.warm, rep.warm);
+        prop_assert_eq!(back.offers, rep.offers);
+        prop_assert_eq!(back.recoveries, 0u64);
+        prop_assert_eq!(back.heals, 0u64);
+    }
+
+    /// Cluster totals encode every counter; the round trip is the
+    /// identity on the struct and on the bytes.
+    #[test]
+    fn cluster_totals_codec_round_trips(t in totals()) {
+        let mut w = Writer::new();
+        t.encode(&mut w);
+        let bytes = w.into_bytes();
+        let mut r = Reader::new(&bytes);
+        let back = ClusterTotals::decode(&mut r).expect("decode");
+        r.finish().expect("no trailing bytes");
+        prop_assert_eq!(back, t);
+        let mut w2 = Writer::new();
+        back.encode(&mut w2);
+        prop_assert_eq!(w2.into_bytes(), bytes);
+    }
+}

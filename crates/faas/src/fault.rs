@@ -624,3 +624,225 @@ mod storage_tests {
         .validate();
     }
 }
+
+// ---------------------------------------------------------------------------
+// Fleet-level outage schedules
+// ---------------------------------------------------------------------------
+
+/// How a shard is unavailable during an [`OutageWindow`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum OutageKind {
+    /// The machine is off: nothing executes, state is frozen, and on
+    /// heal the shard must re-admit itself from its durable checkpoint
+    /// stream and catch up through its journal.
+    Down,
+    /// The machine keeps running but is unreachable from the router:
+    /// no new work arrives and no barrier report gets out, yet
+    /// in-flight work drains normally.
+    Partitioned,
+}
+
+impl OutageKind {
+    /// Short name for reports and JSON.
+    pub fn name(self) -> &'static str {
+        match self {
+            OutageKind::Down => "down",
+            OutageKind::Partitioned => "partitioned",
+        }
+    }
+}
+
+/// One contiguous span of barrier rounds during which one shard is
+/// unavailable.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct OutageWindow {
+    /// The shard the window applies to.
+    pub shard: u32,
+    /// First dark round (round indices count completed barriers).
+    pub start: u64,
+    /// Number of consecutive dark rounds (must be positive).
+    pub rounds: u64,
+    /// Whether the shard is off or merely unreachable.
+    pub kind: OutageKind,
+    /// A *planned* window is announced one round ahead, giving the
+    /// shard a chance to drain its warm set before going dark.
+    pub planned: bool,
+}
+
+impl OutageWindow {
+    fn covers(&self, shard: u32, round: u64) -> bool {
+        self.shard == shard && round >= self.start && round - self.start < self.rounds
+    }
+}
+
+/// A deterministic fleet outage schedule: per-shard windows of whole
+/// barrier rounds during which the shard is [`OutageKind::Down`] or
+/// [`OutageKind::Partitioned`].
+///
+/// The schedule is pure data, evaluated by round index — never by
+/// wall clock or event count — so a cluster replaying it is
+/// byte-identical at any worker count and under any kill schedule.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct OutagePlan {
+    /// The windows, in whatever order they were declared.
+    pub windows: Vec<OutageWindow>,
+}
+
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E3779B97F4A7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+    z ^ (z >> 31)
+}
+
+impl OutagePlan {
+    /// A plan over explicit windows.
+    pub fn new(windows: Vec<OutageWindow>) -> OutagePlan {
+        OutagePlan { windows }
+    }
+
+    /// A seeded plan: `count` windows drawn from a private splitmix64
+    /// stream, each hitting a uniform shard in `[0, shards)` for
+    /// `1..=max_len` rounds starting somewhere in `[1, horizon)`.
+    /// Kind and plannedness are drawn per window. Windows may overlap;
+    /// [`OutagePlan::dark`] resolves overlaps with `Down` winning.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `shards`, `horizon`, or `max_len` is zero.
+    pub fn seeded(seed: u64, shards: u32, horizon: u64, count: usize, max_len: u64) -> OutagePlan {
+        assert!(shards > 0, "a plan needs at least one shard");
+        assert!(horizon > 1, "horizon must leave room for a window");
+        assert!(max_len > 0, "windows must have positive length");
+        let mut state = seed;
+        let windows = (0..count)
+            .map(|_| {
+                let shard = (splitmix64(&mut state) % u64::from(shards)) as u32;
+                let start = 1 + splitmix64(&mut state) % (horizon - 1);
+                let rounds = 1 + splitmix64(&mut state) % max_len;
+                let draw = splitmix64(&mut state);
+                let kind = if draw & 1 == 0 { OutageKind::Down } else { OutageKind::Partitioned };
+                let planned = kind == OutageKind::Down && draw & 2 == 0;
+                OutageWindow { shard, start, rounds, kind, planned }
+            })
+            .collect();
+        OutagePlan { windows }
+    }
+
+    /// True when no window exists.
+    pub fn is_empty(&self) -> bool {
+        self.windows.is_empty()
+    }
+
+    /// How `shard` is unavailable at `round`, or `None` when it is
+    /// reachable. Overlapping windows resolve with `Down` winning —
+    /// a machine that is off is off, whatever else the schedule says.
+    pub fn dark(&self, shard: u32, round: u64) -> Option<OutageKind> {
+        let mut hit = None;
+        for w in &self.windows {
+            if w.covers(shard, round) {
+                if w.kind == OutageKind::Down {
+                    return Some(OutageKind::Down);
+                }
+                hit = Some(OutageKind::Partitioned);
+            }
+        }
+        hit
+    }
+
+    /// True when a *planned* window of `shard` starts exactly at
+    /// `round` and the shard is reachable in the round before — the
+    /// drain signal the engine raises one round ahead of the outage.
+    pub fn planned_entry(&self, shard: u32, round: u64) -> bool {
+        self.windows
+            .iter()
+            .any(|w| w.planned && w.shard == shard && w.start == round)
+    }
+
+    /// The first round index past every window (`0` for an empty
+    /// plan) — the point after which the whole fleet is healed.
+    pub fn horizon(&self) -> u64 {
+        self.windows
+            .iter()
+            .map(|w| w.start.saturating_add(w.rounds))
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Sanity checks against a concrete fleet size.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a window names a shard outside `[0, shards)`, has
+    /// zero length, or darkens the whole fleet at once forever (every
+    /// plan must leave the fleet collectively reachable: at least one
+    /// shard outside every round's union of windows is not required,
+    /// but a window set covering all shards in the same round is
+    /// almost always a configuration bug, so it is rejected).
+    pub fn validate(&self, shards: u32) {
+        for w in &self.windows {
+            assert!(w.shard < shards, "outage window names shard {} of {shards}", w.shard);
+            assert!(w.rounds > 0, "outage window must cover at least one round");
+        }
+        for round in 0..self.horizon() {
+            let all_dark = (0..shards).all(|s| self.dark(s, round).is_some());
+            assert!(!all_dark, "outage plan darkens every shard at round {round}");
+        }
+    }
+}
+
+#[cfg(test)]
+mod outage_tests {
+    use super::*;
+
+    #[test]
+    fn dark_resolves_overlap_with_down_winning() {
+        let plan = OutagePlan::new(vec![
+            OutageWindow { shard: 1, start: 2, rounds: 3, kind: OutageKind::Partitioned, planned: false },
+            OutageWindow { shard: 1, start: 3, rounds: 1, kind: OutageKind::Down, planned: false },
+        ]);
+        assert_eq!(plan.dark(1, 1), None);
+        assert_eq!(plan.dark(1, 2), Some(OutageKind::Partitioned));
+        assert_eq!(plan.dark(1, 3), Some(OutageKind::Down));
+        assert_eq!(plan.dark(1, 4), Some(OutageKind::Partitioned));
+        assert_eq!(plan.dark(1, 5), None);
+        assert_eq!(plan.dark(0, 3), None);
+        assert_eq!(plan.horizon(), 5);
+    }
+
+    #[test]
+    fn planned_entry_fires_only_at_window_start() {
+        let plan = OutagePlan::new(vec![OutageWindow {
+            shard: 2,
+            start: 4,
+            rounds: 2,
+            kind: OutageKind::Down,
+            planned: true,
+        }]);
+        assert!(plan.planned_entry(2, 4));
+        assert!(!plan.planned_entry(2, 5));
+        assert!(!plan.planned_entry(1, 4));
+    }
+
+    #[test]
+    fn seeded_plans_are_deterministic_and_valid() {
+        let a = OutagePlan::seeded(42, 8, 30, 6, 4);
+        let b = OutagePlan::seeded(42, 8, 30, 6, 4);
+        assert_eq!(a, b);
+        assert_eq!(a.windows.len(), 6);
+        a.validate(8);
+        let c = OutagePlan::seeded(43, 8, 30, 6, 4);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    #[should_panic(expected = "darkens every shard")]
+    fn validate_rejects_whole_fleet_outages() {
+        OutagePlan::new(vec![
+            OutageWindow { shard: 0, start: 1, rounds: 1, kind: OutageKind::Down, planned: false },
+            OutageWindow { shard: 1, start: 1, rounds: 1, kind: OutageKind::Partitioned, planned: false },
+        ])
+        .validate(2);
+    }
+}

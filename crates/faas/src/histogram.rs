@@ -68,6 +68,16 @@ impl LatencyHistogram {
         self.samples.clear();
         self.sorted = true;
     }
+
+    /// Folds another histogram's samples into this one — how a fleet's
+    /// per-shard latency distributions combine into one population for
+    /// cluster-level percentiles. Deterministic as long as histograms
+    /// are merged in a canonical order (the sort at percentile time
+    /// makes the order irrelevant for quantiles anyway).
+    pub fn merge(&mut self, other: &LatencyHistogram) {
+        self.samples.extend_from_slice(&other.samples);
+        self.sorted = false;
+    }
 }
 
 mod snap_impls {
@@ -138,5 +148,17 @@ mod tests {
     #[should_panic(expected = "quantile out of range")]
     fn invalid_quantile_panics() {
         filled(3).percentile(1.5);
+    }
+
+    #[test]
+    fn merge_concatenates_populations() {
+        let mut a = filled(50);
+        let b = filled(100);
+        a.merge(&b);
+        assert_eq!(a.len(), 150);
+        // 150 samples: 1..=50 twice, 51..=100 once; the median of the
+        // merged population is the 75th ranked sample = 38ms.
+        assert_eq!(a.percentile(0.5).unwrap(), SimDuration::from_millis(38));
+        assert_eq!(a.percentile(1.0).unwrap(), SimDuration::from_millis(100));
     }
 }

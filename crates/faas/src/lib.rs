@@ -64,7 +64,10 @@ pub mod store;
 
 pub use config::{EnvFlavor, PlatformConfig};
 pub use error::{PlatformError, PlatformResult};
-pub use fault::{CrashPlan, FaultInjector, FaultPlan, StorageFault, StorageFaultInjector, StorageFaultPlan};
+pub use fault::{
+    CrashPlan, FaultInjector, FaultPlan, OutageKind, OutagePlan, OutageWindow, StorageFault,
+    StorageFaultInjector, StorageFaultPlan,
+};
 pub use store::CheckpointStore;
 pub use histogram::LatencyHistogram;
 pub use manager::{FrozenView, MemoryManager, ReclaimProfile};

@@ -1,0 +1,11 @@
+//! Seeded violation: the health/failover layer peeking at a shard's
+//! event cursor instead of reading the barrier report.
+//! Scanned by the self-test as `crates/cluster/src/health.rs`.
+
+/// `events_handled` is shard.rs's private platform surface; a health
+/// probe must judge liveness from the reports the barrier delivers.
+/// The `checkpoint_every` ident below must NOT count — exact-token
+/// matching only, not substrings.
+pub fn probe_liveness(shard: &crate::shard::Shard, checkpoint_every: u64) -> bool {
+    shard.platform().events_handled() % checkpoint_every == 0
+}

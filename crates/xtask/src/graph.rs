@@ -83,8 +83,11 @@ pub const BYTE_SINKS: &[&str] = &[
 /// call them (the barrier protocol's owners). Everything else in
 /// `crates/cluster` outside `shard.rs` calling one of these has
 /// bypassed the round structure.
-pub const SHARD_MUTATORS: &[(&str, &[&str])] =
-    &[("advance", &["run_round"]), ("plan_kill", &["plan_kill"])];
+pub const SHARD_MUTATORS: &[(&str, &[&str])] = &[
+    ("advance", &["run_round"]),
+    ("advance_dark", &["run_round"]),
+    ("plan_kill", &["plan_kill"]),
+];
 
 /// Paths never entered into the call graph: harness/auditor code that
 /// *drives* the simulation rather than being reachable from it, and

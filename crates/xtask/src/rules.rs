@@ -239,6 +239,11 @@ const SHARD_INTERNAL_IDENTS: &[&str] = &[
     "checkpoint_delta",
     "restore_chain",
     "arm_kill",
+    "disarm_kill",
+    "checkpoint",
+    "events_handled",
+    "frozen_by_function",
+    "request_totals",
 ];
 
 fn in_shard_isolation_scope(path: &str) -> bool {

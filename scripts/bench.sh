@@ -16,6 +16,11 @@
 #                           wall time, speedup vs. the serial run, and
 #                           the kill-recover digest oracle (written by
 #                           the separate `cluster_replay` harness)
+#   BENCH_availability.json — the fleet failure-domain run: success
+#                           rate and latency percentiles fault-free
+#                           vs. a three-round shard outage, hedged
+#                           and bare, plus heal/drain accounting
+#                           (cluster_replay --outage)
 #
 # Numbers are host-dependent: run on an idle machine and commit the
 # refreshed files together with the change that moved them, so the
@@ -28,4 +33,5 @@ cd "$(dirname "$0")/.."
 cargo build --release -q -p bench --bin perf --bin cluster_replay
 ./target/release/perf --out-dir . "$@"
 ./target/release/cluster_replay --out-dir . "$@"
+./target/release/cluster_replay --outage --out-dir . "$@"
 echo "bench OK — review and commit BENCH_*.json"

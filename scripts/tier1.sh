@@ -49,8 +49,31 @@ echo "== cluster smoke (sharded replay, digests across job counts) =="
 # mid-replay must digest identical to the uninterrupted control. The
 # scaling floor (1.5x at 4 jobs) is enforced only on hosts with >= 4
 # cores; the harness waives it (and records host_cores) elsewhere.
-cargo run --release -q -p bench --bin cluster_replay -- --quick --check \
-    --out-dir target/bench-smoke >/dev/null
+cluster_out=$(cargo run --release -q -p bench --bin cluster_replay -- \
+    --quick --check --out-dir target/bench-smoke)
+grep -q "conservation OK" <<<"$cluster_out" \
+    || { echo "cluster smoke never printed its conservation line"; exit 1; }
+
+echo "== fleet failure domains (outage / partition / availability SLO) =="
+# Shard 5 goes dark for three rounds mid-replay. Down: the shard
+# freezes and must heal from its durable checkpoint store, digest
+# byte-identical across --jobs 1/2/4 and vs a kill+outage run; hedged
+# retries must hold the availability SLO while a retry-less control
+# visibly loses requests, and a planned window must drain the warm set
+# first. Partitioned: same window as a reachability-only fault — the
+# shard keeps executing and nothing heals through the store. Every
+# replay must print its request-conservation accounting line.
+for gate in --outage --partition; do
+    echo "-- cluster_replay $gate"
+    gate_out=$(cargo run --release -q -p bench --bin cluster_replay -- \
+        --quick --check "$gate" --out-dir target/bench-smoke)
+    runs=$(grep -c "conservation OK" <<<"$gate_out" || true)
+    if [ "$runs" -lt 4 ]; then
+        echo "failure-domain gate $gate printed $runs conservation lines (want >= 4):"
+        echo "$gate_out"
+        exit 1
+    fi
+done
 
 echo "== chaos (fault-free + seeded fault schedules) =="
 # Default sweep: fault-free baselines plus seeds 11/23/47 at a 1 %
